@@ -1,0 +1,136 @@
+//! All-pairs alias-analysis evaluation — the counterpart of LLVM's
+//! `-aa-eval` pass: query every pair of memory-access locations in a
+//! function and tabulate the answers. Useful for comparing chains
+//! (which analysis resolves what) independent of any transformation.
+
+use crate::aa::AAManager;
+use crate::location::{AliasResult, MemoryLocation};
+use oraql_ir::module::{FunctionId, Module};
+
+/// Tabulated results of one evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AaEvalSummary {
+    /// Pairs answered `NoAlias`.
+    pub no_alias: u64,
+    /// Pairs answered `MayAlias`.
+    pub may_alias: u64,
+    /// Pairs answered `MustAlias`.
+    pub must_alias: u64,
+    /// Pairs answered `PartialAlias`.
+    pub partial_alias: u64,
+}
+
+impl AaEvalSummary {
+    /// Total pairs queried.
+    pub fn total(&self) -> u64 {
+        self.no_alias + self.may_alias + self.must_alias + self.partial_alias
+    }
+
+    /// Percentage of definite (non-may) answers — the precision figure
+    /// `-aa-eval` reports.
+    pub fn definite_percent(&self) -> f64 {
+        if self.total() == 0 {
+            return 100.0;
+        }
+        (self.total() - self.may_alias) as f64 / self.total() as f64 * 100.0
+    }
+}
+
+/// Evaluates all pairs of scalar memory accesses in `fid`.
+pub fn evaluate_function(m: &Module, fid: FunctionId, aa: &mut AAManager) -> AaEvalSummary {
+    let f = m.func(fid);
+    let locs: Vec<MemoryLocation> = f
+        .live_insts()
+        .filter_map(|id| MemoryLocation::of_access(f, id))
+        .collect();
+    let mut s = AaEvalSummary::default();
+    for (i, a) in locs.iter().enumerate() {
+        for b in locs.iter().skip(i + 1) {
+            match aa.alias(m, fid, a, b) {
+                AliasResult::NoAlias => s.no_alias += 1,
+                AliasResult::MayAlias => s.may_alias += 1,
+                AliasResult::MustAlias => s.must_alias += 1,
+                AliasResult::PartialAlias => s.partial_alias += 1,
+            }
+        }
+    }
+    s
+}
+
+/// Evaluates every function of the module and sums the tallies.
+pub fn evaluate_module(m: &Module, aa: &mut AAManager) -> AaEvalSummary {
+    let mut total = AaEvalSummary::default();
+    for i in 0..m.funcs.len() {
+        let s = evaluate_function(m, FunctionId(i as u32), aa);
+        total.no_alias += s.no_alias;
+        total.may_alias += s.may_alias;
+        total.must_alias += s.must_alias;
+        total.partial_alias += s.partial_alias;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::BasicAA;
+    use crate::tbaa::TypeBasedAA;
+    use oraql_ir::builder::FunctionBuilder;
+    use oraql_ir::{Module, TbaaTag, Ty, Value};
+
+    fn sample() -> Module {
+        let mut m = Module::new("t");
+        let int = m.tbaa.add("int", TbaaTag::ROOT);
+        let dbl = m.tbaa.add("double", TbaaTag::ROOT);
+        let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::Ptr, Ty::Ptr], None);
+        let x = b.alloca(16, "x");
+        let y = b.alloca(16, "y");
+        b.store_tbaa(Ty::I64, Value::ConstInt(1), x, int);
+        b.store_tbaa(Ty::F64, Value::const_f64(1.0), y, dbl);
+        b.store_tbaa(Ty::I64, Value::ConstInt(2), b.arg(0), int);
+        b.store_tbaa(Ty::F64, Value::const_f64(2.0), b.arg(1), dbl);
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn richer_chains_are_more_definite() {
+        let m = sample();
+        let mut basic_only = AAManager::new();
+        basic_only.add(Box::new(BasicAA::new()));
+        let s1 = evaluate_module(&m, &mut basic_only);
+
+        let mut with_tbaa = AAManager::new();
+        with_tbaa.add(Box::new(BasicAA::new()));
+        with_tbaa.add(Box::new(TypeBasedAA::new()));
+        let s2 = evaluate_module(&m, &mut with_tbaa);
+
+        assert_eq!(s1.total(), s2.total());
+        // arg0 vs arg1 is may for BasicAA alone; TBAA separates the
+        // int/double accesses.
+        assert!(s2.definite_percent() > s1.definite_percent());
+        assert!(s2.no_alias > s1.no_alias);
+    }
+
+    #[test]
+    fn empty_function_is_trivially_definite() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "f", vec![], None);
+        b.ret(None);
+        let id = b.finish();
+        let mut aa = AAManager::new();
+        let s = evaluate_function(&m, id, &mut aa);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.definite_percent(), 100.0);
+    }
+
+    #[test]
+    fn pair_count_is_n_choose_2() {
+        let m = sample();
+        let mut aa = AAManager::new();
+        let s = evaluate_function(&m, oraql_ir::FunctionId(0), &mut aa);
+        // 4 accesses -> 6 pairs.
+        assert_eq!(s.total(), 6);
+    }
+}

@@ -1,0 +1,401 @@
+//! Shared constraint extraction for the points-to analyses
+//! ([`crate::andersen`] and [`crate::steens`]).
+//!
+//! The module is walked once; every pointer-typed SSA value gets a node,
+//! every alloca/global an abstract object, and the instruction stream is
+//! translated into the four classic constraint forms (address-of, copy,
+//! load, store). Interprocedural flow is modelled by copy constraints
+//! between call arguments and parameters (with the implicit leading
+//! thread-id of parallel regions and kernels accounted for) and between
+//! return values and call results.
+
+use oraql_ir::inst::{CallKind, CastKind, FuncRef, Inst, InstId};
+use oraql_ir::module::{FunctionId, GlobalId, Module};
+use oraql_ir::types::Ty;
+use oraql_ir::value::Value;
+use std::collections::HashMap;
+
+/// An abstract memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsObj {
+    /// A stack allocation, identified by function and instruction.
+    Alloca(FunctionId, InstId),
+    /// A module global.
+    Global(GlobalId),
+    /// The unknown object: externally supplied memory, int-to-ptr
+    /// results, everything we cannot identify.
+    Universal,
+}
+
+/// A node in the points-to graph. `Content(o)` holds the pointer values
+/// stored *inside* object `o` (field-insensitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKey {
+    /// A pointer-typed SSA value in a function.
+    Val(FunctionId, Value),
+    /// A function parameter (same as `Val(f, Arg(i))`, kept distinct for
+    /// clarity when wiring calls).
+    Param(FunctionId, u32),
+    /// The merged return value of a function.
+    Ret(FunctionId),
+    /// The pointer content of an abstract object.
+    Content(AbsObj),
+    /// The node whose points-to set is `{Universal}`.
+    UniversalSrc,
+}
+
+/// Dense node id.
+pub type NodeId = u32;
+/// Dense object id.
+pub type ObjId = u32;
+
+/// One points-to constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// `pts(lhs) ⊇ {obj}`.
+    AddrOf { lhs: NodeId, obj: ObjId },
+    /// `pts(lhs) ⊇ pts(rhs)`.
+    Copy { lhs: NodeId, rhs: NodeId },
+    /// `pts(lhs) ⊇ pts(content(o))` for each `o ∈ pts(ptr)`.
+    Load { lhs: NodeId, ptr: NodeId },
+    /// `pts(content(o)) ⊇ pts(rhs)` for each `o ∈ pts(ptr)`.
+    Store { ptr: NodeId, rhs: NodeId },
+}
+
+/// The extracted constraint system.
+pub struct ConstraintSystem {
+    /// All constraints.
+    pub constraints: Vec<Constraint>,
+    /// Node table: key -> dense id.
+    pub nodes: HashMap<NodeKey, NodeId>,
+    /// Object table: object -> dense id (index into `objects`).
+    pub objects: Vec<AbsObj>,
+    /// Content node of each object, indexed by `ObjId`.
+    pub content_node: Vec<NodeId>,
+    /// Dense id of [`AbsObj::Universal`].
+    pub universal_obj: ObjId,
+    /// Node whose points-to set is exactly `{Universal}`.
+    pub universal_src: NodeId,
+}
+
+impl ConstraintSystem {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up the node of a pointer value in `f`, if one was created
+    /// during extraction (values created later by passes have none).
+    pub fn node_of(&self, f: FunctionId, v: Value) -> Option<NodeId> {
+        match v {
+            // Globals are function-independent.
+            Value::Global(_) => self.nodes.get(&NodeKey::Val(FunctionId(u32::MAX), v)),
+            _ => self.nodes.get(&NodeKey::Val(f, v)),
+        }
+        .copied()
+    }
+}
+
+struct Extractor {
+    sys: ConstraintSystem,
+    obj_ids: HashMap<AbsObj, ObjId>,
+}
+
+impl Extractor {
+    fn node(&mut self, key: NodeKey) -> NodeId {
+        let next = self.sys.nodes.len() as NodeId;
+        *self.sys.nodes.entry(key).or_insert(next)
+    }
+
+    fn obj(&mut self, o: AbsObj) -> ObjId {
+        if let Some(&id) = self.obj_ids.get(&o) {
+            return id;
+        }
+        let id = self.sys.objects.len() as ObjId;
+        self.sys.objects.push(o);
+        self.obj_ids.insert(o, id);
+        let content = self.node(NodeKey::Content(o));
+        self.sys.content_node.push(content);
+        id
+    }
+
+    /// Node of a value used as a pointer operand.
+    fn val_node(&mut self, f: FunctionId, v: Value) -> NodeId {
+        match v {
+            Value::Global(g) => {
+                // One node per global address, shared across functions.
+                let key = NodeKey::Val(FunctionId(u32::MAX), Value::Global(g));
+                let n = self.node(key);
+                let o = self.obj(AbsObj::Global(g));
+                self.sys.constraints.push(Constraint::AddrOf { lhs: n, obj: o });
+                n
+            }
+            Value::ConstInt(_) | Value::ConstFloat(_) | Value::Undef => {
+                // A constant used as a pointer: unknown target.
+                self.sys.universal_src
+            }
+            _ => self.node(NodeKey::Val(f, v)),
+        }
+    }
+}
+
+/// Extracts the points-to constraint system of a whole module.
+pub fn extract(m: &Module) -> ConstraintSystem {
+    let mut ex = Extractor {
+        sys: ConstraintSystem {
+            constraints: Vec::new(),
+            nodes: HashMap::new(),
+            objects: Vec::new(),
+            content_node: Vec::new(),
+            universal_obj: 0,
+            universal_src: 0,
+        },
+        obj_ids: HashMap::new(),
+    };
+    // Seed the universal object and its source node. The universal
+    // object's content points back at the universal object, so loads
+    // through unknown pointers stay unknown.
+    ex.sys.universal_src = ex.node(NodeKey::UniversalSrc);
+    let uobj = ex.obj(AbsObj::Universal);
+    ex.sys.universal_obj = uobj;
+    let usrc = ex.sys.universal_src;
+    ex.sys.constraints.push(Constraint::AddrOf { lhs: usrc, obj: uobj });
+    let ucontent = ex.sys.content_node[uobj as usize];
+    ex.sys
+        .constraints
+        .push(Constraint::AddrOf { lhs: ucontent, obj: uobj });
+
+    // Which functions have internal callers (called directly, as a
+    // parallel region, or as a kernel)? Pointer params of uncalled
+    // ("root") functions are externally supplied: universal.
+    let mut has_caller = vec![false; m.funcs.len()];
+    for f in &m.funcs {
+        for id in f.live_insts() {
+            if let Inst::Call {
+                callee: FuncRef::Internal(c),
+                ..
+            } = f.inst(id)
+            {
+                has_caller[c.0 as usize] = true;
+            }
+        }
+    }
+
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let fid = FunctionId(fi as u32);
+        // Parameters are the same nodes as their Arg values.
+        for (pi, p) in f.params.iter().enumerate() {
+            if p.ty == Ty::Ptr {
+                let pnode = ex.node(NodeKey::Val(fid, Value::Arg(pi as u32)));
+                if !has_caller[fi] {
+                    ex.sys.constraints.push(Constraint::Copy {
+                        lhs: pnode,
+                        rhs: usrc,
+                    });
+                }
+            }
+        }
+
+        for id in f.live_insts() {
+            match f.inst(id) {
+                Inst::Alloca { .. } => {
+                    let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                    let o = ex.obj(AbsObj::Alloca(fid, id));
+                    ex.sys.constraints.push(Constraint::AddrOf { lhs: n, obj: o });
+                }
+                Inst::Gep { base, .. } => {
+                    let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                    let b = ex.val_node(fid, *base);
+                    ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: b });
+                }
+                Inst::Load { ptr, ty, .. } if *ty == Ty::Ptr => {
+                    let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                    let p = ex.val_node(fid, *ptr);
+                    ex.sys.constraints.push(Constraint::Load { lhs: n, ptr: p });
+                }
+                Inst::Store { ptr, value, ty, .. } if *ty == Ty::Ptr => {
+                    let p = ex.val_node(fid, *ptr);
+                    let v = ex.val_node(fid, *value);
+                    ex.sys.constraints.push(Constraint::Store { ptr: p, rhs: v });
+                }
+                Inst::Phi { ty, incoming } if *ty == Ty::Ptr => {
+                    let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                    for (_, v) in incoming {
+                        let s = ex.val_node(fid, *v);
+                        ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: s });
+                    }
+                }
+                Inst::Select { t, f: fv, ty, .. } if *ty == Ty::Ptr => {
+                    let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                    for v in [t, fv] {
+                        let s = ex.val_node(fid, *v);
+                        ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: s });
+                    }
+                }
+                Inst::Cast { kind, val, to } => {
+                    if *to == Ty::Ptr {
+                        let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                        let rhs = match kind {
+                            // int-to-ptr: unknown provenance.
+                            CastKind::IntToPtr => usrc,
+                            _ => ex.val_node(fid, *val),
+                        };
+                        ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs });
+                    }
+                }
+                Inst::Memcpy { dst, src, .. } => {
+                    // `*dst ⊇ *src` via a temporary.
+                    let d = ex.val_node(fid, *dst);
+                    let s = ex.val_node(fid, *src);
+                    let tmp = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                    ex.sys.constraints.push(Constraint::Load { lhs: tmp, ptr: s });
+                    ex.sys.constraints.push(Constraint::Store { ptr: d, rhs: tmp });
+                }
+                Inst::Call {
+                    callee,
+                    args,
+                    ret,
+                    kind,
+                } => match callee {
+                    FuncRef::Internal(c) => {
+                        let callee_f = m.func(*c);
+                        let shift = match kind {
+                            CallKind::Plain => 0usize,
+                            _ => 1usize,
+                        };
+                        for (ai, a) in args.iter().enumerate() {
+                            let pidx = ai + shift;
+                            if callee_f
+                                .params
+                                .get(pidx)
+                                .map(|p| p.ty == Ty::Ptr)
+                                .unwrap_or(false)
+                            {
+                                let pn = ex.node(NodeKey::Val(*c, Value::Arg(pidx as u32)));
+                                let an = ex.val_node(fid, *a);
+                                ex.sys
+                                    .constraints
+                                    .push(Constraint::Copy { lhs: pn, rhs: an });
+                            }
+                        }
+                        if *ret == Some(Ty::Ptr) {
+                            let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                            let rn = ex.node(NodeKey::Ret(*c));
+                            ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: rn });
+                        }
+                    }
+                    FuncRef::External(_) => {
+                        // Externals may retain/return unknown pointers.
+                        for a in args {
+                            if matches!(a, Value::Inst(_) | Value::Arg(_) | Value::Global(_)) {
+                                // Only pointer-ish operands matter; since
+                                // we cannot see the external's behaviour,
+                                // flood the contents of whatever the
+                                // argument may point at.
+                                let an = ex.val_node(fid, *a);
+                                ex.sys
+                                    .constraints
+                                    .push(Constraint::Store { ptr: an, rhs: usrc });
+                            }
+                        }
+                        if *ret == Some(Ty::Ptr) {
+                            let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                            ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: usrc });
+                        }
+                    }
+                },
+                Inst::Ret { val: Some(v) } if f.ret == Some(Ty::Ptr) => {
+                    let rn = ex.node(NodeKey::Ret(fid));
+                    let vn = ex.val_node(fid, *v);
+                    ex.sys.constraints.push(Constraint::Copy { lhs: rn, rhs: vn });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    ex.sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oraql_ir::builder::FunctionBuilder;
+
+    #[test]
+    fn extracts_basic_constraints() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+        let a = b.alloca(8, "slot");
+        let x = b.alloca(64, "x");
+        b.store(Ty::Ptr, x, a); // *slot = x
+        let l = b.load(Ty::Ptr, a); // l = *slot
+        b.store(Ty::I64, Value::ConstInt(1), l);
+        b.ret(None);
+        b.finish();
+        let sys = extract(&m);
+        // Two allocas + universal object.
+        assert_eq!(sys.objects.len(), 3);
+        let addrs = sys
+            .constraints
+            .iter()
+            .filter(|c| matches!(c, Constraint::AddrOf { .. }))
+            .count();
+        // Universal (2 seeds) + two allocas.
+        assert_eq!(addrs, 4);
+        assert!(sys
+            .constraints
+            .iter()
+            .any(|c| matches!(c, Constraint::Load { .. })));
+        assert!(sys
+            .constraints
+            .iter()
+            .any(|c| matches!(c, Constraint::Store { .. })));
+    }
+
+    #[test]
+    fn root_function_ptr_params_are_universal() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "root", vec![Ty::Ptr], None);
+        b.store(Ty::I64, Value::ConstInt(0), b.arg(0));
+        b.ret(None);
+        b.finish();
+        let sys = extract(&m);
+        let pnode = sys.node_of(FunctionId(0), Value::Arg(0)).unwrap();
+        assert!(sys.constraints.iter().any(|c| matches!(
+            c,
+            Constraint::Copy { lhs, rhs } if *lhs == pnode && *rhs == sys.universal_src
+        )));
+    }
+
+    #[test]
+    fn call_wires_args_to_params() {
+        let mut m = Module::new("t");
+        let callee = oraql_ir::builder::declare_function(&mut m, "callee", vec![Ty::Ptr], None);
+        {
+            let f = m.func_mut(callee);
+            f.push_inst(
+                oraql_ir::module::Function::ENTRY,
+                Inst::Ret { val: None },
+                None,
+            );
+        }
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+        let x = b.alloca(8, "x");
+        b.call(callee, vec![x], None);
+        b.ret(None);
+        let main = b.finish();
+        let sys = extract(&m);
+        let arg_node = sys.node_of(main, x).unwrap();
+        let param_node = sys.node_of(callee, Value::Arg(0)).unwrap();
+        assert!(sys.constraints.iter().any(|c| matches!(
+            c,
+            Constraint::Copy { lhs, rhs } if *lhs == param_node && *rhs == arg_node
+        )));
+        // callee has a caller, so its param is not universal.
+        assert!(!sys.constraints.iter().any(|c| matches!(
+            c,
+            Constraint::Copy { lhs, rhs } if *lhs == param_node && *rhs == sys.universal_src
+        )));
+    }
+}

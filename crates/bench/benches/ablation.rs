@@ -1,0 +1,225 @@
+//! Ablation studies of the design choices (not a paper figure, but the
+//! analyses the paper's use cases 2 and 3 call for):
+//!
+//! 1. **Chain contribution** — block each conservative analysis (§VIII)
+//!    and measure how many queries fall through to the last resort and
+//!    how many no-alias answers are lost: which analysis carries the
+//!    chain?
+//! 2. **CFL analyses** — LLVM 14 ships Steensgaard/Andersen disabled by
+//!    default; how many ORAQL queries would they absorb?
+//! 3. **Bisection strategy** — chunked vs frequency-space probing
+//!    effort on the configurations with dangerous queries.
+//! 4. **Optimism kind** — §VIII: does answering `MustAlias` instead of
+//!    `NoAlias` still verify, and what does it buy?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oraql::compile::{compile, CompileOptions, Scope};
+use oraql::pass::OptimismKind;
+use oraql::{Decisions, Driver, DriverOptions, Strategy};
+use oraql_bench::print_table;
+use oraql_vm::Interpreter;
+use oraql_workloads::find_case;
+
+fn chain_contribution() {
+    let configs = ["testsnap", "quicksilver", "lulesh"];
+    let analyses = ["BasicAA", "ScopedNoAliasAA", "TypeBasedAA", "GlobalsAA"];
+    let mut rows = Vec::new();
+    for name in configs {
+        let case = find_case(name).unwrap();
+        let base = compile(
+            &case.build,
+            &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
+        );
+        let base_unique = base.oraql.as_ref().unwrap().lock().stats.unique();
+        for a in analyses {
+            let mut opts =
+                CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
+            opts.suppress = vec![a.to_string()];
+            let c = compile(&case.build, &opts);
+            let unique = c.oraql.as_ref().unwrap().lock().stats.unique();
+            rows.push(vec![
+                name.to_string(),
+                a.to_string(),
+                base_unique.to_string(),
+                unique.to_string(),
+                format!("{:+}", unique as i64 - base_unique as i64),
+                base.no_alias_total.to_string(),
+                c.no_alias_total.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation 1 — blocking one conservative analysis (§VIII): last-resort queries and lost no-alias answers",
+        &[
+            "config",
+            "blocked analysis",
+            "ORAQL uniq (full chain)",
+            "ORAQL uniq (blocked)",
+            "Δ uniq",
+            "no-alias (full)",
+            "no-alias (blocked)",
+        ],
+        &rows,
+    );
+}
+
+fn cfl_ablation() {
+    let mut rows = Vec::new();
+    for name in ["testsnap", "xsbench", "quicksilver", "minigmg_ompif"] {
+        let case = find_case(name).unwrap();
+        let without = compile(
+            &case.build,
+            &CompileOptions::with_oraql(Decisions::all_pessimistic(), case.scope.clone()),
+        );
+        let mut opts =
+            CompileOptions::with_oraql(Decisions::all_pessimistic(), case.scope.clone());
+        opts.use_cfl = true;
+        let with = compile(&case.build, &opts);
+        let wu = without.oraql.as_ref().unwrap().lock().stats.unique();
+        let cu = with.oraql.as_ref().unwrap().lock().stats.unique();
+        rows.push(vec![
+            name.to_string(),
+            wu.to_string(),
+            cu.to_string(),
+            format!("{:+}", cu as i64 - wu as i64),
+            with.stats
+                .get("alias analysis", "SteensgaardAA.answered")
+                .to_string(),
+            with.stats
+                .get("alias analysis", "AndersenAA.answered")
+                .to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 2 — adding the CFL points-to analyses to the chain (use case 3: analysis selection)",
+        &[
+            "config",
+            "ORAQL uniq (default chain)",
+            "ORAQL uniq (+CFL)",
+            "Δ",
+            "Steensgaard answered",
+            "Andersen answered",
+        ],
+        &rows,
+    );
+}
+
+fn strategy_ablation() {
+    let mut rows = Vec::new();
+    for name in ["testsnap_omp", "xsbench", "lulesh", "lulesh_mpi"] {
+        let mut cells = vec![name.to_string()];
+        for strategy in [Strategy::Chunked, Strategy::FrequencySpace] {
+            let case = find_case(name).unwrap();
+            let r = Driver::run(
+                &case,
+                DriverOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            cells.push(format!(
+                "{} tests / {} cached / {} deduced -> {} pess",
+                r.effort.tests_run,
+                r.effort.tests_cached,
+                r.effort.tests_deduced,
+                r.oraql.unique_pessimistic
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Ablation 3 — probing strategy on real configurations",
+        &["config", "chunked", "frequency-space"],
+        &rows,
+    );
+}
+
+fn optimism_ablation() {
+    let mut rows = Vec::new();
+    for name in ["testsnap", "xsbench", "minigmg_ompif", "quicksilver"] {
+        let mut case = find_case(name).unwrap();
+        case.optimism = OptimismKind::MustAlias;
+        let r = Driver::run(&case, DriverOptions::default()).unwrap();
+        let base = compile(&case.build, &CompileOptions::baseline());
+        let base_run = Interpreter::run_main(&base.module).unwrap();
+        rows.push(vec![
+            name.to_string(),
+            r.fully_optimistic.to_string(),
+            r.oraql.unique_pessimistic.to_string(),
+            base_run.stats.total_insts().to_string(),
+            r.final_run.stats.total_insts().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 4 — optimistic MustAlias responses (§VIII future work)",
+        &[
+            "config",
+            "fully optimistic",
+            "pess uniq",
+            "insts (baseline)",
+            "insts (must-optimism)",
+        ],
+        &rows,
+    );
+}
+
+/// `-aa-eval`-style all-pairs precision per chain configuration.
+fn aa_eval_precision() {
+    use oraql_analysis::aaeval::evaluate_module;
+    let mut rows = Vec::new();
+    for name in ["testsnap", "xsbench", "quicksilver", "lulesh"] {
+        let case = find_case(name).unwrap();
+        let m = (case.build)();
+        let mut cells = vec![name.to_string()];
+        for use_cfl in [false, true] {
+            let mut aa = oraql::compile::conservative_chain(&m, use_cfl);
+            let s = evaluate_module(&m, &mut aa);
+            cells.push(format!(
+                "{:.1}% of {} pairs",
+                s.definite_percent(),
+                s.total()
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Ablation 5 — all-pairs precision (`-aa-eval` analogue): definite answers per chain",
+        &["config", "default chain", "default + CFL"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    chain_contribution();
+    cfl_ablation();
+    strategy_ablation();
+    optimism_ablation();
+    aa_eval_precision();
+
+    // Criterion: suppression cost (the chain still runs, answers are
+    // discarded) vs the normal chain.
+    let case = find_case("testsnap").unwrap();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(20);
+    g.bench_function("compile/full-chain", |b| {
+        b.iter(|| {
+            compile(
+                &case.build,
+                &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
+            )
+        })
+    });
+    g.bench_function("compile/basicaa-blocked", |b| {
+        b.iter(|| {
+            let mut opts =
+                CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
+            opts.suppress = vec!["BasicAA".into()];
+            compile(&case.build, &opts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Regenerates the paper's **Fig. 2** phenomenon: recursive probing
+//! with the deduction rule, and the observation that *clustered*
+//! dangerous queries favour the chunked strategy while the
+//! frequency-space strategy must refine almost to singletons.
+//!
+//! Prints tests-run counts for chunked vs frequency-space vs a naive
+//! per-query scan over synthetic dangerous-query layouts, then
+//! Criterion-times both strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oraql::sequence::Decisions;
+use oraql::strategy::{chunked, frequency_space, ProbeOutcome, Prober};
+use oraql_bench::print_table;
+
+/// Synthetic prober over a fixed dangerous-index set.
+struct Synthetic {
+    dangerous: Vec<u64>,
+    n: u64,
+    tests: u64,
+    deduced: u64,
+}
+
+impl Synthetic {
+    fn new(dangerous: Vec<u64>, n: u64) -> Self {
+        Synthetic {
+            dangerous,
+            n,
+            tests: 0,
+            deduced: 0,
+        }
+    }
+}
+
+impl Prober for Synthetic {
+    fn probe(&mut self, d: &Decisions) -> ProbeOutcome {
+        self.tests += 1;
+        ProbeOutcome {
+            pass: self.dangerous.iter().all(|&i| !d.decide(i)),
+            unique: self.n,
+        }
+    }
+    fn budget_exceeded(&self) -> bool {
+        false
+    }
+    fn note_deduced(&mut self) {
+        self.deduced += 1;
+    }
+}
+
+/// A naive scan: test each query individually (the strategy the paper
+/// argues against when most queries are optimistic).
+fn naive_scan(s: &mut Synthetic) -> Decisions {
+    let mut seq = Vec::new();
+    for i in 0..s.n {
+        let mut attempt = seq.clone();
+        attempt.push(true);
+        let mut d = Decisions::Explicit {
+            seq: attempt.clone(),
+            tail: false,
+        };
+        let pass = s.probe(&d).pass;
+        if !pass {
+            attempt[i as usize] = false;
+        }
+        seq = attempt;
+        d = Decisions::Explicit {
+            seq: seq.clone(),
+            tail: false,
+        };
+        let _ = d;
+    }
+    Decisions::Explicit { seq, tail: true }
+}
+
+fn layouts() -> Vec<(&'static str, Vec<u64>, u64)> {
+    vec![
+        ("no dangers", vec![], 256),
+        ("1 danger", vec![101], 256),
+        ("clustered (8 adjacent)", (96..104).collect(), 256),
+        ("scattered (8 spread)", vec![3, 40, 77, 110, 150, 190, 220, 250], 256),
+        ("dense cluster (32 adjacent)", (100..132).collect(), 512),
+    ]
+}
+
+fn print_fig2() {
+    let mut rows = Vec::new();
+    for (name, dangerous, n) in layouts() {
+        let mut sc = Synthetic::new(dangerous.clone(), n);
+        let dc = chunked(&mut sc);
+        for &i in &dangerous {
+            assert!(!dc.decide(i));
+        }
+        let mut sf = Synthetic::new(dangerous.clone(), n);
+        let df = frequency_space(&mut sf);
+        for &i in &dangerous {
+            assert!(!df.decide(i));
+        }
+        let mut sn = Synthetic::new(dangerous.clone(), n);
+        let dn = naive_scan(&mut sn);
+        for &i in &dangerous {
+            assert!(!dn.decide(i));
+        }
+        rows.push(vec![
+            name.to_string(),
+            n.to_string(),
+            dangerous.len().to_string(),
+            format!("{} (+{} deduced)", sc.tests, sc.deduced),
+            format!("{} (+{} deduced)", sf.tests, sf.deduced),
+            sn.tests.to_string(),
+            dc.pessimistic_count(n).to_string(),
+            df.pessimistic_count(n).to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 2 — probing effort by strategy and dangerous-query layout",
+        &[
+            "layout",
+            "queries",
+            "dangerous",
+            "chunked tests",
+            "freq-space tests",
+            "naive tests",
+            "chunked pess",
+            "freq pess",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2();
+    let mut g = c.benchmark_group("strategy");
+    g.bench_function("chunked/clustered-8-of-256", |b| {
+        b.iter(|| {
+            let mut s = Synthetic::new((96..104).collect(), 256);
+            chunked(&mut s)
+        })
+    });
+    g.bench_function("frequency/clustered-8-of-256", |b| {
+        b.iter(|| {
+            let mut s = Synthetic::new((96..104).collect(), 256);
+            frequency_space(&mut s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates the paper's **Fig. 7**: the static properties
+//! (`# registers`, `# bytes stack frame`) of the TestSNAP Kokkos/CUDA
+//! device kernels, original vs ORAQL compilation — only the kernels
+//! whose properties *changed* are listed, as in the paper (7 of 44).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oraql_bench::{print_table, run_config};
+use oraql_ir::meta::Target;
+use oraql_vm::machine::lower_function;
+
+fn print_fig7() {
+    let (_, r) = run_config("testsnap_kokkos");
+    // Baseline module: recompile without ORAQL.
+    let case = oraql_workloads::find_case("testsnap_kokkos").unwrap();
+    let base = oraql::compile::compile(&case.build, &oraql::compile::CompileOptions::baseline());
+
+    let mut rows = Vec::new();
+    let mut total = 0;
+    let mut changed = 0;
+    for fid in base.module.funcs_for_target(Target::Device) {
+        let b = lower_function(&base.module, fid, None);
+        let o = lower_function(&r.final_module, fid, None);
+        total += 1;
+        if b.registers == o.registers && b.stack_bytes == o.stack_bytes {
+            continue;
+        }
+        changed += 1;
+        let dreg = if b.registers == 0 {
+            "0%".into()
+        } else {
+            format!(
+                "{:+.1}%",
+                (o.registers as f64 - b.registers as f64) / b.registers as f64 * 100.0
+            )
+        };
+        let dstk = if b.stack_bytes == 0 {
+            if o.stack_bytes == 0 { "0%".into() } else { "new".into() }
+        } else {
+            format!(
+                "{:+.1}%",
+                (o.stack_bytes as f64 - b.stack_bytes as f64) / b.stack_bytes as f64 * 100.0
+            )
+        };
+        rows.push(vec![
+            changed.to_string(),
+            b.name.clone(),
+            b.registers.to_string(),
+            b.stack_bytes.to_string(),
+            o.registers.to_string(),
+            o.stack_bytes.to_string(),
+            dreg,
+            dstk,
+        ]);
+    }
+    print_table(
+        "Fig. 7 — TestSNAP Kokkos/CUDA device kernels with changed static properties",
+        &[
+            "Id",
+            "kernel",
+            "regs (orig)",
+            "stack B (orig)",
+            "regs (ORAQL)",
+            "stack B (ORAQL)",
+            "Δ regs",
+            "Δ stack",
+        ],
+        &rows,
+    );
+    println!("({changed} of {total} kernels changed; ORAQL answered all device queries optimistically: {})",
+             r.fully_optimistic);
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig7();
+
+    let case = oraql_workloads::find_case("testsnap_kokkos").unwrap();
+    let m = (case.build)();
+    let kernels: Vec<_> = m.funcs_for_target(Target::Device).collect();
+    let mut g = c.benchmark_group("machine");
+    g.bench_function("linear-scan/44-kernels", |b| {
+        b.iter(|| {
+            kernels
+                .iter()
+                .map(|&fid| lower_function(&m, fid, None).machine_insts)
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

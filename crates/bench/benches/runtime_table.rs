@@ -1,0 +1,90 @@
+//! Regenerates the paper's §V per-benchmark *runtime* observations:
+//! executed instructions and modelled cycles for the original vs the
+//! final (almost-perfect-alias-information) executable of every
+//! configuration.
+//!
+//! Expected shape (paper §V / §VI): most configurations barely move;
+//! TestSNAP-seq gains a little; TestSNAP-OpenMP executes notably fewer
+//! instructions with little wall-clock change; GridMini's device
+//! kernels get *slower*; Quicksilver and MiniGMG-ompif speed up;
+//! LULESH is flat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oraql_bench::{print_table, run_all_configs};
+use oraql_vm::Interpreter;
+
+fn fmt_delta(before: u64, after: u64) -> String {
+    if before == 0 {
+        return "-".into();
+    }
+    format!(
+        "{:+.1}%",
+        (after as f64 - before as f64) / before as f64 * 100.0
+    )
+}
+
+fn print_runtime_table() {
+    let results = run_all_configs();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(info, r)| {
+            let b = &r.baseline_run.stats;
+            let f = &r.final_run.stats;
+            vec![
+                info.name.to_string(),
+                b.total_insts().to_string(),
+                f.total_insts().to_string(),
+                fmt_delta(b.total_insts(), f.total_insts()),
+                b.host_cycles.to_string(),
+                f.host_cycles.to_string(),
+                fmt_delta(b.host_cycles, f.host_cycles),
+                b.device_cycles.to_string(),
+                f.device_cycles.to_string(),
+                fmt_delta(b.device_cycles, f.device_cycles),
+            ]
+        })
+        .collect();
+    print_table(
+        "§V runtime observations — executed instructions and modelled cycles, original vs ORAQL",
+        &[
+            "config",
+            "insts orig",
+            "insts ORAQL",
+            "Δ insts",
+            "host cyc orig",
+            "host cyc ORAQL",
+            "Δ host",
+            "dev cyc orig",
+            "dev cyc ORAQL",
+            "Δ dev",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_runtime_table();
+
+    // Criterion: wall-clock of interpreting original vs optimized
+    // modules (the simulator-level analogue of the paper's timings).
+    let case = oraql_workloads::find_case("minigmg_ompif").unwrap();
+    let base = oraql::compile::compile(&case.build, &oraql::compile::CompileOptions::baseline());
+    let opt = oraql::compile::compile(
+        &case.build,
+        &oraql::compile::CompileOptions::with_oraql(
+            oraql::Decisions::all_optimistic(),
+            case.scope.clone(),
+        ),
+    );
+    let mut g = c.benchmark_group("interp");
+    g.bench_function("minigmg_ompif/original", |b| {
+        b.iter(|| Interpreter::run_main(&base.module).unwrap())
+    });
+    g.bench_function("minigmg_ompif/oraql", |b| {
+        b.iter(|| Interpreter::run_main(&opt.module).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Scaling study: how does the probing effort grow with the number of
+//! dangerous queries?
+//!
+//! The paper argues the recursive strategy is superior to testing each
+//! query individually when "most queries can be answered optimistically"
+//! — i.e. the cost should scale with `P·log N` (P dangerous queries of
+//! N total), not with `N`. This harness sweeps the planted hazard count
+//! of the LULESH generator and reports tests run per strategy, plus the
+//! naive per-query bound for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oraql::{Driver, DriverOptions, Strategy, TestCase};
+use oraql_bench::print_table;
+use oraql_workloads::lulesh::{build_with, Variant};
+use oraql_workloads::toolkit::standard_ignore_patterns;
+
+fn case_with(hazards: i64) -> TestCase {
+    let mut c = TestCase::new(
+        &format!("lulesh-h{hazards}"),
+        move || build_with(Variant::Seq, hazards),
+    );
+    c.scope = oraql::compile::Scope::files(vec!["lulesh.cc".into()]);
+    c.ignore_patterns = standard_ignore_patterns();
+    c
+}
+
+fn scaling_table() {
+    let mut rows = Vec::new();
+    for hazards in [0i64, 1, 2, 4, 8, 16, 24] {
+        let mut cells = vec![hazards.to_string()];
+        let mut total_queries = 0;
+        for strategy in [Strategy::Chunked, Strategy::FrequencySpace] {
+            let case = case_with(hazards);
+            let r = Driver::run(
+                &case,
+                DriverOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                r.oraql.unique_pessimistic >= hazards as u64,
+                hazards > 0 || r.oraql.unique_pessimistic == 0
+            );
+            total_queries = r.oraql.unique();
+            cells.push(format!(
+                "{} tests ({} pess)",
+                r.effort.tests_run, r.oraql.unique_pessimistic
+            ));
+        }
+        cells.insert(1, total_queries.to_string());
+        // Naive per-query testing would need one test per unique query.
+        cells.push(format!("{total_queries} tests"));
+        rows.push(cells);
+    }
+    print_table(
+        "Scaling — probing effort vs planted hazards (LULESH generator)",
+        &[
+            "hazards",
+            "unique queries",
+            "chunked",
+            "frequency-space",
+            "naive bound",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    scaling_table();
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    for hazards in [1i64, 8] {
+        g.bench_function(format!("driver/lulesh-h{hazards}"), |b| {
+            b.iter(|| {
+                let case = case_with(hazards);
+                Driver::run(&case, DriverOptions::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

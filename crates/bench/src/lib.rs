@@ -1,0 +1,55 @@
+//! Shared support for the benchmark harnesses that regenerate the
+//! paper's tables and figures.
+//!
+//! Each bench target (`cargo bench -p oraql-bench --bench figN_...`)
+//! prints the paper-shaped rows first, then runs a few Criterion
+//! measurements of the machinery it exercised. Measured numbers are
+//! recorded in `EXPERIMENTS.md`.
+
+use oraql::{Driver, DriverOptions, DriverResult};
+use oraql_workloads::{find_case, find_info, CaseInfo, CASE_INFOS};
+
+/// Runs the full ORAQL workflow for one configuration.
+pub fn run_config(name: &str) -> (CaseInfo, DriverResult) {
+    let case = find_case(name).unwrap_or_else(|| panic!("unknown config {name}"));
+    let info = find_info(name).expect("info");
+    let r = Driver::run(&case, DriverOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    (info, r)
+}
+
+/// Runs all sixteen configurations (sequentially; each driver is
+/// internally deterministic).
+pub fn run_all_configs() -> Vec<(CaseInfo, DriverResult)> {
+    CASE_INFOS.iter().map(|i| run_config(i.name)).collect()
+}
+
+/// Formats a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Percentage delta, rendered like the paper (`+115.7%`).
+pub fn pct(before: u64, after: u64) -> String {
+    if before == 0 {
+        return "n/a".into();
+    }
+    let d = (after as f64 - before as f64) / before as f64 * 100.0;
+    format!("{d:+.1}%")
+}
+
+/// Prints a header followed by rows, with a separator line.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!(
+        "{}",
+        row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for r in rows {
+        println!("{}", row(r));
+    }
+}

@@ -1,0 +1,172 @@
+//! Benchmark configuration files for the CLI driver (the paper requires
+//! "a configuration file that could be automatically generated from
+//! common build, test, and profiling steps").
+//!
+//! Line-oriented `key = value` format; `#` starts a comment; repeatable
+//! keys accumulate. Example:
+//!
+//! ```text
+//! # TestSNAP, OpenMP configuration
+//! benchmark = testsnap_omp
+//! files = sna.cpp
+//! strategy = chunked
+//! ignore = Runtime: <float> cycles
+//! ignore = grind time <float> ms
+//! fuel = 500000000
+//! max_tests = 4096
+//! ```
+
+use crate::compile::Scope;
+use crate::strategy::Strategy;
+
+/// Parsed configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Benchmark name (resolved against a program registry by the CLI).
+    pub benchmark: String,
+    /// ORAQL scope.
+    pub scope: Scope,
+    /// Ignore patterns for the verifier.
+    pub ignore: Vec<String>,
+    /// Extra reference outputs (inline, `\n`-joined via repeated keys).
+    pub references: Vec<String>,
+    /// Bisection strategy.
+    pub strategy: Strategy,
+    /// VM fuel per test.
+    pub fuel: u64,
+    /// Test budget.
+    pub max_tests: u64,
+    /// Register the CFL points-to analyses.
+    pub use_cfl: bool,
+    /// Dump report after the run.
+    pub dump: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            benchmark: String::new(),
+            scope: Scope::everything(),
+            ignore: Vec::new(),
+            references: Vec::new(),
+            strategy: Strategy::Chunked,
+            fuel: 500_000_000,
+            max_tests: 4_096,
+            use_cfl: false,
+            dump: false,
+        }
+    }
+}
+
+impl Config {
+    /// Parses a configuration file's contents.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        for (ln, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "benchmark" => cfg.benchmark = value.to_owned(),
+                "files" => {
+                    let files: Vec<String> =
+                        value.split(',').map(|s| s.trim().to_owned()).collect();
+                    cfg.scope.files = Some(files);
+                }
+                "target" => cfg.scope.target = Some(value.to_owned()),
+                "ignore" => cfg.ignore.push(value.to_owned()),
+                "reference" => cfg.references.push(value.to_owned()),
+                "strategy" => cfg.strategy = Strategy::parse(value)?,
+                "fuel" => {
+                    cfg.fuel = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad fuel: {e}", ln + 1))?
+                }
+                "max_tests" => {
+                    cfg.max_tests = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad max_tests: {e}", ln + 1))?
+                }
+                "use_cfl" => {
+                    cfg.use_cfl = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad use_cfl: {e}", ln + 1))?
+                }
+                "dump" => {
+                    cfg.dump = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad dump: {e}", ln + 1))?
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
+            }
+        }
+        if cfg.benchmark.is_empty() {
+            return Err("missing `benchmark = <name>`".into());
+        }
+        Ok(cfg)
+    }
+
+    /// Loads and parses a configuration file.
+    pub fn load(path: &str) -> Result<Config, String> {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::parse(&src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            "# comment\n\
+             benchmark = testsnap_omp\n\
+             files = sna.cpp, util.cpp\n\
+             target = host\n\
+             strategy = frequency\n\
+             ignore = Runtime: <float> cycles\n\
+             ignore = rank <int> done\n\
+             fuel = 1000\n\
+             max_tests = 7\n\
+             use_cfl = true\n\
+             dump = true\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.benchmark, "testsnap_omp");
+        assert_eq!(
+            cfg.scope.files,
+            Some(vec!["sna.cpp".to_owned(), "util.cpp".to_owned()])
+        );
+        assert_eq!(cfg.scope.target, Some("host".to_owned()));
+        assert_eq!(cfg.strategy, Strategy::FrequencySpace);
+        assert_eq!(cfg.ignore.len(), 2);
+        assert_eq!(cfg.fuel, 1000);
+        assert_eq!(cfg.max_tests, 7);
+        assert!(cfg.use_cfl);
+        assert!(cfg.dump);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cfg = Config::parse("benchmark = x\n").unwrap();
+        assert_eq!(cfg.strategy, Strategy::Chunked);
+        assert_eq!(cfg.scope, Scope::everything());
+        assert!(!cfg.use_cfl);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Config::parse("").is_err()); // no benchmark
+        assert!(Config::parse("benchmark = x\nwhat = y\n").is_err());
+        assert!(Config::parse("benchmark = x\nfuel = lots\n").is_err());
+        assert!(Config::parse("benchmark = x\nnonsense line\n").is_err());
+    }
+}

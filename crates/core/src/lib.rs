@@ -1,0 +1,46 @@
+//! # oraql — Optimistic Responses to Alias Queries
+//!
+//! The paper's primary contribution: a *last-resort* alias analysis that
+//! answers the queries no conservative analysis could resolve according
+//! to a predetermined decision sequence, plus the probing driver and
+//! verification harness that search for a locally maximal set of
+//! queries answerable "no-alias" without changing program output.
+//!
+//! Components (paper §IV):
+//!
+//! * [`pass::OraqlAA`] — the alias-analysis pass (§IV-A): consumes a
+//!   0/1 decision sequence, caches decisions per unordered pointer pair
+//!   (location sizes ignored), answers optimistically past the end of
+//!   the sequence, reports its unique-query count through the statistics
+//!   interface, and can be restricted to source files and compilation
+//!   targets (§IV-E).
+//! * [`driver::Driver`] — the probing driver (§IV-B): baseline compile,
+//!   full-optimism fast path, recursive bisection with the *chunked*
+//!   and *frequency-space* strategies ([`strategy`]), an
+//!   executable-hash test cache and the Fig. 2 deduction rule.
+//! * [`verify::Verifier`] — the verification script (§IV-C): compares
+//!   program output against one or more references, ignoring volatile
+//!   lines via [`textpat`] patterns.
+//! * [`report`] — static impact identification (§IV-D): Fig. 3-style
+//!   dumps of (non-)cached optimistic/pessimistic queries with source
+//!   locations and the issuing pass.
+//! * [`mod@compile`] — the "compiler": conservative AA chain + ORAQL last,
+//!   the standard pipeline from `oraql-passes`, machine statistics.
+//! * [`config`] — benchmark description files for the CLI driver.
+
+pub mod compile;
+pub mod config;
+pub mod driver;
+pub mod pass;
+pub mod report;
+pub mod sequence;
+pub mod strategy;
+pub mod textpat;
+pub mod verify;
+
+pub use compile::{compile, CompileOptions, Compiled, Scope};
+pub use driver::{Driver, DriverOptions, DriverResult, TestCase};
+pub use pass::{OraqlAA, OraqlShared, OraqlStats};
+pub use sequence::Decisions;
+pub use strategy::Strategy;
+pub use verify::Verifier;

@@ -1,0 +1,178 @@
+//! A miniature text-pattern matcher used by the verification harness to
+//! ignore volatile parts of program output (the paper uses regular
+//! expressions for this; `regex` is outside our dependency budget and
+//! the verification needs only these forms).
+//!
+//! Pattern syntax (matched against one whole line):
+//! * literal characters match themselves,
+//! * `<int>` matches an optionally-signed decimal integer,
+//! * `<float>` matches a decimal number with optional sign, fraction
+//!   and exponent,
+//! * `<any>` matches any (possibly empty) run of characters, lazily,
+//! * `<word>` matches a maximal run of non-space characters.
+
+/// A parsed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    parts: Vec<Part>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Part {
+    Lit(String),
+    Int,
+    Float,
+    Any,
+    Word,
+}
+
+impl Pattern {
+    /// Parses a pattern string.
+    pub fn parse(src: &str) -> Pattern {
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        let mut rest = src;
+        while !rest.is_empty() {
+            let matched = [
+                ("<int>", Part::Int),
+                ("<float>", Part::Float),
+                ("<any>", Part::Any),
+                ("<word>", Part::Word),
+            ]
+            .into_iter()
+            .find(|(tag, _)| rest.starts_with(tag));
+            match matched {
+                Some((tag, part)) => {
+                    if !lit.is_empty() {
+                        parts.push(Part::Lit(std::mem::take(&mut lit)));
+                    }
+                    parts.push(part);
+                    rest = &rest[tag.len()..];
+                }
+                None => {
+                    let mut chars = rest.chars();
+                    lit.push(chars.next().unwrap());
+                    rest = chars.as_str();
+                }
+            }
+        }
+        if !lit.is_empty() {
+            parts.push(Part::Lit(lit));
+        }
+        Pattern { parts }
+    }
+
+    /// Does the whole `line` match this pattern?
+    pub fn matches(&self, line: &str) -> bool {
+        matches_from(&self.parts, line)
+    }
+}
+
+fn eat_int(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if i < b.len() && (b[i] == b'-' || b[i] == b'+') {
+        i += 1;
+    }
+    let digits_start = i;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    (i > digits_start).then_some(i)
+}
+
+fn eat_float(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut i = eat_int(s)?;
+    if i < b.len() && b[i] == b'.' {
+        i += 1;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        if let Some(n) = eat_int(&s[i + 1..]) {
+            i += 1 + n;
+        }
+    }
+    Some(i)
+}
+
+fn matches_from(parts: &[Part], s: &str) -> bool {
+    match parts.split_first() {
+        None => s.is_empty(),
+        Some((Part::Lit(l), rest)) => s
+            .strip_prefix(l.as_str())
+            .map(|tail| matches_from(rest, tail))
+            .unwrap_or(false),
+        Some((Part::Int, rest)) => eat_int(s)
+            .map(|n| matches_from(rest, &s[n..]))
+            .unwrap_or(false),
+        Some((Part::Float, rest)) => eat_float(s)
+            .map(|n| matches_from(rest, &s[n..]))
+            .unwrap_or(false),
+        Some((Part::Word, rest)) => {
+            let n = s.find(|c: char| c.is_whitespace()).unwrap_or(s.len());
+            n > 0 && matches_from(rest, &s[n..])
+        }
+        Some((Part::Any, rest)) => {
+            // Lazy: try every split point.
+            (0..=s.len())
+                .filter(|&i| s.is_char_boundary(i))
+                .any(|i| matches_from(rest, &s[i..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals() {
+        let p = Pattern::parse("hello world");
+        assert!(p.matches("hello world"));
+        assert!(!p.matches("hello worlds"));
+        assert!(!p.matches("hello"));
+    }
+
+    #[test]
+    fn ints_and_floats() {
+        let p = Pattern::parse("grind time = <float> ms");
+        assert!(p.matches("grind time = 12.5 ms"));
+        assert!(p.matches("grind time = -3 ms"));
+        assert!(p.matches("grind time = 1.2e-4 ms"));
+        assert!(!p.matches("grind time = fast ms"));
+
+        let q = Pattern::parse("rank <int> done");
+        assert!(q.matches("rank 12 done"));
+        assert!(!q.matches("rank 1.5 done"));
+    }
+
+    #[test]
+    fn any_and_word() {
+        let p = Pattern::parse("Runtime:<any>s");
+        assert!(p.matches("Runtime: 12.5 seconds"));
+        assert!(p.matches("Runtime:s"));
+        assert!(!p.matches("Walltime: 12.5 seconds"));
+
+        let w = Pattern::parse("<word> cycles");
+        assert!(w.matches("123456 cycles"));
+        assert!(!w.matches(" cycles"));
+    }
+
+    #[test]
+    fn full_line_anchoring() {
+        let p = Pattern::parse("x = <int>");
+        assert!(!p.matches("x = 5 extra"));
+        assert!(!p.matches("prefix x = 5"));
+    }
+
+    #[test]
+    fn float_does_not_eat_trailing_dot_garbage() {
+        let p = Pattern::parse("<float>!");
+        assert!(p.matches("3.25!"));
+        assert!(p.matches("3.!")); // "3." is a valid partial float
+        assert!(!p.matches("!"));
+    }
+}

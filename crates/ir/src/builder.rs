@@ -1,0 +1,547 @@
+//! An ergonomic function builder used by tests and the workload
+//! generators.
+
+use crate::inst::{
+    BinOp, CallKind, CastKind, CmpPred, FuncRef, GepOffset, Inst, InstId,
+};
+use crate::meta::{AccessMeta, SrcLoc, Target, TbaaTag};
+use crate::module::{Block, Function, FunctionId, Module, Param};
+use crate::types::Ty;
+use crate::value::{BlockId, Value};
+
+/// Builds one [`Function`] with a cursor ("current block") model, then
+/// installs it into the module via [`FunctionBuilder::finish`].
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: Function,
+    cur: BlockId,
+    loc: Option<SrcLoc>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    /// Starts a new host function with the given signature. All
+    /// parameters default to non-`noalias`; use [`Self::set_noalias`].
+    pub fn new(module: &'m mut Module, name: &str, params: Vec<Ty>, ret: Option<Ty>) -> Self {
+        let params = params
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| Param {
+                ty,
+                noalias: false,
+                name: format!("arg{i}"),
+            })
+            .collect();
+        FunctionBuilder {
+            module,
+            func: Function {
+                name: name.to_owned(),
+                params,
+                ret,
+                blocks: vec![Block::default()],
+                insts: Vec::new(),
+                target: Target::Host,
+                outlined: false,
+                src_file: None,
+            },
+            cur: Function::ENTRY,
+            loc: None,
+        }
+    }
+
+    /// Access to the module being extended (e.g. to intern strings or add
+    /// TBAA tags while building).
+    pub fn module(&mut self) -> &mut Module {
+        self.module
+    }
+
+    /// Marks the function as compiled for `target`.
+    pub fn set_target(&mut self, target: Target) {
+        self.func.target = target;
+    }
+
+    /// Marks the function as compiler-outlined (parallel region body).
+    pub fn set_outlined(&mut self, outlined: bool) {
+        self.func.outlined = outlined;
+    }
+
+    /// Records the source file the function belongs to.
+    pub fn set_src_file(&mut self, file: &str) {
+        let id = self.module.strings.intern(file);
+        self.func.src_file = Some(id);
+    }
+
+    /// Sets the `noalias` attribute on parameter `i`.
+    pub fn set_noalias(&mut self, i: usize, noalias: bool) {
+        self.func.params[i].noalias = noalias;
+    }
+
+    /// Sets the source location attached to subsequently built
+    /// instructions (pass `None` to clear).
+    pub fn set_loc(&mut self, file: &str, line: u32, col: u32) {
+        let file = self.module.strings.intern(file);
+        self.loc = Some(SrcLoc { file, line, col });
+    }
+
+    /// Clears the current source location.
+    pub fn clear_loc(&mut self) {
+        self.loc = None;
+    }
+
+    /// The `i`-th argument as a value.
+    pub fn arg(&self, i: u32) -> Value {
+        Value::Arg(i)
+    }
+
+    /// Creates a new empty block (does not move the cursor).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Moves the cursor to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// The block the cursor is currently in.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Emits `inst` at the cursor and returns its id.
+    pub fn emit(&mut self, inst: Inst) -> InstId {
+        self.func.push_inst(self.cur, inst, self.loc)
+    }
+
+    /// Emits `inst` and wraps the result as a [`Value`].
+    pub fn emit_value(&mut self, inst: Inst) -> Value {
+        Value::Inst(self.emit(inst))
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// Stack allocation of `size` bytes with a debug name.
+    pub fn alloca(&mut self, size: u64, name: &str) -> Value {
+        let name = self.module.strings.intern(name);
+        self.emit_value(Inst::Alloca { size, name })
+    }
+
+    /// Plain load.
+    pub fn load(&mut self, ty: Ty, ptr: Value) -> Value {
+        self.emit_value(Inst::Load {
+            ptr,
+            ty,
+            meta: AccessMeta::default(),
+        })
+    }
+
+    /// Load with access metadata (TBAA / scopes).
+    pub fn load_meta(&mut self, ty: Ty, ptr: Value, meta: AccessMeta) -> Value {
+        self.emit_value(Inst::Load { ptr, ty, meta })
+    }
+
+    /// Load with just a TBAA tag.
+    pub fn load_tbaa(&mut self, ty: Ty, ptr: Value, tag: TbaaTag) -> Value {
+        self.load_meta(ty, ptr, AccessMeta::tbaa(tag))
+    }
+
+    /// Plain store.
+    pub fn store(&mut self, ty: Ty, value: Value, ptr: Value) -> InstId {
+        self.emit(Inst::Store {
+            ptr,
+            value,
+            ty,
+            meta: AccessMeta::default(),
+        })
+    }
+
+    /// Store with access metadata.
+    pub fn store_meta(&mut self, ty: Ty, value: Value, ptr: Value, meta: AccessMeta) -> InstId {
+        self.emit(Inst::Store {
+            ptr,
+            value,
+            ty,
+            meta,
+        })
+    }
+
+    /// Store with just a TBAA tag.
+    pub fn store_tbaa(&mut self, ty: Ty, value: Value, ptr: Value, tag: TbaaTag) -> InstId {
+        self.store_meta(ty, value, ptr, AccessMeta::tbaa(tag))
+    }
+
+    /// `base + bytes` (constant GEP).
+    pub fn gep(&mut self, base: Value, bytes: i64) -> Value {
+        self.emit_value(Inst::Gep {
+            base,
+            offset: GepOffset::Const(bytes),
+        })
+    }
+
+    /// `base + index * scale + add` (scaled GEP).
+    pub fn gep_scaled(&mut self, base: Value, index: Value, scale: i64, add: i64) -> Value {
+        self.emit_value(Inst::Gep {
+            base,
+            offset: GepOffset::Scaled { index, scale, add },
+        })
+    }
+
+    /// `memcpy(dst, src, bytes)`.
+    pub fn memcpy(&mut self, dst: Value, src: Value, bytes: Value) -> InstId {
+        self.emit(Inst::Memcpy {
+            dst,
+            src,
+            bytes,
+            meta: AccessMeta::default(),
+        })
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    /// Generic binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Ty, lhs: Value, rhs: Value) -> Value {
+        self.emit_value(Inst::Bin { op, ty, lhs, rhs })
+    }
+
+    /// i64 addition.
+    pub fn add(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Add, Ty::I64, lhs, rhs)
+    }
+
+    /// i64 subtraction.
+    pub fn sub(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Sub, Ty::I64, lhs, rhs)
+    }
+
+    /// i64 multiplication.
+    pub fn mul(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Mul, Ty::I64, lhs, rhs)
+    }
+
+    /// i64 signed division.
+    pub fn div(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Div, Ty::I64, lhs, rhs)
+    }
+
+    /// i64 remainder.
+    pub fn rem(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Rem, Ty::I64, lhs, rhs)
+    }
+
+    /// f64 addition.
+    pub fn fadd(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::FAdd, Ty::F64, lhs, rhs)
+    }
+
+    /// f64 subtraction.
+    pub fn fsub(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::FSub, Ty::F64, lhs, rhs)
+    }
+
+    /// f64 multiplication.
+    pub fn fmul(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::FMul, Ty::F64, lhs, rhs)
+    }
+
+    /// f64 division.
+    pub fn fdiv(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::FDiv, Ty::F64, lhs, rhs)
+    }
+
+    /// Comparison producing an `i1`.
+    pub fn cmp(&mut self, pred: CmpPred, ty: Ty, lhs: Value, rhs: Value) -> Value {
+        self.emit_value(Inst::Cmp { pred, ty, lhs, rhs })
+    }
+
+    /// Select.
+    pub fn select(&mut self, ty: Ty, cond: Value, t: Value, f: Value) -> Value {
+        self.emit_value(Inst::Select { cond, t, f, ty })
+    }
+
+    /// Cast.
+    pub fn cast(&mut self, kind: CastKind, val: Value, to: Ty) -> Value {
+        self.emit_value(Inst::Cast { kind, val, to })
+    }
+
+    /// `i64 -> f64` convenience.
+    pub fn si_to_fp(&mut self, val: Value) -> Value {
+        self.cast(CastKind::SiToFp, val, Ty::F64)
+    }
+
+    // ---- control flow -----------------------------------------------------
+
+    /// Unconditional branch; does not move the cursor.
+    pub fn br(&mut self, target: BlockId) -> InstId {
+        self.emit(Inst::Br { target })
+    }
+
+    /// Conditional branch; does not move the cursor.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) -> InstId {
+        self.emit(Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        })
+    }
+
+    /// Phi with initial incoming list; more edges can be patched later
+    /// via [`Self::add_phi_incoming`].
+    pub fn phi(&mut self, ty: Ty, incoming: Vec<(BlockId, Value)>) -> Value {
+        self.emit_value(Inst::Phi { ty, incoming })
+    }
+
+    /// Adds an incoming edge to an existing phi.
+    pub fn add_phi_incoming(&mut self, phi: Value, from: BlockId, val: Value) {
+        let Value::Inst(id) = phi else {
+            panic!("add_phi_incoming on non-instruction value")
+        };
+        match self.func.inst_mut(id) {
+            Inst::Phi { incoming, .. } => incoming.push((from, val)),
+            other => panic!("add_phi_incoming on non-phi {other:?}"),
+        }
+    }
+
+    /// Return.
+    pub fn ret(&mut self, val: Option<Value>) -> InstId {
+        self.emit(Inst::Ret { val })
+    }
+
+    // ---- calls & I/O -------------------------------------------------------
+
+    /// Plain direct call to an internal function.
+    pub fn call(&mut self, callee: FunctionId, args: Vec<Value>, ret: Option<Ty>) -> Option<Value> {
+        let id = self.emit(Inst::Call {
+            callee: FuncRef::Internal(callee),
+            args,
+            ret,
+            kind: CallKind::Plain,
+        });
+        ret.map(|_| Value::Inst(id))
+    }
+
+    /// Call to an external routine resolved by the VM (e.g. `"sqrt"`).
+    pub fn call_external(&mut self, name: &str, args: Vec<Value>, ret: Option<Ty>) -> Option<Value> {
+        let sym = self.module.strings.intern(name);
+        let id = self.emit(Inst::Call {
+            callee: FuncRef::External(sym),
+            args,
+            ret,
+            kind: CallKind::Plain,
+        });
+        ret.map(|_| Value::Inst(id))
+    }
+
+    /// OpenMP-style parallel region: invokes `callee(tid, args...)` for
+    /// every `tid` in `0..threads`.
+    pub fn parallel_region(&mut self, callee: FunctionId, args: Vec<Value>, threads: u32) -> InstId {
+        self.emit(Inst::Call {
+            callee: FuncRef::Internal(callee),
+            args,
+            ret: None,
+            kind: CallKind::ParallelRegion { threads },
+        })
+    }
+
+    /// Device kernel launch: invokes `callee(gid, args...)` for every
+    /// work item `gid` in `0..items`.
+    pub fn kernel_launch(&mut self, callee: FunctionId, args: Vec<Value>, items: u32) -> InstId {
+        self.emit(Inst::Call {
+            callee: FuncRef::Internal(callee),
+            args,
+            ret: None,
+            kind: CallKind::KernelLaunch { items },
+        })
+    }
+
+    /// Deterministic formatted print (the verification output channel).
+    pub fn print(&mut self, fmt: &str, args: Vec<Value>) -> InstId {
+        let fmt = self.module.strings.intern(fmt);
+        self.emit(Inst::Print { fmt, args })
+    }
+
+    // ---- structured helpers -----------------------------------------------
+
+    /// Builds a counted loop `for (i = start; i < end; i += 1)`.
+    ///
+    /// The closure receives the builder (positioned in the loop body) and
+    /// the induction variable; it may create extra blocks but must leave
+    /// the cursor in the block that should fall through to the latch. The
+    /// cursor ends up in the exit block. Returns the induction phi.
+    pub fn counted_loop(
+        &mut self,
+        start: Value,
+        end: Value,
+        body: impl FnOnce(&mut Self, Value),
+    ) -> Value {
+        let header = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        let pre = self.cur;
+        self.br(header);
+
+        self.switch_to(header);
+        let iv = self.phi(Ty::I64, vec![(pre, start)]);
+        let cond = self.cmp(CmpPred::Lt, Ty::I64, iv, end);
+        self.cond_br(cond, body_bb, exit);
+
+        self.switch_to(body_bb);
+        body(self, iv);
+        // Latch: wherever the body left the cursor.
+        let latch = self.cur;
+        let next = self.add(iv, Value::ConstInt(1));
+        self.br(header);
+        self.add_phi_incoming(iv, latch, next);
+
+        self.switch_to(exit);
+        iv
+    }
+
+    /// Finalizes the function and installs it in the module.
+    pub fn finish(self) -> FunctionId {
+        let id = FunctionId(self.module.funcs.len() as u32);
+        self.module.funcs.push(self.func);
+        id
+    }
+}
+
+/// Declares a function signature up-front (so forward calls can reference
+/// it) and returns a builder that fills in the body of that declaration.
+///
+/// This is needed when building mutually recursive or forward-referenced
+/// functions: `FunctionBuilder::finish` appends, so ids must be known
+/// before bodies referencing them are built.
+pub fn declare_function(
+    module: &mut Module,
+    name: &str,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+) -> FunctionId {
+    let params = params
+        .into_iter()
+        .enumerate()
+        .map(|(i, ty)| Param {
+            ty,
+            noalias: false,
+            name: format!("arg{i}"),
+        })
+        .collect();
+    let id = FunctionId(module.funcs.len() as u32);
+    module.funcs.push(Function {
+        name: name.to_owned(),
+        params,
+        ret,
+        blocks: vec![Block::default()],
+        insts: Vec::new(),
+        target: Target::Host,
+        outlined: false,
+        src_file: None,
+    });
+    id
+}
+
+/// Builder over an already-declared function (see [`declare_function`]).
+pub struct BodyBuilder<'m> {
+    module: &'m mut Module,
+    id: FunctionId,
+    cur: BlockId,
+    loc: Option<SrcLoc>,
+}
+
+impl<'m> BodyBuilder<'m> {
+    /// Starts building the body of `id`.
+    pub fn new(module: &'m mut Module, id: FunctionId) -> Self {
+        BodyBuilder {
+            module,
+            id,
+            cur: Function::ENTRY,
+            loc: None,
+        }
+    }
+
+    fn func_mut(&mut self) -> &mut Function {
+        self.module.func_mut(self.id)
+    }
+
+    /// Emits an instruction at the cursor.
+    pub fn emit(&mut self, inst: Inst) -> InstId {
+        let cur = self.cur;
+        let loc = self.loc;
+        self.func_mut().push_inst(cur, inst, loc)
+    }
+
+    /// Emits and wraps the result.
+    pub fn emit_value(&mut self, inst: Inst) -> Value {
+        Value::Inst(self.emit(inst))
+    }
+
+    /// Moves the cursor.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// Creates a new block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func_mut().add_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_straightline() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::Ptr], Some(Ty::F64));
+        let p = b.arg(0);
+        let x = b.load(Ty::F64, p);
+        let y = b.fadd(x, Value::const_f64(1.0));
+        b.store(Ty::F64, y, p);
+        b.ret(Some(y));
+        let id = b.finish();
+        assert_eq!(m.func(id).live_inst_count(), 4);
+        assert_eq!(m.func(id).name, "f");
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "loop", vec![Ty::Ptr], None);
+        let p = b.arg(0);
+        b.counted_loop(Value::ConstInt(0), Value::ConstInt(10), |b, i| {
+            let addr = b.gep_scaled(p, i, 8, 0);
+            b.store(Ty::I64, i, addr);
+        });
+        b.ret(None);
+        let id = b.finish();
+        let f = m.func(id);
+        // preheader(entry) + header + body + exit
+        assert_eq!(f.blocks.len(), 4);
+        // Phi has two incoming edges after patching.
+        let phi = f
+            .live_insts()
+            .find(|&i| matches!(f.inst(i), Inst::Phi { .. }))
+            .unwrap();
+        match f.inst(phi) {
+            Inst::Phi { incoming, .. } => assert_eq!(incoming.len(), 2),
+            _ => unreachable!(),
+        }
+        assert!(crate::verify::verify_function(&m, id).is_ok());
+    }
+
+    #[test]
+    fn declare_then_call() {
+        let mut m = Module::new("t");
+        let callee = declare_function(&mut m, "callee", vec![Ty::I64], Some(Ty::I64));
+        let mut b = FunctionBuilder::new(&mut m, "caller", vec![], Some(Ty::I64));
+        let r = b.call(callee, vec![Value::ConstInt(3)], Some(Ty::I64)).unwrap();
+        b.ret(Some(r));
+        let caller = b.finish();
+        // Fill in the declared body.
+        let mut bb = BodyBuilder::new(&mut m, callee);
+        bb.emit(Inst::Ret {
+            val: Some(Value::Arg(0)),
+        });
+        assert_eq!(m.func(caller).name, "caller");
+        assert_eq!(m.func(callee).live_inst_count(), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! A tiny string interner used for file names, external symbols and format
+//! strings so that the rest of the IR can store cheap copyable ids.
+
+use std::collections::HashMap;
+
+/// Handle to an interned string (see [`StringInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
+/// Append-only string interner. Ids are stable for the lifetime of the
+/// containing [`crate::Module`].
+#[derive(Debug, Default, Clone)]
+pub struct StringInterner {
+    strings: Vec<String>,
+    map: HashMap<String, StrId>,
+}
+
+impl StringInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing id when already present.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Resolves an id back to its string.
+    pub fn resolve(&self, id: StrId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<StrId> {
+        self.map.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut i = StringInterner::new();
+        let a = i.intern("hello");
+        let b = i.intern("world");
+        let c = i.intern("hello");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "hello");
+        assert_eq!(i.resolve(b), "world");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = StringInterner::new();
+        assert!(i.get("x").is_none());
+        let id = i.intern("x");
+        assert_eq!(i.get("x"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Metadata attached to instructions and functions: source locations,
+//! TBAA type tags, alias scopes and compilation targets.
+//!
+//! These correspond to the LLVM concepts the paper's analyses consume:
+//! `!tbaa`, `!alias.scope`/`!noalias`, debug locations, and the
+//! host/device split used for offload compilation (Section IV-E).
+
+use crate::interner::StrId;
+
+/// A source location (`file:line:col`), resolved against the module's
+/// string interner. The ORAQL report (paper Fig. 3) prints these for
+/// pessimistically answered queries when present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SrcLoc {
+    /// Interned file name.
+    pub file: StrId,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+/// A node in the TBAA type tree. Tag 0 is the root ("omnipotent char"):
+/// it is compatible with everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TbaaTag(pub u32);
+
+impl TbaaTag {
+    /// The root tag, compatible with every other tag.
+    pub const ROOT: TbaaTag = TbaaTag(0);
+}
+
+/// An alias scope. Accesses can be members of scopes and can declare a
+/// `noalias` set of scopes they are known not to alias with — the IR-level
+/// encoding `restrict` lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScopeId(pub u32);
+
+/// Compilation target of a function. Offload programming models compile
+/// one source into host and device parts; ORAQL can be restricted to one
+/// of them via the `-opt-aa-target` analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Target {
+    /// CPU-side code.
+    #[default]
+    Host,
+    /// Accelerator-side code (CUDA / OpenMP-offload analogue).
+    Device,
+}
+
+impl Target {
+    /// Canonical lowercase name, used for `target=<substring>` matching.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Host => "host",
+            Target::Device => "device",
+        }
+    }
+}
+
+/// Per-access metadata carried by loads, stores and memcpys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessMeta {
+    /// TBAA type tag of the access, if any.
+    pub tbaa: Option<TbaaTag>,
+    /// Scopes this access is a member of.
+    pub scopes: Vec<ScopeId>,
+    /// Scopes this access is known not to alias.
+    pub noalias: Vec<ScopeId>,
+}
+
+impl AccessMeta {
+    /// Metadata with only a TBAA tag.
+    pub fn tbaa(tag: TbaaTag) -> Self {
+        AccessMeta {
+            tbaa: Some(tag),
+            ..Default::default()
+        }
+    }
+
+    /// True when no metadata is attached at all.
+    pub fn is_empty(&self) -> bool {
+        self.tbaa.is_none() && self.scopes.is_empty() && self.noalias.is_empty()
+    }
+}
+
+/// Module-level TBAA type tree: `parent[tag] = parent tag`, with the root
+/// being its own parent.
+#[derive(Debug, Clone, Default)]
+pub struct TbaaTree {
+    parents: Vec<u32>,
+    names: Vec<String>,
+}
+
+impl TbaaTree {
+    /// Creates a tree containing only the root tag.
+    pub fn new() -> Self {
+        TbaaTree {
+            parents: vec![0],
+            names: vec!["root".to_owned()],
+        }
+    }
+
+    /// Adds a new tag under `parent` and returns it.
+    pub fn add(&mut self, name: &str, parent: TbaaTag) -> TbaaTag {
+        assert!((parent.0 as usize) < self.parents.len(), "unknown parent");
+        let id = TbaaTag(self.parents.len() as u32);
+        self.parents.push(parent.0);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Human-readable name of a tag.
+    pub fn name(&self, tag: TbaaTag) -> &str {
+        &self.names[tag.0 as usize]
+    }
+
+    /// True if `anc` is `tag` or an ancestor of `tag`.
+    pub fn is_ancestor_or_self(&self, anc: TbaaTag, tag: TbaaTag) -> bool {
+        let mut cur = tag.0;
+        loop {
+            if cur == anc.0 {
+                return true;
+            }
+            let p = self.parents[cur as usize];
+            if p == cur {
+                return false;
+            }
+            cur = p;
+        }
+    }
+
+    /// TBAA compatibility: two tags may refer to the same memory iff one
+    /// is an ancestor of the other (LLVM's rule for scalar TBAA nodes).
+    pub fn compatible(&self, a: TbaaTag, b: TbaaTag) -> bool {
+        self.is_ancestor_or_self(a, b) || self.is_ancestor_or_self(b, a)
+    }
+
+    /// Number of tags including the root.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Always false: the root tag exists from construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tbaa_tree_compatibility() {
+        let mut t = TbaaTree::new();
+        let any = TbaaTag::ROOT;
+        let int = t.add("int", any);
+        let flt = t.add("double", any);
+        let ptr = t.add("any pointer", any);
+        let dptr = t.add("double*", ptr);
+
+        assert!(t.compatible(int, int));
+        assert!(t.compatible(any, int));
+        assert!(t.compatible(int, any));
+        assert!(!t.compatible(int, flt));
+        assert!(t.compatible(ptr, dptr));
+        assert!(!t.compatible(dptr, flt));
+    }
+
+    #[test]
+    fn tbaa_names() {
+        let mut t = TbaaTree::new();
+        let int = t.add("int", TbaaTag::ROOT);
+        assert_eq!(t.name(int), "int");
+        assert_eq!(t.name(TbaaTag::ROOT), "root");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn access_meta_emptiness() {
+        assert!(AccessMeta::default().is_empty());
+        assert!(!AccessMeta::tbaa(TbaaTag::ROOT).is_empty());
+    }
+
+    #[test]
+    fn target_names() {
+        assert_eq!(Target::Host.name(), "host");
+        assert_eq!(Target::Device.name(), "device");
+    }
+}

@@ -1,0 +1,236 @@
+//! Textual IR printer, LLVM-flavoured. Used in reports, debugging and
+//! golden tests. There is deliberately no parser: modules are built
+//! programmatically (workload generators / builder API).
+
+use crate::inst::{CallKind, FuncRef, GepOffset, Inst, InstId};
+use crate::module::{Function, FunctionId, Module};
+use crate::value::{BlockId, Value};
+use std::fmt::Write as _;
+
+/// Renders a value like `%12`, `%arg0`, `@g`, `42`, `3.5`.
+pub fn value_str(v: Value, m: &Module) -> String {
+    match v {
+        Value::Inst(i) => format!("%{}", i.0),
+        Value::Arg(a) => format!("%arg{a}"),
+        Value::Global(g) => format!("@{}", m.global(g).name),
+        Value::ConstInt(c) => format!("{c}"),
+        Value::ConstFloat(bits) => format!("{:?}", f64::from_bits(bits)),
+        Value::Undef => "undef".to_owned(),
+    }
+}
+
+/// Renders one instruction (without trailing newline).
+pub fn inst_str(f: &Function, m: &Module, id: InstId) -> String {
+    let v = |x: Value| value_str(x, m);
+    let mut s = String::new();
+    let inst = f.inst(id);
+    if inst.result_ty().is_some() {
+        let _ = write!(s, "%{} = ", id.0);
+    }
+    match inst {
+        Inst::Alloca { size, name } => {
+            let _ = write!(s, "alloca {size} ; {}", m.strings.resolve(*name));
+        }
+        Inst::Load { ptr, ty, meta } => {
+            let _ = write!(s, "load {ty}, ptr {}", v(*ptr));
+            if let Some(t) = meta.tbaa {
+                let _ = write!(s, ", !tbaa {}", m.tbaa.name(t));
+            }
+        }
+        Inst::Store { ptr, value, ty, meta } => {
+            let _ = write!(s, "store {ty} {}, ptr {}", v(*value), v(*ptr));
+            if let Some(t) = meta.tbaa {
+                let _ = write!(s, ", !tbaa {}", m.tbaa.name(t));
+            }
+        }
+        Inst::Gep { base, offset } => match offset {
+            GepOffset::Const(c) => {
+                let _ = write!(s, "gep ptr {}, {c}", v(*base));
+            }
+            GepOffset::Scaled { index, scale, add } => {
+                let _ = write!(s, "gep ptr {}, {} x {scale} + {add}", v(*base), v(*index));
+            }
+        },
+        Inst::Bin { op, ty, lhs, rhs } => {
+            let _ = write!(s, "{op:?} {ty} {}, {}", v(*lhs), v(*rhs));
+        }
+        Inst::Cmp { pred, ty, lhs, rhs } => {
+            let _ = write!(s, "cmp {pred:?} {ty} {}, {}", v(*lhs), v(*rhs));
+        }
+        Inst::Select { cond, t, f: fv, ty } => {
+            let _ = write!(s, "select {ty} {}, {}, {}", v(*cond), v(*t), v(*fv));
+        }
+        Inst::Cast { kind, val, to } => {
+            let _ = write!(s, "cast {kind:?} {} to {to}", v(*val));
+        }
+        Inst::Call { callee, args, kind, .. } => {
+            let name = match callee {
+                FuncRef::Internal(fid) => m.func(*fid).name.clone(),
+                FuncRef::External(sym) => m.strings.resolve(*sym).to_owned(),
+            };
+            let prefix = match kind {
+                CallKind::Plain => "call",
+                CallKind::ParallelRegion { .. } => "parallel_call",
+                CallKind::KernelLaunch { .. } => "kernel_launch",
+            };
+            let args: Vec<_> = args.iter().map(|&a| v(a)).collect();
+            let _ = write!(s, "{prefix} @{name}({})", args.join(", "));
+            if let CallKind::ParallelRegion { threads } = kind {
+                let _ = write!(s, " threads({threads})");
+            }
+            if let CallKind::KernelLaunch { items } = kind {
+                let _ = write!(s, " items({items})");
+            }
+        }
+        Inst::Ret { val } => match val {
+            Some(x) => {
+                let _ = write!(s, "ret {}", v(*x));
+            }
+            None => {
+                let _ = write!(s, "ret void");
+            }
+        },
+        Inst::Br { target } => {
+            let _ = write!(s, "br bb{}", target.0);
+        }
+        Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            let _ = write!(s, "condbr {}, bb{}, bb{}", v(*cond), then_bb.0, else_bb.0);
+        }
+        Inst::Phi { ty, incoming } => {
+            let parts: Vec<_> = incoming
+                .iter()
+                .map(|(bb, val)| format!("[bb{}: {}]", bb.0, v(*val)))
+                .collect();
+            let _ = write!(s, "phi {ty} {}", parts.join(", "));
+        }
+        Inst::Print { fmt, args } => {
+            let args: Vec<_> = args.iter().map(|&a| v(a)).collect();
+            let _ = write!(s, "print {:?}({})", m.strings.resolve(*fmt), args.join(", "));
+        }
+        Inst::Memcpy { dst, src, bytes, .. } => {
+            let _ = write!(s, "memcpy ptr {}, ptr {}, {}", v(*dst), v(*src), v(*bytes));
+        }
+        Inst::Removed => {
+            let _ = write!(s, "<removed>");
+        }
+    }
+    if let Some(loc) = f.loc(id) {
+        let _ = write!(
+            s,
+            " ; {}:{}:{}",
+            m.strings.resolve(loc.file),
+            loc.line,
+            loc.col
+        );
+    }
+    s
+}
+
+/// Renders a whole function.
+pub fn function_str(m: &Module, id: FunctionId) -> String {
+    let f = m.func(id);
+    let mut s = String::new();
+    let params: Vec<_> = f
+        .params
+        .iter()
+        .map(|p| {
+            format!(
+                "{}{} %{}",
+                p.ty,
+                if p.noalias { " noalias" } else { "" },
+                p.name
+            )
+        })
+        .collect();
+    let ret = f
+        .ret
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".into());
+    let _ = writeln!(
+        s,
+        "define {} @{}({}) target({}){} {{",
+        ret,
+        f.name,
+        params.join(", "),
+        f.target.name(),
+        if f.outlined { " outlined" } else { "" },
+    );
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "bb{bi}:");
+        for &iid in &block.insts {
+            let _ = writeln!(s, "  {}", inst_str(f, m, iid));
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders a whole module.
+pub fn module_str(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; module {}", m.name);
+    for g in &m.globals {
+        let _ = writeln!(
+            s,
+            "@{} = {} global [{} bytes]",
+            g.name,
+            if g.constant { "constant" } else { "mutable" },
+            g.size
+        );
+    }
+    for i in 0..m.funcs.len() {
+        let _ = writeln!(s);
+        s.push_str(&function_str(m, FunctionId(i as u32)));
+    }
+    s
+}
+
+/// Renders the block label of a block id.
+pub fn block_str(bb: BlockId) -> String {
+    format!("bb{}", bb.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_function() {
+        let mut m = Module::new("t");
+        let g = m.add_global("tbl", 64, vec![], true);
+        let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::Ptr], Some(Ty::F64));
+        let p = b.arg(0);
+        let x = b.load(Ty::F64, p);
+        let addr = b.gep(Value::Global(g), 8);
+        b.store(Ty::F64, x, addr);
+        b.ret(Some(x));
+        let id = b.finish();
+        let text = function_str(&m, id);
+        assert!(text.contains("define f64 @f(ptr %arg0)"), "{text}");
+        assert!(text.contains("load f64, ptr %arg0"), "{text}");
+        assert!(text.contains("@tbl"), "{text}");
+        let mtext = module_str(&m);
+        assert!(mtext.contains("constant global [64 bytes]"), "{mtext}");
+    }
+
+    use crate::value::Value;
+
+    #[test]
+    fn prints_source_locations() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::Ptr], None);
+        b.set_loc("sna.cpp", 609, 60);
+        let p = b.arg(0);
+        b.load(Ty::F64, p);
+        b.ret(None);
+        let id = b.finish();
+        let text = function_str(&m, id);
+        assert!(text.contains("sna.cpp:609:60"), "{text}");
+    }
+}

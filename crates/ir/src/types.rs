@@ -1,0 +1,150 @@
+//! Access types. Pointers are opaque (as in modern LLVM); the type of a
+//! memory access lives on the load/store instruction, not on the pointer.
+
+/// The type of an SSA value or memory access.
+///
+/// Vector types carry their lane count; they are produced by the loop and
+/// SLP vectorizers and consumed element-wise by the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 1-bit boolean (stored as one byte in memory).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// Opaque pointer (8 bytes).
+    Ptr,
+    /// Vector of `n` 64-bit integers.
+    VecI64(u8),
+    /// Vector of `n` 64-bit floats.
+    VecF64(u8),
+}
+
+impl Ty {
+    /// Size of the type in bytes when stored in memory.
+    pub fn size(self) -> u64 {
+        match self {
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 | Ty::F32 => 4,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 8,
+            Ty::VecI64(n) | Ty::VecF64(n) => 8 * n as u64,
+        }
+    }
+
+    /// True for the integer types (including `I1` and integer vectors).
+    pub fn is_int(self) -> bool {
+        matches!(
+            self,
+            Ty::I1 | Ty::I8 | Ty::I16 | Ty::I32 | Ty::I64 | Ty::VecI64(_)
+        )
+    }
+
+    /// True for floating point types (including float vectors).
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64 | Ty::VecF64(_))
+    }
+
+    /// True for vector types.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Ty::VecI64(_) | Ty::VecF64(_))
+    }
+
+    /// Lane count: 1 for scalars, `n` for vectors.
+    pub fn lanes(self) -> u8 {
+        match self {
+            Ty::VecI64(n) | Ty::VecF64(n) => n,
+            _ => 1,
+        }
+    }
+
+    /// The scalar element type (identity for scalars).
+    pub fn scalar(self) -> Ty {
+        match self {
+            Ty::VecI64(_) => Ty::I64,
+            Ty::VecF64(_) => Ty::F64,
+            t => t,
+        }
+    }
+
+    /// The vector type with this scalar element and `n` lanes.
+    ///
+    /// Only `I64` and `F64` have vector forms; other element types panic,
+    /// which the vectorizers guard against via [`Ty::vectorizable`].
+    pub fn vec_of(self, n: u8) -> Ty {
+        match self {
+            Ty::I64 => Ty::VecI64(n),
+            Ty::F64 => Ty::VecF64(n),
+            t => panic!("no vector form for {t:?}"),
+        }
+    }
+
+    /// Whether a vector form of this scalar type exists.
+    pub fn vectorizable(self) -> bool {
+        matches!(self, Ty::I64 | Ty::F64)
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::I1 => write!(f, "i1"),
+            Ty::I8 => write!(f, "i8"),
+            Ty::I16 => write!(f, "i16"),
+            Ty::I32 => write!(f, "i32"),
+            Ty::I64 => write!(f, "i64"),
+            Ty::F32 => write!(f, "f32"),
+            Ty::F64 => write!(f, "f64"),
+            Ty::Ptr => write!(f, "ptr"),
+            Ty::VecI64(n) => write!(f, "<{n} x i64>"),
+            Ty::VecF64(n) => write!(f, "<{n} x f64>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Ty::I1.size(), 1);
+        assert_eq!(Ty::I32.size(), 4);
+        assert_eq!(Ty::Ptr.size(), 8);
+        assert_eq!(Ty::VecF64(4).size(), 32);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        assert_eq!(Ty::F64.vec_of(4), Ty::VecF64(4));
+        assert_eq!(Ty::VecF64(4).scalar(), Ty::F64);
+        assert_eq!(Ty::VecF64(4).lanes(), 4);
+        assert!(Ty::F64.vectorizable());
+        assert!(!Ty::I8.vectorizable());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Ty::I64.is_int());
+        assert!(Ty::VecI64(2).is_int());
+        assert!(Ty::F32.is_float());
+        assert!(!Ty::Ptr.is_int());
+        assert!(Ty::VecF64(2).is_vector());
+        assert!(!Ty::F64.is_vector());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::VecF64(4).to_string(), "<4 x f64>");
+        assert_eq!(Ty::Ptr.to_string(), "ptr");
+    }
+}

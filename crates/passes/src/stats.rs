@@ -1,0 +1,143 @@
+//! LLVM `-stats` analogue: named counters grouped by pass.
+
+use std::collections::BTreeMap;
+
+/// A registry of `(pass, statistic) -> count` counters collected during
+//  one compilation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    counters: BTreeMap<(String, String), u64>,
+}
+
+impl Stats {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, pass: &str, stat: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self
+            .counters
+            .entry((pass.to_owned(), stat.to_owned()))
+            .or_insert(0) += n;
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(&mut self, pass: &str, stat: &str) {
+        self.add(pass, stat, 1);
+    }
+
+    /// Reads a counter (0 when never touched).
+    pub fn get(&self, pass: &str, stat: &str) -> u64 {
+        self.counters
+            .get(&(pass.to_owned(), stat.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a counter to an absolute value (used for end-of-compilation
+    /// figures like machine-instruction counts).
+    pub fn set(&mut self, pass: &str, stat: &str, n: u64) {
+        self.counters
+            .insert((pass.to_owned(), stat.to_owned()), n);
+    }
+
+    /// Iterates all counters in a stable (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counters
+            .iter()
+            .map(|((p, s), &v)| (p.as_str(), s.as_str(), v))
+    }
+
+    /// Renders the registry like `-stats` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (p, s, v) in self.iter() {
+            out.push_str(&format!("{v:>12} {p} - {s}\n"));
+        }
+        out
+    }
+
+    /// Side-by-side diff of two compilations' statistics, returning
+    /// `(pass, stat, original, other, delta%)` rows for counters that
+    /// differ (the paper's Fig. 6 shape).
+    pub fn diff<'a>(&'a self, other: &'a Stats) -> Vec<(String, String, u64, u64, f64)> {
+        let mut keys: Vec<&(String, String)> = self.counters.keys().collect();
+        for k in other.counters.keys() {
+            if !self.counters.contains_key(k) {
+                keys.push(k);
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        let mut rows = Vec::new();
+        for k in keys {
+            let a = self.counters.get(k).copied().unwrap_or(0);
+            let b = other.counters.get(k).copied().unwrap_or(0);
+            if a != b {
+                let delta = if a == 0 {
+                    100.0
+                } else {
+                    (b as f64 - a as f64) / a as f64 * 100.0
+                };
+                rows.push((k.0.clone(), k.1.clone(), a, b, delta));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.add("GVN", "loads deleted", 3);
+        s.bump("GVN", "loads deleted");
+        assert_eq!(s.get("GVN", "loads deleted"), 4);
+        assert_eq!(s.get("DSE", "stores deleted"), 0);
+    }
+
+    #[test]
+    fn zero_adds_are_ignored() {
+        let mut s = Stats::new();
+        s.add("X", "y", 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn diff_reports_changes() {
+        let mut a = Stats::new();
+        a.add("LICM", "loads hoisted or sunk", 70);
+        a.add("GVN", "loads deleted", 45);
+        let mut b = Stats::new();
+        b.add("LICM", "loads hoisted or sunk", 961);
+        b.add("GVN", "loads deleted", 45);
+        b.add("DSE", "stores deleted", 98);
+        let rows = a.diff(&b);
+        assert_eq!(rows.len(), 2);
+        let licm = rows.iter().find(|r| r.0 == "LICM").unwrap();
+        assert_eq!(licm.2, 70);
+        assert_eq!(licm.3, 961);
+        assert!((licm.4 - 1272.857).abs() < 0.01);
+        let dse = rows.iter().find(|r| r.0 == "DSE").unwrap();
+        assert_eq!(dse.4, 100.0);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let mut s = Stats::new();
+        s.add("b", "y", 2);
+        s.add("a", "x", 1);
+        let r = s.render();
+        let ax = r.find("a - x").unwrap();
+        let by = r.find("b - y").unwrap();
+        assert!(ax < by);
+    }
+}

@@ -1,0 +1,27 @@
+//! # oraql-vm — deterministic execution substrate
+//!
+//! Stands in for the paper's native testbed (Skylake host + A100 device).
+//! Provides:
+//!
+//! * [`interp::Interpreter`] — a byte-addressable, deterministic IR
+//!   interpreter that captures program output (the verification channel),
+//!   counts executed instructions (the `perf` stand-in) and models cost
+//!   with a simple cycle table ([`interp::ExecStats`]),
+//! * [`machine`] — a mini machine backend (block linearization, live
+//!   intervals, linear-scan register allocation, stack-frame layout) that
+//!   produces the per-kernel static properties of the paper's Fig. 7
+//!   (`# registers`, `# bytes stack frame`) and the `asm printer`
+//!   machine-instruction counts of Fig. 6.
+//!
+//! Determinism is the load-bearing property: a miscompilation caused by
+//! a wrong optimistic no-alias answer must change the printed output
+//! *reproducibly* so the ORAQL driver's bisection has a reliable signal.
+
+pub mod interp;
+pub mod machine;
+pub mod memory;
+pub mod rtval;
+
+pub use interp::{AccessEvent, ExecStats, Interpreter, RunOutcome, RuntimeError};
+pub use machine::{lower_function, MachineSummary};
+pub use rtval::RtVal;

@@ -1,0 +1,214 @@
+//! Flat byte-addressable memory with a global segment and a downward
+//! stack-like alloca region (restored on function return).
+
+use oraql_ir::module::Module;
+
+/// Base address of the global segment (nonzero so null stays invalid).
+pub const GLOBAL_BASE: u64 = 0x1_0000;
+/// Base address of the alloca region.
+pub const STACK_BASE: u64 = 0x1000_0000;
+/// Upper bound of the alloca region.
+pub const STACK_LIMIT: u64 = 0x5000_0000;
+
+/// Memory error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Access outside any mapped segment.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+    },
+    /// Stack (alloca region) exhausted.
+    StackOverflow,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds access of {size} bytes at {addr:#x}")
+            }
+            MemError::StackOverflow => write!(f, "alloca region exhausted"),
+        }
+    }
+}
+
+/// The VM's address space.
+pub struct Memory {
+    globals: Vec<u8>,
+    stack: Vec<u8>,
+    sp: u64,
+    /// Base address of each global, parallel to `Module::globals`.
+    global_bases: Vec<u64>,
+}
+
+impl Memory {
+    /// Lays out all globals of `m` and initializes them.
+    pub fn new(m: &Module) -> Self {
+        let mut globals = Vec::new();
+        let mut global_bases = Vec::with_capacity(m.globals.len());
+        for g in &m.globals {
+            // 16-byte align each global.
+            while globals.len() % 16 != 0 {
+                globals.push(0);
+            }
+            global_bases.push(GLOBAL_BASE + globals.len() as u64);
+            let start = globals.len();
+            globals.resize(start + g.size as usize, 0);
+            let n = g.init.len().min(g.size as usize);
+            globals[start..start + n].copy_from_slice(&g.init[..n]);
+        }
+        Memory {
+            globals,
+            stack: Vec::new(),
+            sp: STACK_BASE,
+            global_bases,
+        }
+    }
+
+    /// Base address of global `i`.
+    pub fn global_base(&self, i: usize) -> u64 {
+        self.global_bases[i]
+    }
+
+    /// Current stack pointer (save before a call, restore after).
+    pub fn stack_mark(&self) -> u64 {
+        self.sp
+    }
+
+    /// Restores the stack pointer to a previous mark.
+    pub fn stack_release(&mut self, mark: u64) {
+        self.sp = mark;
+    }
+
+    /// Allocates `size` bytes in the alloca region (16-byte aligned).
+    pub fn alloca(&mut self, size: u64) -> Result<u64, MemError> {
+        let aligned = (size + 15) & !15;
+        if self.sp + aligned > STACK_LIMIT {
+            return Err(MemError::StackOverflow);
+        }
+        let addr = self.sp;
+        self.sp += aligned;
+        let needed = (self.sp - STACK_BASE) as usize;
+        if self.stack.len() < needed {
+            self.stack.resize(needed, 0);
+        }
+        // Allocas are not guaranteed zeroed by C semantics, but giving
+        // them a deterministic content keeps reruns bit-identical. We
+        // zero the fresh region explicitly because stack_release + new
+        // alloca may reuse bytes written by a previous frame.
+        let start = (addr - STACK_BASE) as usize;
+        self.stack[start..start + aligned as usize].fill(0);
+        Ok(addr)
+    }
+
+    fn region(&self, addr: u64, size: u64) -> Result<(bool, usize), MemError> {
+        if addr >= GLOBAL_BASE && addr + size <= GLOBAL_BASE + self.globals.len() as u64 {
+            Ok((true, (addr - GLOBAL_BASE) as usize))
+        } else if addr >= STACK_BASE && addr + size <= STACK_BASE + self.stack.len() as u64 {
+            Ok((false, (addr - STACK_BASE) as usize))
+        } else {
+            Err(MemError::OutOfBounds { addr, size })
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let (is_global, off) = self.region(addr, buf.len() as u64)?;
+        let src = if is_global { &self.globals } else { &self.stack };
+        buf.copy_from_slice(&src[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `buf` at `addr`.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
+        let (is_global, off) = self.region(addr, buf.len() as u64)?;
+        let dst = if is_global {
+            &mut self.globals
+        } else {
+            &mut self.stack
+        };
+        dst[off..off + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// `memcpy` within the VM address space (regions may not overlap in
+    /// well-defined programs; we copy via a temporary so overlap behaves
+    /// like `memmove`, keeping execution deterministic either way).
+    pub fn copy(&mut self, dst: u64, src: u64, n: u64) -> Result<(), MemError> {
+        let mut tmp = vec![0u8; n as usize];
+        self.read(src, &mut tmp)?;
+        self.write(dst, &tmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module_with_global() -> Module {
+        let mut m = Module::new("t");
+        m.add_global("g", 16, vec![1, 2, 3, 4], false);
+        m.add_global("h", 8, vec![], true);
+        m
+    }
+
+    #[test]
+    fn globals_initialized_and_aligned() {
+        let m = module_with_global();
+        let mem = Memory::new(&m);
+        let g = mem.global_base(0);
+        let h = mem.global_base(1);
+        assert_eq!(g % 16, 0);
+        assert_eq!(h % 16, 0);
+        let mut buf = [0u8; 4];
+        mem.read(g, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        // Tail is zero-filled.
+        mem.read(g + 4, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn alloca_roundtrip_and_release() {
+        let m = module_with_global();
+        let mut mem = Memory::new(&m);
+        let mark = mem.stack_mark();
+        let a = mem.alloca(32).unwrap();
+        mem.write(a, &[9; 32]).unwrap();
+        let mut buf = [0u8; 32];
+        mem.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [9; 32]);
+        mem.stack_release(mark);
+        // A new alloca reuses the region and is zeroed.
+        let b = mem.alloca(32).unwrap();
+        assert_eq!(a, b);
+        mem.read(b, &mut buf).unwrap();
+        assert_eq!(buf, [0; 32]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let m = module_with_global();
+        let mem = Memory::new(&m);
+        let mut buf = [0u8; 8];
+        assert!(mem.read(0, &mut buf).is_err());
+        assert!(mem.read(STACK_BASE, &mut buf).is_err()); // nothing allocated
+        // Straddling the end of the global segment.
+        let g = mem.global_base(1);
+        assert!(mem.read(g + 4, &mut buf).is_err());
+    }
+
+    #[test]
+    fn copy_between_segments() {
+        let m = module_with_global();
+        let mut mem = Memory::new(&m);
+        let a = mem.alloca(16).unwrap();
+        mem.copy(a, mem.global_base(0), 4).unwrap();
+        let mut buf = [0u8; 4];
+        mem.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+}

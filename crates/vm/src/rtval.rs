@@ -1,0 +1,77 @@
+//! Runtime values.
+
+use oraql_ir::types::Ty;
+
+/// A value held in a virtual register during interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtVal {
+    /// Integer (all integer widths are held sign-extended in 64 bits;
+    /// truncation happens at stores and explicit `Trunc` casts).
+    I(i64),
+    /// 64-bit float (F32 values are held widened).
+    F(f64),
+    /// Pointer (byte address in the VM's flat address space).
+    P(u64),
+    /// Integer vector.
+    VI(Vec<i64>),
+    /// Float vector.
+    VF(Vec<f64>),
+}
+
+impl RtVal {
+    /// Integer content, or an error string.
+    pub fn as_i(&self) -> Result<i64, String> {
+        match self {
+            RtVal::I(x) => Ok(*x),
+            other => Err(format!("expected int, got {other:?}")),
+        }
+    }
+
+    /// Float content.
+    pub fn as_f(&self) -> Result<f64, String> {
+        match self {
+            RtVal::F(x) => Ok(*x),
+            other => Err(format!("expected float, got {other:?}")),
+        }
+    }
+
+    /// Pointer content.
+    pub fn as_p(&self) -> Result<u64, String> {
+        match self {
+            RtVal::P(x) => Ok(*x),
+            other => Err(format!("expected pointer, got {other:?}")),
+        }
+    }
+
+    /// The zero/default value of a type (used for undef materialization
+    /// in tests; the interpreter proper traps on undef reads).
+    pub fn zero_of(ty: Ty) -> RtVal {
+        match ty {
+            Ty::F32 | Ty::F64 => RtVal::F(0.0),
+            Ty::Ptr => RtVal::P(0),
+            Ty::VecI64(n) => RtVal::VI(vec![0; n as usize]),
+            Ty::VecF64(n) => RtVal::VF(vec![0.0; n as usize]),
+            _ => RtVal::I(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(RtVal::I(3).as_i().unwrap(), 3);
+        assert_eq!(RtVal::F(2.5).as_f().unwrap(), 2.5);
+        assert_eq!(RtVal::P(0x1000).as_p().unwrap(), 0x1000);
+        assert!(RtVal::I(3).as_f().is_err());
+        assert!(RtVal::F(1.0).as_p().is_err());
+    }
+
+    #[test]
+    fn zeros() {
+        assert_eq!(RtVal::zero_of(Ty::I64), RtVal::I(0));
+        assert_eq!(RtVal::zero_of(Ty::VecF64(4)), RtVal::VF(vec![0.0; 4]));
+    }
+}

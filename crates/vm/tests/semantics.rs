@@ -1,0 +1,180 @@
+//! VM semantics corner cases: type punning through memory, narrow
+//! integer sign handling, float casts, NaN comparisons, memcpy overlap,
+//! fuel accounting, and machine lowering of CFG-heavy functions.
+
+use oraql_ir::builder::FunctionBuilder;
+use oraql_ir::inst::{CastKind, CmpPred};
+use oraql_ir::{Module, Ty, Value};
+use oraql_vm::{lower_function, Interpreter, RuntimeError};
+
+#[test]
+fn type_punning_reads_stored_bits() {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    let slot = b.alloca(8, "slot");
+    b.store(Ty::F64, Value::const_f64(1.0), slot);
+    let bits = b.load(Ty::I64, slot);
+    b.print("{}", vec![bits]);
+    b.ret(None);
+    b.finish();
+    let out = Interpreter::run_main(&m).unwrap();
+    assert_eq!(out.stdout.trim(), (1.0f64).to_bits().to_string());
+}
+
+#[test]
+fn narrow_integers_sign_extend_on_load() {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    let slot = b.alloca(8, "slot");
+    b.store(Ty::I8, Value::ConstInt(-1), slot);
+    let v8 = b.load(Ty::I8, slot);
+    b.store(Ty::I16, Value::ConstInt(-300), slot);
+    let v16 = b.load(Ty::I16, slot);
+    b.store(Ty::I32, Value::ConstInt(-70000), slot);
+    let v32 = b.load(Ty::I32, slot);
+    b.print("{} {} {}", vec![v8, v16, v32]);
+    b.ret(None);
+    b.finish();
+    let out = Interpreter::run_main(&m).unwrap();
+    assert_eq!(out.stdout.trim(), "-1 -300 -70000");
+}
+
+#[test]
+fn fp_cast_narrows_through_f32() {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    // 1/3 is not representable exactly; f32 roundtrip loses precision.
+    let third = b.fdiv(Value::const_f64(1.0), Value::const_f64(3.0));
+    let narrowed = b.cast(CastKind::FpCast, third, Ty::F32);
+    let eq = b.cmp(CmpPred::Eq, Ty::F64, third, narrowed);
+    b.print("{}", vec![eq]);
+    b.ret(None);
+    b.finish();
+    let out = Interpreter::run_main(&m).unwrap();
+    assert_eq!(out.stdout.trim(), "0");
+}
+
+#[test]
+fn nan_comparisons_are_ieee() {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    let nan = b.fdiv(Value::const_f64(0.0), Value::const_f64(0.0));
+    let eq = b.cmp(CmpPred::Eq, Ty::F64, nan, nan);
+    let ne = b.cmp(CmpPred::Ne, Ty::F64, nan, nan);
+    let lt = b.cmp(CmpPred::Lt, Ty::F64, nan, Value::const_f64(1.0));
+    b.print("{} {} {}", vec![eq, ne, lt]);
+    b.ret(None);
+    b.finish();
+    let out = Interpreter::run_main(&m).unwrap();
+    assert_eq!(out.stdout.trim(), "0 1 0");
+}
+
+#[test]
+fn memcpy_overlap_behaves_like_memmove() {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    let buf = b.alloca(32, "buf");
+    for i in 0..4i64 {
+        let p = b.gep(buf, 8 * i);
+        b.store(Ty::I64, Value::ConstInt(10 + i), p);
+    }
+    // Overlapping copy: shift [0..24) to [8..32).
+    let dst = b.gep(buf, 8);
+    b.memcpy(dst, buf, Value::ConstInt(24));
+    for i in 0..4i64 {
+        let p = b.gep(buf, 8 * i);
+        let v = b.load(Ty::I64, p);
+        b.print("{}", vec![v]);
+    }
+    b.ret(None);
+    b.finish();
+    let out = Interpreter::run_main(&m).unwrap();
+    assert_eq!(out.stdout, "10\n10\n11\n12\n");
+}
+
+#[test]
+fn fuel_counts_every_instruction() {
+    // A straight-line function with exactly 4 instructions (store,
+    // load, print, ret): fuel 3 fails, fuel 5 succeeds.
+    let build = || {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+        let x = b.alloca(8, "x");
+        b.store(Ty::I64, Value::ConstInt(1), x);
+        let v = b.load(Ty::I64, x);
+        b.print("{}", vec![v]);
+        b.ret(None);
+        b.finish();
+        m
+    };
+    let m = build();
+    let main = m.find_func("main").unwrap();
+    let mut tight = Interpreter::new(&m).with_fuel(3);
+    assert!(matches!(
+        tight.run(main, vec![]),
+        Err(RuntimeError::FuelExhausted)
+    ));
+    let m2 = build();
+    let mut enough = Interpreter::new(&m2).with_fuel(5);
+    assert!(enough.run(m2.find_func("main").unwrap(), vec![]).is_ok());
+}
+
+#[test]
+fn machine_lowering_handles_loops_and_phis() {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::Ptr], None);
+    let p = b.arg(0);
+    b.counted_loop(Value::ConstInt(0), Value::ConstInt(16), |b, i| {
+        let a = b.gep_scaled(p, i, 8, 0);
+        let v = b.load(Ty::I64, a);
+        let w = b.mul(v, i);
+        b.store(Ty::I64, w, a);
+    });
+    b.ret(None);
+    let id = b.finish();
+    let s = lower_function(&m, id, None);
+    assert!(s.machine_insts > 6);
+    assert!(s.registers >= 2);
+    assert_eq!(s.spills, 0);
+    // The induction phi is live across the back edge: its interval must
+    // span the whole loop, so pressure is at least phi + operands.
+    assert!(s.registers <= oraql_vm::machine::HOST_REGS);
+}
+
+#[test]
+fn division_semantics() {
+    let mut m = Module::new("t");
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    let q = b.div(Value::ConstInt(-7), Value::ConstInt(2));
+    let r = b.rem(Value::ConstInt(-7), Value::ConstInt(2));
+    b.print("{} {}", vec![q, r]);
+    b.ret(None);
+    b.finish();
+    let out = Interpreter::run_main(&m).unwrap();
+    // Rust/LLVM semantics: trunc toward zero.
+    assert_eq!(out.stdout.trim(), "-3 -1");
+}
+
+#[test]
+fn stack_reuse_across_calls_is_deterministic() {
+    // Two calls to a function with an alloca: the second call sees
+    // zeroed memory, not the first call's leftovers.
+    let mut m = Module::new("t");
+    let callee = {
+        let mut b = FunctionBuilder::new(&mut m, "leaky", vec![], Some(Ty::I64));
+        let x = b.alloca(8, "x");
+        let v = b.load(Ty::I64, x); // read before any store
+        let bump = b.add(v, Value::ConstInt(1));
+        b.store(Ty::I64, bump, x);
+        b.ret(Some(bump));
+        b.finish()
+    };
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    let a = b.call(callee, vec![], Some(Ty::I64)).unwrap();
+    let c = b.call(callee, vec![], Some(Ty::I64)).unwrap();
+    b.print("{} {}", vec![a, c]);
+    b.ret(None);
+    b.finish();
+    let out = Interpreter::run_main(&m).unwrap();
+    assert_eq!(out.stdout.trim(), "1 1");
+}

@@ -1,0 +1,260 @@
+//! The ORAQL command-line driver.
+//!
+//! ```text
+//! oraql --list
+//! oraql --benchmark <name> [--strategy chunked|frequency] [--dump]
+//!       [--emit-sequence <file>]            # save the final decisions
+//! oraql --benchmark <name> --replay <seq>   # compile+run a saved
+//!                                           # sequence (or @file)
+//! oraql --config <file>
+//! oraql --all
+//! ```
+//!
+//! Runs the probing workflow on one (or all) of the registered proxy
+//! benchmarks and prints the Fig. 4-style query statistics, the probing
+//! effort, and (with `--dump`) the Fig. 3-style pessimistic-query
+//! report.
+
+use oraql::config::Config;
+use oraql::report::{render_report, DumpFlags};
+use oraql::{Driver, DriverOptions, Strategy};
+use oraql_workloads as workloads;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oraql --list\n       \
+         oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n       \
+         oraql --config <file>\n       \
+         oraql --all"
+    );
+    std::process::exit(2)
+}
+
+/// Compiles and runs one benchmark with a fixed decision sequence (the
+/// paper's "program compiled with (almost) perfect alias information").
+fn replay(name: &str, seq_arg: &str) -> i32 {
+    let Some(case) = workloads::find_case(name) else {
+        eprintln!("unknown benchmark {name:?}; try --list");
+        return 2;
+    };
+    let decisions = match oraql::Decisions::from_arg(seq_arg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bad sequence: {e}");
+            return 2;
+        }
+    };
+    let compiled = oraql::compile::compile(
+        &case.build,
+        &oraql::compile::CompileOptions::with_oraql(decisions, case.scope.clone()),
+    );
+    let main = compiled.module.find_func("main").expect("main");
+    let mut interp = oraql_vm::Interpreter::new(&compiled.module).with_fuel(case.fuel);
+    match interp.run(main, vec![]) {
+        Ok(_) => {
+            print!("{}", interp.stdout());
+            let st = compiled.oraql.as_ref().unwrap().lock();
+            eprintln!(
+                "[oraql] replay: {} optimistic / {} pessimistic unique queries, {} insts",
+                st.stats.unique_optimistic,
+                st.stats.unique_pessimistic,
+                interp.stats().total_insts()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("[oraql] replay failed: {e}");
+            1
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    opts: DriverOptions,
+    dump: bool,
+    cfg: Option<&Config>,
+    emit_sequence: Option<&str>,
+) -> i32 {
+    let Some(mut case) = workloads::find_case(name) else {
+        eprintln!("unknown benchmark {name:?}; try --list");
+        return 2;
+    };
+    if let Some(cfg) = cfg {
+        // Config overrides the registry defaults.
+        if cfg.scope != oraql::compile::Scope::everything() {
+            case.scope = cfg.scope.clone();
+        }
+        if !cfg.ignore.is_empty() {
+            case.ignore_patterns = cfg.ignore.clone();
+        }
+        case.extra_references = cfg.references.clone();
+        case.fuel = cfg.fuel;
+        case.use_cfl = cfg.use_cfl;
+    }
+    let info = workloads::find_info(name);
+    match Driver::run(&case, opts) {
+        Ok(r) => {
+            println!("== {name} ==");
+            if let Some(i) = info {
+                println!(
+                    "benchmark: {} | model: {} | files: {}",
+                    i.benchmark, i.model, i.source_files
+                );
+            }
+            println!(
+                "fully optimistic: {} | final sequence: {}",
+                r.fully_optimistic,
+                truncate(&r.decisions.render(), 72)
+            );
+            println!(
+                "opt queries: {} unique / {} cached | pess queries: {} unique / {} cached",
+                r.oraql.unique_optimistic,
+                r.oraql.cached_optimistic,
+                r.oraql.unique_pessimistic,
+                r.oraql.cached_pessimistic
+            );
+            println!(
+                "no-alias results: {} -> {} ({:+.1}%)",
+                r.no_alias_original,
+                r.no_alias_oraql,
+                r.no_alias_delta_percent()
+            );
+            println!(
+                "probing: {} compiles, {} tests run, {} cached, {} deduced",
+                r.effort.compiles, r.effort.tests_run, r.effort.tests_cached, r.effort.tests_deduced
+            );
+            println!(
+                "executed instructions: {} -> {} | host cycles: {} -> {} | device cycles: {} -> {}",
+                r.baseline_run.stats.total_insts(),
+                r.final_run.stats.total_insts(),
+                r.baseline_run.stats.host_cycles,
+                r.final_run.stats.host_cycles,
+                r.baseline_run.stats.device_cycles,
+                r.final_run.stats.device_cycles,
+            );
+            if let Some(path) = emit_sequence {
+                match std::fs::write(path, r.decisions.render()) {
+                    Ok(()) => println!("final sequence written to {path} (replay with --replay @{path})"),
+                    Err(e) => eprintln!("cannot write {path}: {e}"),
+                }
+            }
+            if dump {
+                println!("--- pessimistic query report ---");
+                let text = render_report(
+                    &r.final_module,
+                    &r.queries,
+                    DumpFlags::pessimistic_only(),
+                    &r.pass_trace,
+                );
+                if text.is_empty() {
+                    println!("(no pessimistic queries)");
+                } else {
+                    print!("{text}");
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{name}: driver failed: {e}");
+            1
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut benchmark: Option<String> = None;
+    let mut config: Option<Config> = None;
+    let mut opts = DriverOptions::default();
+    let mut dump = false;
+    let mut all = false;
+    let mut emit_sequence: Option<String> = None;
+    let mut replay_seq: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for info in workloads::CASE_INFOS {
+                    println!("{:20} {} ({})", info.name, info.benchmark, info.model);
+                }
+                return;
+            }
+            "--all" => all = true,
+            "--dump" => dump = true,
+            "--benchmark" | "-b" => {
+                i += 1;
+                benchmark = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--strategy" | "-s" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                opts.strategy = Strategy::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                });
+            }
+            "--emit-sequence" => {
+                i += 1;
+                emit_sequence = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--replay" => {
+                i += 1;
+                replay_seq = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--max-tests" => {
+                i += 1;
+                opts.max_tests = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--config" | "-c" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| usage());
+                let cfg = Config::load(&path).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                });
+                opts.strategy = cfg.strategy;
+                opts.max_tests = cfg.max_tests;
+                benchmark = Some(cfg.benchmark.clone());
+                dump |= cfg.dump;
+                config = Some(cfg);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts.trace_passes = dump;
+
+    let code = if let (Some(name), Some(seq)) = (&benchmark, &replay_seq) {
+        replay(name, seq)
+    } else if all {
+        let mut worst = 0;
+        for info in workloads::CASE_INFOS {
+            worst = worst.max(run_one(
+                info.name,
+                opts.clone(),
+                dump,
+                config.as_ref(),
+                emit_sequence.as_deref(),
+            ));
+            println!();
+        }
+        worst
+    } else if let Some(name) = benchmark {
+        run_one(&name, opts, dump, config.as_ref(), emit_sequence.as_deref())
+    } else {
+        usage()
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,289 @@
+//! XSBench — proxy for the OpenMC Monte Carlo neutron transport
+//! macroscopic cross-section lookup kernel.
+//!
+//! Three configurations (paper §V-B): sequential C, OpenMP, and
+//! CUDA/Thrust. All three share the `Simulation` file's `pick_mat`
+//! function, whose constant-size `dist[12]` array is responsible for
+//! the (identical) eleven pessimistic queries in every configuration.
+//! The CUDA variant routes the lookup through extra "Thrust" wrapper
+//! layers, multiplying the number of (optimistic) queries.
+
+use crate::toolkit::*;
+use oraql::compile::Scope;
+use oraql::TestCase;
+use oraql_ir::builder::FunctionBuilder;
+use oraql_ir::module::{FunctionId, Module};
+use oraql_ir::value::Value;
+use oraql_ir::Ty;
+
+/// Lookups performed.
+const LOOKUPS: i64 = 24;
+/// Energy-grid points.
+const GRID: i64 = 48;
+
+fn xs_arrays() -> Vec<(&'static str, u64)> {
+    vec![
+        ("egrid", 8 * GRID as u64),
+        ("xs_a", 8 * GRID as u64),
+        ("xs_b", 8 * GRID as u64),
+        ("results", 8 * LOOKUPS as u64),
+        ("dist", 8 * 12),
+    ]
+}
+
+/// `dist[12]` alias views: one read view and one write view per element
+/// 1..=11 — the eleven pessimistic pairs.
+fn dist_views() -> Vec<(String, String, i64)> {
+    let mut v = Vec::new();
+    for i in 1..12i64 {
+        v.push((format!("dist_r{i}"), "dist".to_owned(), 8 * i));
+        v.push((format!("dist_w{i}"), "dist".to_owned(), 8 * i));
+    }
+    v
+}
+
+fn make_xs_ctx(m: &mut Module) -> Ctx {
+    let views = dist_views();
+    let refs: Vec<(&str, &str, i64)> = views
+        .iter()
+        .map(|(a, b, o)| (a.as_str(), b.as_str(), *o))
+        .collect();
+    make_ctx(m, "xs", &xs_arrays(), &refs)
+}
+
+/// `pick_mat`: renormalizes the running material distribution. Each of
+/// the eleven steps reads `dist[i]` through one view and writes it
+/// through another — a genuine alias the conservative chain cannot see.
+fn emit_pick_mat(m: &mut Module, ctx: &Ctx) -> FunctionId {
+    let mut b = FunctionBuilder::new(m, "pick_mat", vec![Ty::Ptr], None);
+    b.set_src_file("Simulation");
+    let cp = b.arg(0);
+    let acc = dptr(&mut b, ctx, cp, "results");
+    for i in 1..12i64 {
+        b.set_loc("Simulation", 300 + i as u32, 9);
+        let r = format!("dist_r{i}");
+        let w = format!("dist_w{i}");
+        hazard_sandwich(&mut b, ctx, cp, &r, &w, 0, acc);
+    }
+    b.ret(None);
+    b.finish()
+}
+
+/// `calculate_xs`: interpolates two cross-section tables at an energy
+/// point, entirely through dptr indirection.
+fn emit_calculate_xs(m: &mut Module, ctx: &Ctx, name: &str) -> FunctionId {
+    let mut b = FunctionBuilder::new(m, name, vec![Ty::Ptr, Ty::I64], None);
+    b.set_src_file("Simulation");
+    b.set_loc("Simulation", 120, 5);
+    let cp = b.arg(0);
+    let lookup = b.arg(1);
+    let tag = ctx.tag_data;
+    // idx = (lookup * 17) % GRID — the pseudo-random grid point.
+    let h = b.mul(lookup, Value::ConstInt(17));
+    let idx = b.rem(h, Value::ConstInt(GRID));
+    let eg = dptr(&mut b, ctx, cp, "egrid");
+    let xa = dptr(&mut b, ctx, cp, "xs_a");
+    let xb = dptr(&mut b, ctx, cp, "xs_b");
+    let res = dptr(&mut b, ctx, cp, "results");
+    let egp = b.gep_scaled(eg, idx, 8, 0);
+    let e = b.load_tbaa(Ty::F64, egp, tag);
+    let xap = b.gep_scaled(xa, idx, 8, 0);
+    let a = b.load_tbaa(Ty::F64, xap, tag);
+    let xbp = b.gep_scaled(xb, idx, 8, 0);
+    let bb = b.load_tbaa(Ty::F64, xbp, tag);
+    let w = b.fmul(a, e);
+    let v = b.fadd(w, bb);
+    let rp = b.gep_scaled(res, lookup, 8, 0);
+    let cur = b.load_tbaa(Ty::F64, rp, tag);
+    let s = b.fadd(cur, v);
+    b.store_tbaa(Ty::F64, s, rp, tag);
+    b.ret(None);
+    b.finish()
+}
+
+fn emit_setup(b: &mut FunctionBuilder<'_>, ctx: &Ctx) {
+    fill_array(b, ctx, "egrid", GRID, 0.01, 0.02);
+    fill_array(b, ctx, "xs_a", GRID, 2.0, 0.1);
+    fill_array(b, ctx, "xs_b", GRID, 0.5, -0.01);
+    fill_array(b, ctx, "results", LOOKUPS, 0.0, 0.0);
+    fill_array(b, ctx, "dist", 12, 0.05, 0.01);
+}
+
+fn emit_epilogue(b: &mut FunctionBuilder<'_>, ctx: &Ctx) {
+    checksum(b, ctx, "results", LOOKUPS, "verification");
+    checksum(b, ctx, "dist", 12, "dist");
+    timing_epilogue(b, "lookups/s");
+}
+
+/// Sequential C configuration.
+pub fn build_c() -> Module {
+    let mut m = Module::new("xsbench-c");
+    let ctx = make_xs_ctx(&mut m);
+    let pick = emit_pick_mat(&mut m, &ctx);
+    let calc = emit_calculate_xs(&mut m, &ctx, "calculate_macro_xs");
+    let mut b = main_builder(&mut m, "Main");
+    init_ctx(&mut b, &ctx);
+    emit_setup(&mut b, &ctx);
+    call_kernel(&mut b, pick, &ctx);
+    b.counted_loop(Value::ConstInt(0), Value::ConstInt(LOOKUPS), |b, i| {
+        b.call(calc, vec![Value::Global(ctx.global), i], None);
+    });
+    emit_epilogue(&mut b, &ctx);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+/// OpenMP configuration: lookups distributed over an outlined region.
+pub fn build_omp() -> Module {
+    let mut m = Module::new("xsbench-omp");
+    let ctx = make_xs_ctx(&mut m);
+    let pick = emit_pick_mat(&mut m, &ctx);
+    let calc = emit_calculate_xs(&mut m, &ctx, "calculate_macro_xs");
+    let threads = 4u32;
+    let outlined = {
+        let mut b = outlined_worker(&mut m, ".omp_outlined.", "Simulation");
+        let tid = b.arg(0);
+        let cp = b.arg(1);
+        let (lo, hi) = chunk_bounds(&mut b, tid, LOOKUPS, threads as i64);
+        b.counted_loop(lo, hi, |b, i| {
+            b.call(calc, vec![cp, i], None);
+        });
+        b.ret(None);
+        b.finish()
+    };
+    let mut b = main_builder(&mut m, "Main");
+    init_ctx(&mut b, &ctx);
+    emit_setup(&mut b, &ctx);
+    call_kernel(&mut b, pick, &ctx);
+    b.parallel_region(outlined, vec![Value::Global(ctx.global)], threads);
+    emit_epilogue(&mut b, &ctx);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+/// CUDA/Thrust configuration: the lookup goes through layered wrappers
+/// (the Thrust indirection) into a device kernel; `pick_mat` stays on
+/// the host, so the same eleven pessimistic queries appear.
+pub fn build_cuda() -> Module {
+    let mut m = Module::new("xsbench-cuda");
+    let ctx = make_xs_ctx(&mut m);
+    let pick = emit_pick_mat(&mut m, &ctx);
+    // Device-side lookup body.
+    let dev_calc = {
+        let mut b = device_kernel(&mut m, "xs_lookup_kernel", "Simulation");
+        let gid = b.arg(0);
+        let cp = b.arg(1);
+        let tag = ctx.tag_data;
+        let h = b.mul(gid, Value::ConstInt(17));
+        let idx = b.rem(h, Value::ConstInt(GRID));
+        // Thrust-style iterator indirection: each "iterator" re-derives
+        // its pointer through a chain of geps and reloads.
+        for _layer in 0..3i64 {
+            let eg = dptr(&mut b, &ctx, cp, "egrid");
+            let xa = dptr(&mut b, &ctx, cp, "xs_a");
+            let res = dptr(&mut b, &ctx, cp, "results");
+            let egp = b.gep_scaled(eg, idx, 8, 0);
+            let e = b.load_tbaa(Ty::F64, egp, tag);
+            let xap = b.gep_scaled(xa, idx, 8, 0);
+            let a = b.load_tbaa(Ty::F64, xap, tag);
+            let v = b.fmul(a, e);
+            let scale = b.fmul(v, Value::const_f64(1.0 / 3.0));
+            let rp = b.gep_scaled(res, gid, 8, 0);
+            let cur = b.load_tbaa(Ty::F64, rp, tag);
+            let s = b.fadd(cur, scale);
+            b.store_tbaa(Ty::F64, s, rp, tag);
+        }
+        b.ret(None);
+        b.finish()
+    };
+    // Host-side Thrust wrappers (transform -> for_each -> launch).
+    let launch = {
+        let mut b = FunctionBuilder::new(&mut m, "thrust_transform", vec![Ty::Ptr], None);
+        b.set_src_file("Simulation");
+        let cp = b.arg(0);
+        // The wrapper itself shuffles pointers through a local "tuple".
+        let tuple = b.alloca(16, "thrust_tuple");
+        let eg = dptr(&mut b, &ctx, cp, "egrid");
+        b.store(Ty::Ptr, eg, tuple);
+        let t2 = b.gep(tuple, 8);
+        let res = dptr(&mut b, &ctx, cp, "results");
+        b.store(Ty::Ptr, res, t2);
+        let _reload = b.load(Ty::Ptr, tuple);
+        b.kernel_launch(dev_calc, vec![cp], LOOKUPS as u32);
+        b.ret(None);
+        b.finish()
+    };
+    let mut b = main_builder(&mut m, "Main");
+    init_ctx(&mut b, &ctx);
+    emit_setup(&mut b, &ctx);
+    call_kernel(&mut b, pick, &ctx);
+    call_kernel(&mut b, launch, &ctx);
+    emit_epilogue(&mut b, &ctx);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+/// The three XSBench test cases.
+pub fn cases() -> Vec<TestCase> {
+    let mut c = TestCase::new("xsbench", build_c);
+    c.scope = Scope::files(vec!["Simulation".into()]);
+    c.ignore_patterns = standard_ignore_patterns();
+
+    let mut omp = TestCase::new("xsbench_omp", build_omp);
+    omp.scope = Scope::files(vec!["Simulation".into()]);
+    omp.ignore_patterns = standard_ignore_patterns();
+
+    let mut cuda = TestCase::new("xsbench_cuda", build_cuda);
+    cuda.scope = Scope::files(vec!["Simulation".into()]);
+    cuda.ignore_patterns = standard_ignore_patterns();
+
+    vec![c, omp, cuda]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oraql_vm::Interpreter;
+
+    #[test]
+    fn all_variants_run() {
+        for (name, build) in [
+            ("c", build_c as fn() -> Module),
+            ("omp", build_omp),
+            ("cuda", build_cuda),
+        ] {
+            let m = build();
+            oraql_ir::verify::assert_valid(&m);
+            let out = Interpreter::run_main(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                out.stdout.contains("checksum(verification)="),
+                "{name}: {}",
+                out.stdout
+            );
+        }
+    }
+
+    #[test]
+    fn seq_and_omp_compute_same_verification() {
+        let grab = |m: &Module| {
+            let out = Interpreter::run_main(m).unwrap();
+            out.stdout
+                .lines()
+                .find(|l| l.starts_with("checksum(verification)"))
+                .unwrap()
+                .to_owned()
+        };
+        // The OpenMP decomposition must not change the result.
+        assert_eq!(grab(&build_c()), grab(&build_omp()));
+    }
+
+    #[test]
+    fn cuda_uses_the_device() {
+        let m = build_cuda();
+        let out = Interpreter::run_main(&m).unwrap();
+        assert!(out.stats.device_insts > 0);
+    }
+}

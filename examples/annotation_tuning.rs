@@ -1,0 +1,137 @@
+//! Use case 1 from the paper: **guided source annotation**.
+//!
+//! A developer is willing to add a few `restrict` annotations but not
+//! to blanket-annotate every pointer (annotations carry maintenance
+//! cost: the invariant has to be preserved forever). ORAQL tells them
+//! *which* pointer pairs matter.
+//!
+//! This example builds a kernel with four pointer parameters, runs
+//! ORAQL to find which queries are answered optimistically *and*
+//! actually enable transformations, then applies `noalias` to exactly
+//! those parameters and shows the annotated build — compiled with the
+//! ordinary conservative pipeline, no ORAQL — recovers the same
+//! performance.
+//!
+//! ```text
+//! cargo run --release --example annotation_tuning
+//! ```
+
+use oraql_suite::ir::builder::FunctionBuilder;
+use oraql_suite::ir::{Module, Ty, Value};
+use oraql_suite::oraql::compile::{compile, CompileOptions};
+use oraql_suite::oraql::{Driver, DriverOptions, TestCase};
+use oraql_suite::vm::Interpreter;
+
+const N: i64 = 64;
+
+/// saxpy-like kernel over four pointer params. `annotate` marks the
+/// parameters `noalias` (the `restrict` annotation).
+fn build(annotate: bool) -> Module {
+    let mut m = Module::new("annotation-tuning");
+    let kern = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "stencil",
+            vec![Ty::Ptr, Ty::Ptr, Ty::Ptr, Ty::Ptr],
+            None,
+        );
+        b.set_src_file("stencil.c");
+        if annotate {
+            for i in 0..4 {
+                b.set_noalias(i, true);
+            }
+        }
+        let a = b.arg(0);
+        let w = b.arg(1);
+        let x = b.arg(2);
+        let out = b.arg(3);
+        b.counted_loop(Value::ConstInt(0), Value::ConstInt(N), |b, i| {
+            // The weight load is loop-invariant — hoistable only when
+            // the out-stores provably don't clobber it.
+            let wv = b.load(Ty::F64, w);
+            let ai = b.gep_scaled(a, i, 8, 0);
+            let av = b.load(Ty::F64, ai);
+            let xi = b.gep_scaled(x, i, 8, 0);
+            let xv = b.load(Ty::F64, xi);
+            let p = b.fmul(av, wv);
+            let s = b.fadd(p, xv);
+            let oi = b.gep_scaled(out, i, 8, 0);
+            b.store(Ty::F64, s, oi);
+        });
+        b.ret(None);
+        b.finish()
+    };
+    let g = m.add_global("buffers", 8 * (3 * N as u64 + 1), vec![], false);
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    b.set_src_file("driver.c");
+    let a = b.gep(Value::Global(g), 0);
+    let w = b.gep(Value::Global(g), 8 * N);
+    let x = b.gep(Value::Global(g), 8 * (N + 1));
+    let out = b.gep(Value::Global(g), 8 * (2 * N + 1));
+    b.counted_loop(Value::ConstInt(0), Value::ConstInt(N), |b, i| {
+        let fi = b.si_to_fp(i);
+        let ai = b.gep_scaled(a, i, 8, 0);
+        b.store(Ty::F64, fi, ai);
+        let xi = b.gep_scaled(x, i, 8, 0);
+        let half = b.fmul(fi, Value::const_f64(0.5));
+        b.store(Ty::F64, half, xi);
+    });
+    b.store(Ty::F64, Value::const_f64(3.0), w);
+    b.call(kern, vec![a, w, x, out], None);
+    // Checksum.
+    let acc = b.alloca(8, "acc");
+    b.store(Ty::F64, Value::const_f64(0.0), acc);
+    b.counted_loop(Value::ConstInt(0), Value::ConstInt(N), |b, i| {
+        let oi = b.gep_scaled(out, i, 8, 0);
+        let v = b.load(Ty::F64, oi);
+        let c = b.load(Ty::F64, acc);
+        let s = b.fadd(c, v);
+        b.store(Ty::F64, s, acc);
+    });
+    let fin = b.load(Ty::F64, acc);
+    b.print("checksum={}", vec![fin]);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+fn main() {
+    // Step 1: how fast is the plain (unannotated, conservative) build?
+    let plain = compile(&|| build(false), &CompileOptions::baseline());
+    let plain_run = Interpreter::run_main(&plain.module).unwrap();
+
+    // Step 2: ORAQL finds the optimal alias information.
+    let case = TestCase::new("stencil", || build(false));
+    let r = Driver::run(&case, DriverOptions::default()).expect("driver");
+    println!(
+        "ORAQL: fully optimistic = {}, {} optimistic queries, {} pessimistic",
+        r.fully_optimistic, r.oraql.unique_optimistic, r.oraql.unique_pessimistic
+    );
+    println!(
+        "potential: {} insts (plain) -> {} insts (perfect alias info)",
+        plain_run.stats.total_insts(),
+        r.final_run.stats.total_insts()
+    );
+
+    // Step 3: all optimistic answers were in `stencil`, whose pointers
+    // are its four parameters — annotate them `restrict` and rebuild
+    // WITHOUT ORAQL.
+    let annotated = compile(&|| build(true), &CompileOptions::baseline());
+    let annotated_run = Interpreter::run_main(&annotated.module).unwrap();
+    println!(
+        "annotated (restrict, no ORAQL): {} insts",
+        annotated_run.stats.total_insts()
+    );
+
+    // The annotation must preserve the output...
+    assert_eq!(plain_run.stdout, annotated_run.stdout);
+    // ...and recover (essentially all of) the ORAQL-discovered gain.
+    assert!(annotated_run.stats.total_insts() < plain_run.stats.total_insts());
+    let gap_oraql = plain_run.stats.total_insts() - r.final_run.stats.total_insts();
+    let gap_annot = plain_run.stats.total_insts() - annotated_run.stats.total_insts();
+    println!(
+        "gain: annotation recovers {gap_annot} of {gap_oraql} instructions ORAQL identified"
+    );
+    assert!(gap_annot * 10 >= gap_oraql * 8, "annotation should recover >= 80%");
+    println!("annotation_tuning OK");
+}

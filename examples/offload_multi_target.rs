@@ -1,0 +1,125 @@
+//! Multi-target compilation (paper §IV-E): a single source compiled for
+//! host *and* device, with ORAQL restricted to one target via the
+//! `-opt-aa-target=<substring>` analogue.
+//!
+//! Demonstrates:
+//! 1. probing the device compilation only (the paper's TestSNAP-Kokkos
+//!    and GridMini setups) — host code is untouched,
+//! 2. probing both targets with one shared sequence — the "pessimistic
+//!    intersection" the paper describes when the sequence cannot be
+//!    adjusted between the per-target compilations of the same file.
+//!
+//! ```text
+//! cargo run --release --example offload_multi_target
+//! ```
+
+use oraql_suite::ir::builder::FunctionBuilder;
+use oraql_suite::ir::{Module, Target, Ty, Value};
+use oraql_suite::oraql::compile::Scope;
+use oraql_suite::oraql::{Driver, DriverOptions, TestCase};
+
+const N: i64 = 32;
+
+/// One "source file" with a host loop and a device kernel, both full of
+/// opaque (but disjoint) pointer indirection, plus one genuine alias on
+/// the host side only.
+fn build() -> Module {
+    let mut m = Module::new("offload");
+    let g = m.add_global("bufs", 8 * (3 * N as u64), vec![], false);
+    let ctx = m.add_global("ctx", 24, vec![], false);
+
+    // Device kernel: out[gid] = a[gid] * 2 through ctx indirection.
+    let kern = {
+        let mut b = FunctionBuilder::new(&mut m, "offload_kernel", vec![Ty::I64, Ty::Ptr], None);
+        b.set_target(Target::Device);
+        b.set_src_file("offload.cpp");
+        let gid = b.arg(0);
+        let cp = b.arg(1);
+        let ap = b.load(Ty::Ptr, cp);
+        let op_slot = b.gep(cp, 8);
+        let op = b.load(Ty::Ptr, op_slot);
+        let ai = b.gep_scaled(ap, gid, 8, 0);
+        let av = b.load(Ty::F64, ai);
+        let dv = b.fmul(av, Value::const_f64(2.0));
+        let oi = b.gep_scaled(op, gid, 8, 0);
+        b.store(Ty::F64, dv, oi);
+        b.ret(None);
+        b.finish()
+    };
+
+    // Host kernel with a genuine alias (two ctx slots, same buffer).
+    let host_work = {
+        let mut b = FunctionBuilder::new(&mut m, "host_reduce", vec![Ty::Ptr], None);
+        b.set_src_file("offload.cpp");
+        let cp = b.arg(0);
+        let p = b.load(Ty::Ptr, cp);
+        let q_slot = b.gep(cp, 16);
+        let q = b.load(Ty::Ptr, q_slot); // same buffer as p!
+        let x1 = b.load(Ty::F64, p);
+        let bump = b.fadd(x1, Value::const_f64(1.0));
+        b.store(Ty::F64, bump, q);
+        let x2 = b.load(Ty::F64, p);
+        let s = b.fadd(x1, x2);
+        b.print("host sum: {}", vec![s]);
+        b.ret(None);
+        b.finish()
+    };
+
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    b.set_src_file("offload.cpp");
+    let a = b.gep(Value::Global(g), 0);
+    let out = b.gep(Value::Global(g), 8 * N);
+    b.counted_loop(Value::ConstInt(0), Value::ConstInt(N), |b, i| {
+        let fi = b.si_to_fp(i);
+        let ai = b.gep_scaled(a, i, 8, 0);
+        b.store(Ty::F64, fi, ai);
+    });
+    b.store(Ty::Ptr, a, Value::Global(ctx));
+    let slot1 = b.gep(Value::Global(ctx), 8);
+    b.store(Ty::Ptr, out, slot1);
+    let slot2 = b.gep(Value::Global(ctx), 16);
+    b.store(Ty::Ptr, a, slot2); // the host-side alias: slot2 == slot0
+    b.kernel_launch(kern, vec![Value::Global(ctx)], N as u32);
+    b.call(host_work, vec![Value::Global(ctx)], None);
+    let o5 = b.gep(out, 40);
+    let v = b.load(Ty::F64, o5);
+    b.print("device out[5]: {}", vec![v]);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+fn main() {
+    // Run 1: device only (-opt-aa-target=device). The device kernel has
+    // no true aliases, so the device compilation is fully optimistic —
+    // and the host hazard never even reaches ORAQL.
+    let mut dev_case = TestCase::new("offload-device", build);
+    dev_case.scope = Scope::target("device");
+    let dev = Driver::run(&dev_case, DriverOptions::default()).expect("device");
+    println!(
+        "device-only probing:  fully_optimistic={} opt={} pess={} out_of_scope={}",
+        dev.fully_optimistic,
+        dev.oraql.unique_optimistic,
+        dev.oraql.unique_pessimistic,
+        dev.oraql.out_of_scope
+    );
+    assert!(dev.fully_optimistic);
+    assert!(dev.oraql.out_of_scope > 0, "host queries must be skipped");
+
+    // Run 2: both targets with one shared sequence (no scope): the
+    // paper's pessimistic intersection — the single sequence must
+    // account for the host hazard, and it does.
+    let both_case = TestCase::new("offload-both", build);
+    let both = Driver::run(&both_case, DriverOptions::default()).expect("both");
+    println!(
+        "shared-sequence run:  fully_optimistic={} opt={} pess={}",
+        both.fully_optimistic, both.oraql.unique_optimistic, both.oraql.unique_pessimistic
+    );
+    assert!(!both.fully_optimistic);
+    assert!(both.oraql.unique_pessimistic >= 1);
+    // The device queries are still answered optimistically within the
+    // shared sequence.
+    assert!(both.oraql.unique_optimistic > both.oraql.unique_pessimistic);
+
+    println!("offload_multi_target OK");
+}

@@ -1,0 +1,65 @@
+//! Use case 3 from the paper: **bounded tuning of the analysis
+//! pipeline**.
+//!
+//! Selecting which alias analyses to enable (out of LLVM 14's seven)
+//! used to be done by hand. With ORAQL, the search space has a *known
+//! upper bound*: the performance of the (almost) perfect-alias build.
+//! A tuner can stop as soon as a candidate configuration closes most of
+//! the gap — or skip tuning entirely when the bound shows there is
+//! nothing to win.
+//!
+//! ```text
+//! cargo run --release --example tuning_bounds
+//! ```
+
+use oraql_suite::oraql::compile::{compile, CompileOptions};
+use oraql_suite::oraql::{Driver, DriverOptions};
+use oraql_suite::vm::Interpreter;
+use oraql_suite::workloads;
+
+fn insts_with(case: &oraql_suite::oraql::TestCase, use_cfl: bool) -> u64 {
+    let mut opts = CompileOptions::baseline();
+    opts.use_cfl = use_cfl;
+    let c = compile(&case.build, &opts);
+    Interpreter::run_main(&c.module).unwrap().stats.total_insts()
+}
+
+fn main() {
+    println!("{:16} {:>10} {:>10} {:>10} {:>9}  verdict", "config", "default", "+CFL", "bound", "gap");
+    for name in ["testsnap", "quicksilver", "minigmg_ompif", "lulesh", "xsbench"] {
+        let case = workloads::find_case(name).expect(name);
+        // The ORAQL bound: (almost) perfect alias information.
+        let r = Driver::run(&case, DriverOptions::default()).expect("driver");
+        let bound = r.final_run.stats.total_insts();
+        let default_chain = insts_with(&case, false);
+        let with_cfl = insts_with(&case, true);
+
+        let gap = default_chain.saturating_sub(bound);
+        let gap_pct = gap as f64 / default_chain as f64 * 100.0;
+        // The tuning decision the paper describes: if the bound shows a
+        // negligible gap, stop — no analysis investment can pay off.
+        let verdict = if gap_pct < 2.0 {
+            "nothing to win: skip tuning"
+        } else if default_chain.saturating_sub(with_cfl) * 2 >= gap {
+            "+CFL closes most of the gap"
+        } else {
+            "gap needs new analyses/annotations"
+        };
+        println!(
+            "{name:16} {default_chain:>10} {with_cfl:>10} {bound:>10} {gap_pct:>8.1}%  {verdict}"
+        );
+    }
+
+    // Sanity for the example's own claims.
+    let case = workloads::find_case("lulesh").unwrap();
+    let r = Driver::run(&case, DriverOptions::default()).unwrap();
+    let bound = r.final_run.stats.total_insts();
+    let default_chain = insts_with(&case, false);
+    assert!(bound <= default_chain);
+    let gap_pct = (default_chain - bound) as f64 / default_chain as f64 * 100.0;
+    assert!(
+        gap_pct < 5.0,
+        "LULESH should show a negligible bound gap (got {gap_pct:.1}%)"
+    );
+    println!("\ntuning_bounds OK");
+}

@@ -1,0 +1,84 @@
+//! The shipped configuration files in `configs/` must parse and drive
+//! the workflow they describe.
+
+use oraql_suite::oraql::config::Config;
+use oraql_suite::oraql::{Driver, DriverOptions, Strategy};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{}", env!("CARGO_MANIFEST_DIR"), rel)
+}
+
+#[test]
+fn shipped_configs_parse() {
+    for (file, benchmark, strategy) in [
+        ("configs/testsnap_omp.conf", "testsnap_omp", Strategy::Chunked),
+        ("configs/gridmini_device.conf", "gridmini", Strategy::Chunked),
+        (
+            "configs/lulesh_mpi_frequency.conf",
+            "lulesh_mpi",
+            Strategy::FrequencySpace,
+        ),
+    ] {
+        let cfg = Config::load(&repo_path(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(cfg.benchmark, benchmark);
+        assert_eq!(cfg.strategy, strategy);
+        assert!(!cfg.ignore.is_empty());
+        // Every named benchmark exists in the registry.
+        assert!(
+            oraql_workloads::find_case(&cfg.benchmark).is_some(),
+            "{file} names unknown benchmark {}",
+            cfg.benchmark
+        );
+    }
+}
+
+#[test]
+fn gridmini_config_drives_device_scoped_probe() {
+    let cfg = Config::load(&repo_path("configs/gridmini_device.conf")).unwrap();
+    let mut case = oraql_workloads::find_case(&cfg.benchmark).unwrap();
+    case.scope = cfg.scope.clone();
+    case.ignore_patterns = cfg.ignore.clone();
+    let r = Driver::run(
+        &case,
+        DriverOptions {
+            strategy: cfg.strategy,
+            max_tests: cfg.max_tests,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(r.fully_optimistic);
+    // All answered queries live in device functions (GridMini's host
+    // side is plain enough that the conservative chain resolves it
+    // before ORAQL is ever consulted).
+    for q in &r.queries {
+        assert_eq!(
+            r.final_module.func(q.func).target,
+            oraql_suite::ir::Target::Device,
+            "query answered outside the device scope"
+        );
+    }
+    assert!(r.oraql.unique() > 0);
+}
+
+#[test]
+fn frequency_config_still_pins_lulesh_hazards() {
+    let cfg = Config::load(&repo_path("configs/lulesh_mpi_frequency.conf")).unwrap();
+    let mut case = oraql_workloads::find_case(&cfg.benchmark).unwrap();
+    case.scope = cfg.scope.clone();
+    case.ignore_patterns = cfg.ignore.clone();
+    let r = Driver::run(
+        &case,
+        DriverOptions {
+            strategy: cfg.strategy,
+            max_tests: cfg.max_tests,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!r.fully_optimistic);
+    assert!(r.oraql.unique_pessimistic >= 16);
+    // Frequency space is locally maximal but coarser: it may pin more
+    // than the chunked strategy; it must still leave most optimistic.
+    assert!(r.oraql.unique_optimistic > r.oraql.unique_pessimistic);
+}

@@ -1,0 +1,108 @@
+//! Local maximality of the driver's result (DESIGN §5): every `0` in
+//! the final sequence is necessary — flipping any single pessimistic
+//! decision to optimistic breaks verification. (The paper calls the
+//! result "almost optimal": a greedy search cannot guarantee a global
+//! optimum, but each kept pessimistic answer must be individually
+//! justified.)
+
+use oraql_suite::oraql::compile::{compile, CompileOptions};
+use oraql_suite::oraql::{Decisions, Driver, DriverOptions, Verifier};
+use oraql_suite::vm::Interpreter;
+
+#[test]
+fn every_pessimistic_decision_is_necessary_for_xsbench() {
+    let case = oraql_workloads::find_case("xsbench").unwrap();
+    let r = Driver::run(&case, DriverOptions::default()).unwrap();
+    assert!(!r.fully_optimistic);
+    let Decisions::Explicit { seq, tail } = &r.decisions else {
+        panic!("chunked produces explicit sequences");
+    };
+    assert!(*tail, "tail beyond the prefix is optimistic");
+    let verifier = Verifier::new(
+        vec![r.baseline_run.stdout.clone()],
+        &case.ignore_patterns,
+    );
+
+    let pessimistic: Vec<usize> = seq
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| !b)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(pessimistic.len() as u64, r.oraql.unique_pessimistic);
+
+    for &flip in &pessimistic {
+        let mut flipped = seq.clone();
+        flipped[flip] = true;
+        let d = Decisions::Explicit {
+            seq: flipped,
+            tail: true,
+        };
+        let c = compile(
+            &case.build,
+            &CompileOptions::with_oraql(d, case.scope.clone()),
+        );
+        let ok = match Interpreter::run_main(&c.module) {
+            Ok(out) => verifier.check(&out.stdout).is_ok(),
+            Err(_) => false,
+        };
+        assert!(
+            !ok,
+            "flipping pessimistic decision at index {flip} still verifies: \
+             the driver kept an unnecessary 0"
+        );
+    }
+
+    // And the unflipped final sequence does verify.
+    let c = compile(
+        &case.build,
+        &CompileOptions::with_oraql(r.decisions.clone(), case.scope.clone()),
+    );
+    let out = Interpreter::run_main(&c.module).unwrap();
+    assert!(verifier.check(&out.stdout).is_ok());
+}
+
+#[test]
+fn testsnap_omp_final_sequence_is_minimal() {
+    let case = oraql_workloads::find_case("testsnap_omp").unwrap();
+    let r = Driver::run(&case, DriverOptions::default()).unwrap();
+    let Decisions::Explicit { seq, .. } = &r.decisions else {
+        panic!()
+    };
+    let verifier = Verifier::new(
+        vec![r.baseline_run.stdout.clone()],
+        &case.ignore_patterns,
+    );
+    let mut necessary = 0usize;
+    let mut total = 0usize;
+    for (i, &b) in seq.iter().enumerate() {
+        if b {
+            continue;
+        }
+        total += 1;
+        let mut flipped = seq.clone();
+        flipped[i] = true;
+        let c = compile(
+            &case.build,
+            &CompileOptions::with_oraql(
+                Decisions::Explicit {
+                    seq: flipped,
+                    tail: true,
+                },
+                case.scope.clone(),
+            ),
+        );
+        let ok = match Interpreter::run_main(&c.module) {
+            Ok(out) => verifier.check(&out.stdout).is_ok(),
+            Err(_) => false,
+        };
+        if !ok {
+            necessary += 1;
+        }
+    }
+    assert_eq!(
+        necessary, total,
+        "{}/{} pessimistic decisions individually necessary",
+        necessary, total
+    );
+}

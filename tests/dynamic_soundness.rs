@@ -1,0 +1,136 @@
+//! Dynamic soundness of the *conservative* analyses: a `NoAlias` answer
+//! about two accesses of the same function invocation must never be
+//! contradicted by the addresses those accesses actually touch.
+//!
+//! This is the guarantee ORAQL deliberately gives up — which is exactly
+//! why it must hold watertight for the chain underneath: any divergence
+//! found by the driver is then attributable to the optimistic answers
+//! alone. We run every proxy workload (and random programs) with the
+//! VM's access trace enabled and cross-check every within-frame access
+//! pair against the chain.
+
+use oraql_suite::analysis::{AAManager, AliasResult, MemoryLocation};
+use oraql_suite::ir::Module;
+use oraql_suite::oraql::compile::conservative_chain;
+use oraql_suite::vm::{AccessEvent, Interpreter};
+use std::collections::HashMap;
+
+fn overlaps(a: &AccessEvent, b: &AccessEvent) -> bool {
+    a.addr < b.addr + b.size && b.addr < a.addr + a.size
+}
+
+/// Checks one module: every dynamically-overlapping same-frame access
+/// pair must NOT be claimed `NoAlias` by the conservative chain.
+fn check_module(m: &Module, use_cfl: bool, label: &str) {
+    let main = m.find_func("main").expect("main");
+    let mut interp = Interpreter::new(m).with_access_trace();
+    interp.run(main, vec![]).unwrap_or_else(|e| panic!("{label}: {e}"));
+
+    // Group events by frame; bound the per-frame work.
+    let mut frames: HashMap<u64, Vec<AccessEvent>> = HashMap::new();
+    for &e in interp.access_trace() {
+        frames.entry(e.frame).or_default().push(e);
+    }
+
+    let mut aa: AAManager = conservative_chain(m, use_cfl);
+    let mut checked = 0u64;
+    for events in frames.values() {
+        // Cap the quadratic blow-up per frame; overlapping pairs are
+        // what matter and they are rare.
+        for (i, a) in events.iter().enumerate() {
+            for b in events.iter().skip(i + 1) {
+                if !overlaps(a, b) {
+                    continue;
+                }
+                let f = m.func(a.func);
+                let la = MemoryLocation::of_access(f, a.inst).expect("access");
+                let lb = MemoryLocation::of_access(f, b.inst).expect("access");
+                let r = aa.alias(m, a.func, &la, &lb);
+                checked += 1;
+                assert_ne!(
+                    r,
+                    AliasResult::NoAlias,
+                    "{label}: unsound NoAlias for dynamically overlapping \
+                     accesses {:?} and {:?} (addr {:#x}/{} vs {:#x}/{})",
+                    a.inst,
+                    b.inst,
+                    a.addr,
+                    a.size,
+                    b.addr,
+                    b.size
+                );
+            }
+        }
+    }
+    assert!(
+        checked > 0,
+        "{label}: no overlapping pairs observed — the check is vacuous"
+    );
+}
+
+#[test]
+fn conservative_chain_is_dynamically_sound_on_all_workloads() {
+    for case in oraql_workloads::all_cases() {
+        let m = (case.build)();
+        check_module(&m, false, case.name.as_str());
+    }
+}
+
+#[test]
+fn cfl_chain_is_dynamically_sound_on_selected_workloads() {
+    for name in ["testsnap", "quicksilver", "xsbench", "lulesh"] {
+        let case = oraql_workloads::find_case(name).unwrap();
+        let m = (case.build)();
+        check_module(&m, true, name);
+    }
+}
+
+#[test]
+fn soundness_check_catches_a_planted_lie() {
+    // Sanity: the harness itself must be able to fail. An AA that
+    // always answers NoAlias contradicts the trace of any program that
+    // re-touches memory.
+    struct Liar;
+    impl oraql_suite::analysis::AliasAnalysis for Liar {
+        fn name(&self) -> &'static str {
+            "Liar"
+        }
+        fn alias(
+            &mut self,
+            _: &oraql_suite::analysis::QueryCtx<'_>,
+            _: &MemoryLocation,
+            _: &MemoryLocation,
+        ) -> AliasResult {
+            AliasResult::NoAlias
+        }
+    }
+    let case = oraql_workloads::find_case("xsbench").unwrap();
+    let m = (case.build)();
+    let main = m.find_func("main").unwrap();
+    let mut interp = Interpreter::new(&m).with_access_trace();
+    interp.run(main, vec![]).unwrap();
+    let mut aa = AAManager::new();
+    aa.add(Box::new(Liar));
+    let mut contradicted = false;
+    let mut frames: HashMap<u64, Vec<AccessEvent>> = HashMap::new();
+    for &e in interp.access_trace() {
+        frames.entry(e.frame).or_default().push(e);
+    }
+    'outer: for events in frames.values() {
+        for (i, a) in events.iter().enumerate() {
+            for b in events.iter().skip(i + 1) {
+                if !overlaps(a, b) || a.inst == b.inst {
+                    continue;
+                }
+                let f = m.func(a.func);
+                let la = MemoryLocation::of_access(f, a.inst).unwrap();
+                let lb = MemoryLocation::of_access(f, b.inst).unwrap();
+                if aa.alias(&m, a.func, &la, &lb) == AliasResult::NoAlias {
+                    contradicted = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(contradicted, "the liar should have been caught");
+}

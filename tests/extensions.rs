@@ -1,0 +1,177 @@
+//! Tests of the paper's §VIII future-work extensions implemented here:
+//! *blocking* conservative analyses (to categorize the effect of
+//! already-known queries) and *optimistic must-alias* responses.
+
+use oraql_suite::ir::builder::FunctionBuilder;
+use oraql_suite::ir::{Module, Ty, Value};
+use oraql_suite::oraql::compile::{compile, CompileOptions, Scope};
+use oraql_suite::oraql::pass::OptimismKind;
+use oraql_suite::oraql::{Decisions, Driver, DriverOptions, TestCase};
+use oraql_suite::vm::Interpreter;
+
+// ------------------------------------------------------- chain suppression
+
+/// A module whose redundant load is resolved by TBAA (pointer-slot load
+/// vs f64 store): suppressing TBAA sends the query to ORAQL instead.
+fn tbaa_module() -> Module {
+    let mut m = Module::new("t");
+    let tag_d = m.tbaa.add("double", oraql_suite::ir::TbaaTag::ROOT);
+    let tag_p = m.tbaa.add("any pointer", oraql_suite::ir::TbaaTag::ROOT);
+    let g = m.add_global("data", 32, vec![], false);
+    let slot = m.add_global("slot", 8, vec![], false);
+    let mut b = FunctionBuilder::new(&mut m, "work", vec![Ty::Ptr, Ty::Ptr], None);
+    b.set_src_file("k.c");
+    let p = b.arg(0); // data pointer
+    let q = b.arg(1); // pointer-slot pointer
+    let l1 = b.load_tbaa(Ty::Ptr, q, tag_p);
+    b.store_tbaa(Ty::F64, Value::const_f64(1.0), p, tag_d);
+    let l2 = b.load_tbaa(Ty::Ptr, q, tag_p); // redundant; TBAA proves it
+    let x = b.load_tbaa(Ty::F64, l1, tag_d);
+    let y = b.load_tbaa(Ty::F64, l2, tag_d);
+    let s = b.fadd(x, y);
+    b.print("{}", vec![s]);
+    b.ret(None);
+    b.finish();
+    let work = m.find_func("work").unwrap();
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    b.set_src_file("main.c");
+    b.store_tbaa(Ty::Ptr, Value::Global(g), Value::Global(slot), tag_p);
+    b.call(work, vec![Value::Global(g), Value::Global(slot)], None);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+#[test]
+fn suppressing_tbaa_redirects_queries_to_oraql() {
+    // Normal chain: TBAA answers the slot-vs-store query.
+    let normal = compile(
+        &tbaa_module,
+        &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
+    );
+    let normal_unique = normal.oraql.as_ref().unwrap().lock().stats.unique();
+    let normal_tbaa = normal.stats.get("alias analysis", "TypeBasedAA.answered");
+    assert!(normal_tbaa > 0, "TBAA should answer something");
+
+    // Suppressed chain: the same queries fall through to ORAQL.
+    let mut opts =
+        CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
+    opts.suppress = vec!["TypeBasedAA".into()];
+    let blocked = compile(&tbaa_module, &opts);
+    let blocked_unique = blocked.oraql.as_ref().unwrap().lock().stats.unique();
+    assert!(
+        blocked_unique > normal_unique,
+        "suppression must surface more last-resort queries: {normal_unique} -> {blocked_unique}"
+    );
+    // No-alias totals drop when an analysis is blocked (pessimistic
+    // ORAQL does not make up for it).
+    assert!(blocked.no_alias_total < normal.no_alias_total);
+    // Semantics unchanged: suppression only loses information.
+    let a = Interpreter::run_main(&normal.module).unwrap();
+    let b = Interpreter::run_main(&blocked.module).unwrap();
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn suppressing_basicaa_floods_oraql() {
+    let case = oraql_workloads::find_case("testsnap").unwrap();
+    let mut opts =
+        CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
+    opts.suppress = vec!["BasicAA".into()];
+    let blocked = compile(&case.build, &opts);
+    let normal = compile(
+        &case.build,
+        &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
+    );
+    let bu = blocked.oraql.as_ref().unwrap().lock().stats.unique();
+    let nu = normal.oraql.as_ref().unwrap().lock().stats.unique();
+    assert!(
+        bu > nu * 2,
+        "BasicAA carries most of the chain: {nu} -> {bu}"
+    );
+}
+
+// --------------------------------------------------- must-alias optimism
+
+/// `work(p, q)`: store through p, load through q. The caller passes the
+/// SAME address twice, but no analysis can see that.
+fn must_module(aliased: bool) -> Module {
+    let mut m = Module::new("must");
+    let g = m.add_global("data", 32, vec![7, 0, 0, 0, 0, 0, 0, 0], false);
+    let mut b = FunctionBuilder::new(&mut m, "work", vec![Ty::Ptr, Ty::Ptr], None);
+    b.set_src_file("k.c");
+    let p = b.arg(0);
+    let q = b.arg(1);
+    b.store(Ty::I64, Value::ConstInt(41), p);
+    let x = b.load(Ty::I64, q);
+    b.print("{}", vec![x]);
+    b.ret(None);
+    let work = b.finish();
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    b.set_src_file("main.c");
+    let a0 = b.gep(Value::Global(g), 0);
+    let a1 = b.gep(Value::Global(g), if aliased { 0 } else { 8 });
+    b.call(work, vec![a0, a1], None);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+#[test]
+fn must_alias_optimism_forwards_what_no_alias_cannot() {
+    // NoAlias optimism: correct but cannot forward (the load reads 41
+    // at run time either way; the optimization just skips the store as
+    // a non-clobber and finds nothing older to reuse).
+    let build = || must_module(true);
+    let no_mode = compile(
+        &build,
+        &CompileOptions::with_oraql(Decisions::all_optimistic(), Scope::everything()),
+    );
+    let no_run = Interpreter::run_main(&no_mode.module).unwrap();
+    assert!(no_run.stdout.contains("41"));
+
+    // MustAlias optimism: the store is forwarded into the load — fewer
+    // executed loads, same (correct!) output, because the pointers do
+    // alias at run time.
+    let mut opts =
+        CompileOptions::with_oraql(Decisions::all_optimistic(), Scope::everything());
+    opts.optimism = OptimismKind::MustAlias;
+    let must_mode = compile(&build, &opts);
+    let must_run = Interpreter::run_main(&must_mode.module).unwrap();
+    assert_eq!(no_run.stdout, must_run.stdout);
+    assert!(
+        must_run.stats.loads < no_run.stats.loads,
+        "must-alias optimism should delete the load: {} vs {}",
+        must_run.stats.loads,
+        no_run.stats.loads
+    );
+}
+
+#[test]
+fn wrong_must_alias_optimism_is_caught_and_bisected() {
+    // Now the pointers do NOT alias: must-alias optimism would forward
+    // 41 into a load that should read 7. The driver must pin it.
+    let mut case = TestCase::new("must-disjoint", || must_module(false));
+    case.optimism = OptimismKind::MustAlias;
+    let r = Driver::run(&case, DriverOptions::default()).unwrap();
+    assert!(!r.fully_optimistic);
+    assert!(r.oraql.unique_pessimistic >= 1);
+    // q reads data[1] (= 0); a wrong forward would print 41.
+    assert_eq!(r.final_run.stdout.trim(), "0");
+
+    // Under plain no-alias optimism the same program is fine fully
+    // optimistically (skipping a truly-disjoint store is correct).
+    let case2 = TestCase::new("must-disjoint-noalias", || must_module(false));
+    let r2 = Driver::run(&case2, DriverOptions::default()).unwrap();
+    assert!(r2.fully_optimistic);
+}
+
+#[test]
+fn must_alias_optimism_verifies_on_aliased_case_via_driver() {
+    let mut case = TestCase::new("must-aliased", || must_module(true));
+    case.optimism = OptimismKind::MustAlias;
+    let r = Driver::run(&case, DriverOptions::default()).unwrap();
+    // The aliased wiring makes must-optimism *true*: fully optimistic.
+    assert!(r.fully_optimistic, "{:?}", r.oraql);
+    assert!(r.final_run.stats.loads <= r.baseline_run.stats.loads);
+}

@@ -1,0 +1,97 @@
+//! Golden tests for the IR printer and end-to-end determinism of the
+//! textual form (the executable-hash cache hashes this text, so its
+//! stability matters).
+
+use oraql_suite::ir::builder::FunctionBuilder;
+use oraql_suite::ir::{printer, Module, Ty, Value};
+
+fn sample() -> (Module, oraql_suite::ir::FunctionId) {
+    let mut m = Module::new("golden");
+    let g = m.add_global("table", 64, vec![1, 2], true);
+    let tag = m.tbaa.add("double", oraql_suite::ir::TbaaTag::ROOT);
+    let mut b = FunctionBuilder::new(&mut m, "kernel", vec![Ty::Ptr, Ty::I64], Some(Ty::F64));
+    b.set_src_file("kernel.c");
+    b.set_noalias(0, true);
+    let p = b.arg(0);
+    let n = b.arg(1);
+    b.set_loc("kernel.c", 12, 3);
+    let acc = b.alloca(8, "acc");
+    b.store(Ty::F64, Value::const_f64(0.0), acc);
+    b.counted_loop(Value::ConstInt(0), n, |b, i| {
+        let addr = b.gep_scaled(p, i, 8, 0);
+        let v = b.load_tbaa(Ty::F64, addr, tag);
+        let cur = b.load(Ty::F64, acc);
+        let s = b.fadd(cur, v);
+        b.store(Ty::F64, s, acc);
+    });
+    let t = b.gep(Value::Global(g), 8);
+    let tv = b.load(Ty::F64, t);
+    let fin = b.load(Ty::F64, acc);
+    let out = b.fmul(fin, tv);
+    b.ret(Some(out));
+    let id = b.finish();
+    (m, id)
+}
+
+#[test]
+fn printer_golden_function() {
+    let (m, id) = sample();
+    let text = printer::function_str(&m, id);
+    let expected = "\
+define f64 @kernel(ptr noalias %arg0, i64 %arg1) target(host) {
+bb0:
+  %0 = alloca 8 ; acc ; kernel.c:12:3
+  store f64 0.0, ptr %0 ; kernel.c:12:3
+  br bb1 ; kernel.c:12:3
+bb1:
+  %3 = phi i64 [bb0: 0], [bb2: %11] ; kernel.c:12:3
+  %4 = cmp Lt i64 %3, %arg1 ; kernel.c:12:3
+  condbr %4, bb2, bb3 ; kernel.c:12:3
+bb2:
+  %6 = gep ptr %arg0, %3 x 8 + 0 ; kernel.c:12:3
+  %7 = load f64, ptr %6, !tbaa double ; kernel.c:12:3
+  %8 = load f64, ptr %0 ; kernel.c:12:3
+  %9 = FAdd f64 %8, %7 ; kernel.c:12:3
+  store f64 %9, ptr %0 ; kernel.c:12:3
+  %11 = Add i64 %3, 1 ; kernel.c:12:3
+  br bb1 ; kernel.c:12:3
+bb3:
+  %13 = gep ptr @table, 8 ; kernel.c:12:3
+  %14 = load f64, ptr %13 ; kernel.c:12:3
+  %15 = load f64, ptr %0 ; kernel.c:12:3
+  %16 = FMul f64 %15, %14 ; kernel.c:12:3
+  ret %16 ; kernel.c:12:3
+}
+";
+    assert_eq!(text, expected, "printer output drifted:\n{text}");
+}
+
+#[test]
+fn module_text_is_stable_across_rebuilds() {
+    let (m1, _) = sample();
+    let (m2, _) = sample();
+    assert_eq!(printer::module_str(&m1), printer::module_str(&m2));
+    // And stable when printed twice from the same module.
+    assert_eq!(printer::module_str(&m1), printer::module_str(&m1));
+}
+
+#[test]
+fn global_header_lines() {
+    let (m, _) = sample();
+    let text = printer::module_str(&m);
+    assert!(text.contains("; module golden"));
+    assert!(text.contains("@table = constant global [64 bytes]"));
+}
+
+#[test]
+fn workload_module_text_round_trips_through_hashing() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let case = oraql_workloads::find_case("xsbench").unwrap();
+    let h = |m: &Module| {
+        let mut h = DefaultHasher::new();
+        printer::module_str(m).hash(&mut h);
+        h.finish()
+    };
+    assert_eq!(h(&(case.build)()), h(&(case.build)()));
+}

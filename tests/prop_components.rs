@@ -1,0 +1,306 @@
+//! Property-based tests of individual components: decision sequences,
+//! text patterns, the verifier, VM memory, alias-analysis symmetry,
+//! dominators, and the bisection strategies.
+
+use oraql_suite::analysis::basic::BasicAA;
+use oraql_suite::analysis::domtree::DomTree;
+use oraql_suite::analysis::{AAManager, AliasResult, MemoryLocation};
+use oraql_suite::ir::builder::FunctionBuilder;
+use oraql_suite::ir::{Module, Ty, Value};
+use oraql_suite::oraql::sequence::Decisions;
+use oraql_suite::oraql::strategy::{chunked, frequency_space, ProbeOutcome, Prober};
+use oraql_suite::oraql::textpat::Pattern;
+use oraql_suite::oraql::Verifier;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- sequences
+
+proptest! {
+    #[test]
+    fn decisions_render_parse_roundtrip(
+        seq in proptest::collection::vec(any::<bool>(), 0..64),
+        tail in any::<bool>(),
+    ) {
+        let d = Decisions::Explicit { seq, tail };
+        let d2 = Decisions::parse(&d.render()).unwrap();
+        for i in 0..96 {
+            prop_assert_eq!(d.decide(i), d2.decide(i));
+        }
+    }
+
+    #[test]
+    fn class_decisions_roundtrip(
+        classes in proptest::collection::vec((1u64..16, 0u64..16), 0..6),
+    ) {
+        let d = Decisions::PessimisticClasses(classes);
+        let d2 = Decisions::parse(&d.render()).unwrap();
+        for i in 0..256 {
+            prop_assert_eq!(d.decide(i), d2.decide(i));
+        }
+    }
+
+    #[test]
+    fn pessimistic_count_matches_decide(
+        seq in proptest::collection::vec(any::<bool>(), 0..64),
+        n in 0u64..96,
+    ) {
+        let d = Decisions::Explicit { seq, tail: true };
+        let manual = (0..n).filter(|&i| !d.decide(i)).count() as u64;
+        prop_assert_eq!(d.pessimistic_count(n), manual);
+    }
+}
+
+// ---------------------------------------------------------------- textpat
+
+/// Replaces every digit run in `line` with `<int>`.
+fn generalize(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_num = false;
+    for c in line.chars() {
+        if c.is_ascii_digit() {
+            if !in_num {
+                out.push_str("<int>");
+                in_num = true;
+            }
+        } else {
+            in_num = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn generalized_pattern_matches_original(
+        line in "[a-z =:]{0,12}[0-9]{1,6}[a-z =:]{0,12}",
+    ) {
+        let p = Pattern::parse(&generalize(&line));
+        prop_assert!(p.matches(&line), "{line}");
+    }
+
+    #[test]
+    fn literal_pattern_matches_only_itself(
+        line in "[a-zA-Z ]{1,20}",
+        other in "[a-zA-Z ]{1,20}",
+    ) {
+        let p = Pattern::parse(&line);
+        prop_assert!(p.matches(&line));
+        prop_assert_eq!(p.matches(&other), line == other);
+    }
+}
+
+// ---------------------------------------------------------------- verifier
+
+proptest! {
+    #[test]
+    fn verifier_accepts_identity_and_rejects_mutation(
+        lines in proptest::collection::vec("[a-z]{1,8}=[0-9]{1,4}", 1..6),
+        victim in 0usize..6,
+    ) {
+        let reference = lines.join("\n") + "\n";
+        let v = Verifier::exact(reference.clone());
+        prop_assert!(v.check(&reference).is_ok());
+        let victim = victim % lines.len();
+        let mut mutated = lines.clone();
+        mutated[victim] = format!("{}x", mutated[victim]);
+        let bad = mutated.join("\n") + "\n";
+        prop_assert!(v.check(&bad).is_err());
+    }
+
+    #[test]
+    fn ignore_patterns_excuse_only_matching_shapes(
+        cycles_a in 0u64..1_000_000,
+        cycles_b in 0u64..1_000_000,
+    ) {
+        let v = Verifier::new(
+            vec![format!("ok\nRuntime: {cycles_a} cycles\n")],
+            &["Runtime: <int> cycles".to_string()],
+        );
+        let ok_out = format!("ok\nRuntime: {cycles_b} cycles\n");
+        prop_assert!(v.check(&ok_out).is_ok());
+        // A shape change is not excused.
+        prop_assert!(v.check("ok\nRuntime: never cycles\n").is_err());
+        // A change outside the volatile line is not excused.
+        let bad_out = format!("no\nRuntime: {cycles_a} cycles\n");
+        prop_assert!(v.check(&bad_out).is_err());
+    }
+}
+
+// ---------------------------------------------------------------- memory
+
+proptest! {
+    #[test]
+    fn vm_memory_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        gap in 0u64..32,
+    ) {
+        let mut m = Module::new("t");
+        m.add_global("g", 128, vec![], false);
+        let mut mem = oraql_suite::vm::memory::Memory::new(&m);
+        let base = mem.global_base(0) + gap;
+        if gap + data.len() as u64 <= 128 {
+            mem.write(base, &data).unwrap();
+            let mut back = vec![0u8; data.len()];
+            mem.read(base, &mut back).unwrap();
+            prop_assert_eq!(data, back);
+        } else {
+            prop_assert!(mem.write(base, &data).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------- alias analysis
+
+/// Builds a function with a mix of pointer shapes and returns some
+/// memory locations derived from its accesses.
+fn location_zoo(offs: &[i64]) -> (Module, Vec<MemoryLocation>) {
+    let mut m = Module::new("zoo");
+    let g = m.add_global("g", 256, vec![], false);
+    let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::Ptr, Ty::Ptr], None);
+    let mut ptrs = vec![Value::Arg(0), Value::Arg(1), Value::Global(g)];
+    let a = b.alloca(128, "a");
+    ptrs.push(a);
+    for (i, &off) in offs.iter().enumerate() {
+        let base = ptrs[i % ptrs.len()];
+        let p = b.gep(base, off.rem_euclid(96));
+        ptrs.push(p);
+    }
+    // Touch them all so the verifier is happy.
+    let locs: Vec<MemoryLocation> = ptrs
+        .iter()
+        .map(|&p| MemoryLocation::precise(p, 8))
+        .collect();
+    for &p in &ptrs {
+        b.store(Ty::I64, Value::ConstInt(1), p);
+    }
+    b.ret(None);
+    b.finish();
+    (m, locs)
+}
+
+proptest! {
+    #[test]
+    fn alias_queries_are_symmetric(
+        offs in proptest::collection::vec(-64i64..64, 1..10),
+    ) {
+        let (m, locs) = location_zoo(&offs);
+        let mut aa = AAManager::new();
+        aa.add(Box::new(BasicAA::new()));
+        let f = oraql_suite::ir::FunctionId(0);
+        for x in &locs {
+            for y in &locs {
+                let ab = aa.alias(&m, f, x, y);
+                let ba = aa.alias(&m, f, y, x);
+                prop_assert_eq!(ab, ba, "asymmetric for {:?} vs {:?}", x.ptr, y.ptr);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_queries_are_must_alias(
+        offs in proptest::collection::vec(-64i64..64, 1..8),
+    ) {
+        let (m, locs) = location_zoo(&offs);
+        let mut aa = AAManager::new();
+        aa.add(Box::new(BasicAA::new()));
+        let f = oraql_suite::ir::FunctionId(0);
+        for x in &locs {
+            prop_assert_eq!(aa.alias(&m, f, x, &x.clone()), AliasResult::MustAlias);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- dominators
+
+proptest! {
+    #[test]
+    fn entry_dominates_every_reachable_block(
+        splits in proptest::collection::vec(any::<bool>(), 1..8),
+    ) {
+        // Build a random chain of diamonds/straight segments.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::I1], None);
+        for &diamond in &splits {
+            if diamond {
+                let t = b.new_block();
+                let e = b.new_block();
+                let j = b.new_block();
+                let c = b.arg(0);
+                b.cond_br(c, t, e);
+                b.switch_to(t);
+                b.br(j);
+                b.switch_to(e);
+                b.br(j);
+                b.switch_to(j);
+            } else {
+                let n = b.new_block();
+                b.br(n);
+                b.switch_to(n);
+            }
+        }
+        b.ret(None);
+        let id = b.finish();
+        let f = m.func(id);
+        let dt = DomTree::build(f);
+        for &bb in dt.rpo() {
+            prop_assert!(dt.dominates(oraql_suite::ir::module::Function::ENTRY, bb));
+            // The idom, when present, strictly dominates.
+            if let Some(d) = dt.idom(bb) {
+                prop_assert!(dt.dominates(d, bb));
+                prop_assert!(d != bb);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- strategies
+
+struct Synthetic {
+    dangerous: Vec<u64>,
+    n: u64,
+    tests: u64,
+}
+
+impl Prober for Synthetic {
+    fn probe(&mut self, d: &Decisions) -> ProbeOutcome {
+        self.tests += 1;
+        ProbeOutcome {
+            pass: self.dangerous.iter().all(|&i| !d.decide(i)),
+            unique: self.n,
+        }
+    }
+    fn budget_exceeded(&self) -> bool {
+        self.tests > 50_000
+    }
+    fn note_deduced(&mut self) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn both_strategies_pin_all_dangerous_queries(
+        mut dangerous in proptest::collection::vec(0u64..200, 0..12),
+        extra in 0u64..56,
+    ) {
+        dangerous.sort_unstable();
+        dangerous.dedup();
+        let n = 200 + extra;
+        for solve in [chunked as fn(&mut dyn Prober) -> Decisions, frequency_space] {
+            let mut s = Synthetic { dangerous: dangerous.clone(), n, tests: 0 };
+            let d = solve(&mut s);
+            for &i in &dangerous {
+                prop_assert!(!d.decide(i), "index {i} left optimistic: {d:?}");
+            }
+            // Local maximality (sanity bound): the strategies should not
+            // pessimize more than a small multiple of the dangerous set
+            // plus bookkeeping.
+            let pess = d.pessimistic_count(n);
+            prop_assert!(
+                pess <= (dangerous.len() as u64) * 8 + 8,
+                "excessively pessimistic: {pess} for {} dangers", dangerous.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based end-to-end soundness: for randomly generated
+//! programs, compiling with the full conservative pipeline must
+//! preserve the printed output exactly — including programs that pass
+//! aliased pointers into kernels (the situation optimism gets wrong).
+//!
+//! This is the load-bearing guarantee behind the whole limit study:
+//! pessimistic answers must always be safe, so any divergence under
+//! ORAQL is attributable to the optimistic answers alone.
+
+use oraql_suite::ir::builder::FunctionBuilder;
+use oraql_suite::ir::{Module, Ty, Value};
+use oraql_suite::oraql::compile::{compile, CompileOptions, Scope};
+use oraql_suite::oraql::Decisions;
+use oraql_suite::vm::Interpreter;
+use proptest::prelude::*;
+
+/// One step of a generated kernel body.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `slots[dst] = const`
+    StoreConst { dst: usize, off: u8, val: i8 },
+    /// `v = load slots[src]` then print it
+    LoadPrint { src: usize, off: u8 },
+    /// `slots[dst] = slots[a] + slots[b]` (read-modify-write)
+    Combine { dst: usize, a: usize, b: usize },
+    /// copy 16 bytes between slots
+    Copy { dst: usize, src: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4usize, 0..3u8, any::<i8>()).prop_map(|(dst, off, val)| Op::StoreConst {
+            dst,
+            off,
+            val
+        }),
+        (0..4usize, 0..3u8).prop_map(|(src, off)| Op::LoadPrint { src, off }),
+        (0..4usize, 0..4usize, 0..4usize).prop_map(|(dst, a, b)| Op::Combine { dst, a, b }),
+        (0..4usize, 0..4usize).prop_map(|(dst, src)| Op::Copy { dst, src }),
+    ]
+}
+
+/// Builds a program: main allocates four 32-byte buffers, aliases some
+/// kernel parameters according to `wiring` (values mod 4 pick buffers,
+/// possibly repeating = aliasing!), and the kernel executes `ops`
+/// through its opaque pointer parameters.
+fn build_program(ops: &[Op], wiring: [u8; 4], loop_trip: u8) -> Module {
+    let mut m = Module::new("prop");
+    let kern = {
+        let mut b = FunctionBuilder::new(&mut m, "kernel", vec![Ty::Ptr; 4], None);
+        b.set_src_file("gen.c");
+        let slots: Vec<Value> = (0..4).map(|i| b.arg(i)).collect();
+        let emit_ops = |b: &mut FunctionBuilder| {
+            for op in ops {
+                match *op {
+                    Op::StoreConst { dst, off, val } => {
+                        let p = b.gep(slots[dst], 8 * off as i64);
+                        b.store(Ty::I64, Value::ConstInt(val as i64), p);
+                    }
+                    Op::LoadPrint { src, off } => {
+                        let p = b.gep(slots[src], 8 * off as i64);
+                        let v = b.load(Ty::I64, p);
+                        b.print("{}", vec![v]);
+                    }
+                    Op::Combine { dst, a, b: bb } => {
+                        let pa = b.gep(slots[a], 0);
+                        let va = b.load(Ty::I64, pa);
+                        let pb = b.gep(slots[bb], 8);
+                        let vb = b.load(Ty::I64, pb);
+                        let s = b.add(va, vb);
+                        let pd = b.gep(slots[dst], 16);
+                        b.store(Ty::I64, s, pd);
+                    }
+                    Op::Copy { dst, src } => {
+                        b.memcpy(slots[dst], slots[src], Value::ConstInt(16));
+                    }
+                }
+            }
+        };
+        if loop_trip > 0 {
+            b.counted_loop(
+                Value::ConstInt(0),
+                Value::ConstInt(loop_trip as i64),
+                |b, _| emit_ops(b),
+            );
+        } else {
+            emit_ops(&mut b);
+        }
+        // Final state dump so silent corruption is visible.
+        for s in &slots {
+            for off in [0i64, 8, 16] {
+                let p = b.gep(*s, off);
+                let v = b.load(Ty::I64, p);
+                b.print("{}", vec![v]);
+            }
+        }
+        b.ret(None);
+        b.finish()
+    };
+    let g = m.add_global("buffers", 4 * 32, vec![], false);
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    b.set_src_file("main.c");
+    let args: Vec<Value> = wiring
+        .iter()
+        .map(|&w| b.gep(Value::Global(g), 32 * (w as i64 % 4)))
+        .collect();
+    // Initialize all buffers.
+    for i in 0..16i64 {
+        let p = b.gep(Value::Global(g), 8 * i);
+        b.store(Ty::I64, Value::ConstInt(i * 3 + 1), p);
+    }
+    b.call(kern, args, None);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The conservative pipeline never changes program output, no
+    /// matter how the caller aliases the kernel's pointer parameters.
+    #[test]
+    fn conservative_pipeline_preserves_output(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        wiring in prop::array::uniform4(0u8..4),
+        loop_trip in 0u8..4,
+        use_cfl in any::<bool>(),
+    ) {
+        let build = move || build_program(&ops, wiring, loop_trip);
+        let reference = Interpreter::run_main(&build()).unwrap();
+        let compiled = compile(&build, &CompileOptions {
+            use_cfl,
+            verify_each: true,
+            ..CompileOptions::default()
+        });
+        let optimized = Interpreter::run_main(&compiled.module).unwrap();
+        prop_assert_eq!(reference.stdout, optimized.stdout);
+        // Optimization never makes the program do more work.
+        prop_assert!(optimized.stats.total_insts() <= reference.stats.total_insts());
+    }
+
+    /// With ORAQL fully pessimistic the output is also preserved
+    /// (pessimistic == baseline), regardless of wiring.
+    #[test]
+    fn all_pessimistic_oraql_is_baseline(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+        wiring in prop::array::uniform4(0u8..4),
+    ) {
+        let build = move || build_program(&ops, wiring, 2);
+        let baseline = compile(&build, &CompileOptions::baseline());
+        let pess = compile(&build, &CompileOptions::with_oraql(
+            Decisions::all_pessimistic(),
+            Scope::everything(),
+        ));
+        let a = Interpreter::run_main(&baseline.module).unwrap();
+        let b = Interpreter::run_main(&pess.module).unwrap();
+        prop_assert_eq!(a.stdout, b.stdout);
+    }
+
+    /// When no kernel parameters alias, even FULL optimism preserves
+    /// the output: the optimistic answers happen to be true.
+    #[test]
+    fn full_optimism_is_safe_without_aliasing(
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+        loop_trip in 0u8..3,
+    ) {
+        let wiring = [0u8, 1, 2, 3]; // all distinct: no aliasing
+        let build = move || build_program(&ops, wiring, loop_trip);
+        let reference = Interpreter::run_main(&build()).unwrap();
+        let opt = compile(&build, &CompileOptions::with_oraql(
+            Decisions::all_optimistic(),
+            Scope::everything(),
+        ));
+        let out = Interpreter::run_main(&opt.module).unwrap();
+        prop_assert_eq!(reference.stdout, out.stdout);
+    }
+}
