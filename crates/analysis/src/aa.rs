@@ -125,8 +125,7 @@ impl AAManager {
                     writes = true;
                 }
                 Inst::Call { callee, .. } => match callee {
-                    FuncRef::External(sym)
-                        if is_pure_external(module.strings.resolve(*sym)) => {}
+                    FuncRef::External(sym) if is_pure_external(module.strings.resolve(*sym)) => {}
                     _ => {
                         // Nested calls: conservative (no transitive walk,
                         // which would need recursion-cycle handling).
@@ -301,9 +300,7 @@ impl AAManager {
                 (FuncRef::External(sym), CallKind::Plain) => {
                     !is_pure_external(module.strings.resolve(*sym))
                 }
-                (FuncRef::Internal(fid), CallKind::Plain) => {
-                    self.callee_effects(module, *fid).1
-                }
+                (FuncRef::Internal(fid), CallKind::Plain) => self.callee_effects(module, *fid).1,
                 _ => true,
             },
             _ => false,
@@ -332,9 +329,7 @@ impl AAManager {
                 (FuncRef::External(sym), CallKind::Plain) => {
                     !is_pure_external(module.strings.resolve(*sym))
                 }
-                (FuncRef::Internal(fid), CallKind::Plain) => {
-                    self.callee_effects(module, *fid).0
-                }
+                (FuncRef::Internal(fid), CallKind::Plain) => self.callee_effects(module, *fid).0,
                 _ => true,
             },
             _ => false,
@@ -402,10 +397,7 @@ mod tests {
         mgr.add(Box::new(Fixed("no", AliasResult::NoAlias)));
         mgr.add(Box::new(Fixed("must", AliasResult::MustAlias)));
         let (a, b) = locs();
-        assert_eq!(
-            mgr.alias(&m, FunctionId(0), &a, &b),
-            AliasResult::NoAlias
-        );
+        assert_eq!(mgr.alias(&m, FunctionId(0), &a, &b), AliasResult::NoAlias);
         assert_eq!(mgr.answer_counts()[1].no_alias, 1);
         assert_eq!(mgr.answer_counts()[2].must_alias, 0);
         assert_eq!(mgr.no_alias_total(), 1);

@@ -146,9 +146,7 @@ impl AliasAnalysis for AndersenAA {
                 crate::pointer::PtrBase::Arg { index, .. } => {
                     Some(oraql_ir::value::Value::Arg(index))
                 }
-                crate::pointer::PtrBase::Global(g) => {
-                    Some(oraql_ir::value::Value::Global(g))
-                }
+                crate::pointer::PtrBase::Global(g) => Some(oraql_ir::value::Value::Global(g)),
                 crate::pointer::PtrBase::Unknown => None,
             };
             match (

@@ -62,20 +62,14 @@ pub fn alloca_escapes(f: &Function, alloca: InstId) -> bool {
         match f.inst(id) {
             // Storing a derived pointer as a *value* lets it escape.
             Inst::Store { value, .. } if derived.contains(value) => return true,
-            Inst::Call { args, .. } => {
-                if args.iter().any(|a| derived.contains(a)) {
-                    return true;
-                }
+            Inst::Call { args, .. } if args.iter().any(|a| derived.contains(a)) => {
+                return true;
             }
-            Inst::Phi { incoming, .. } => {
-                if incoming.iter().any(|(_, v)| derived.contains(v)) {
-                    return true;
-                }
+            Inst::Phi { incoming, .. } if incoming.iter().any(|(_, v)| derived.contains(v)) => {
+                return true;
             }
-            Inst::Select { t, f: fv, .. } => {
-                if derived.contains(t) || derived.contains(fv) {
-                    return true;
-                }
+            Inst::Select { t, f: fv, .. } if (derived.contains(t) || derived.contains(fv)) => {
+                return true;
             }
             Inst::Memcpy { src, .. } if derived.contains(src) => {
                 // Copying *out of* the alloca is fine; copying the
@@ -152,8 +146,20 @@ fn distinct_bases_no_alias(
         }
         // A noalias (restrict) argument does not alias any pointer with a
         // provably different underlying object.
-        (Arg { index: i, noalias: true }, Arg { index: j, .. })
-        | (Arg { index: j, .. }, Arg { index: i, noalias: true }) => i != j,
+        (
+            Arg {
+                index: i,
+                noalias: true,
+            },
+            Arg { index: j, .. },
+        )
+        | (
+            Arg { index: j, .. },
+            Arg {
+                index: i,
+                noalias: true,
+            },
+        ) => i != j,
         (Arg { noalias: true, .. }, Global(_) | LoadResult(_) | CallResult(_))
         | (Global(_) | LoadResult(_) | CallResult(_), Arg { noalias: true, .. }) => true,
         _ => false,

@@ -127,7 +127,9 @@ impl Extractor {
                 let key = NodeKey::Val(FunctionId(u32::MAX), Value::Global(g));
                 let n = self.node(key);
                 let o = self.obj(AbsObj::Global(g));
-                self.sys.constraints.push(Constraint::AddrOf { lhs: n, obj: o });
+                self.sys
+                    .constraints
+                    .push(Constraint::AddrOf { lhs: n, obj: o });
                 n
             }
             Value::ConstInt(_) | Value::ConstFloat(_) | Value::Undef => {
@@ -159,11 +161,15 @@ pub fn extract(m: &Module) -> ConstraintSystem {
     let uobj = ex.obj(AbsObj::Universal);
     ex.sys.universal_obj = uobj;
     let usrc = ex.sys.universal_src;
-    ex.sys.constraints.push(Constraint::AddrOf { lhs: usrc, obj: uobj });
+    ex.sys.constraints.push(Constraint::AddrOf {
+        lhs: usrc,
+        obj: uobj,
+    });
     let ucontent = ex.sys.content_node[uobj as usize];
-    ex.sys
-        .constraints
-        .push(Constraint::AddrOf { lhs: ucontent, obj: uobj });
+    ex.sys.constraints.push(Constraint::AddrOf {
+        lhs: ucontent,
+        obj: uobj,
+    });
 
     // Which functions have internal callers (called directly, as a
     // parallel region, or as a kernel)? Pointer params of uncalled
@@ -201,7 +207,9 @@ pub fn extract(m: &Module) -> ConstraintSystem {
                 Inst::Alloca { .. } => {
                     let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
                     let o = ex.obj(AbsObj::Alloca(fid, id));
-                    ex.sys.constraints.push(Constraint::AddrOf { lhs: n, obj: o });
+                    ex.sys
+                        .constraints
+                        .push(Constraint::AddrOf { lhs: n, obj: o });
                 }
                 Inst::Gep { base, .. } => {
                     let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
@@ -216,7 +224,9 @@ pub fn extract(m: &Module) -> ConstraintSystem {
                 Inst::Store { ptr, value, ty, .. } if *ty == Ty::Ptr => {
                     let p = ex.val_node(fid, *ptr);
                     let v = ex.val_node(fid, *value);
-                    ex.sys.constraints.push(Constraint::Store { ptr: p, rhs: v });
+                    ex.sys
+                        .constraints
+                        .push(Constraint::Store { ptr: p, rhs: v });
                 }
                 Inst::Phi { ty, incoming } if *ty == Ty::Ptr => {
                     let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
@@ -232,24 +242,26 @@ pub fn extract(m: &Module) -> ConstraintSystem {
                         ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: s });
                     }
                 }
-                Inst::Cast { kind, val, to } => {
-                    if *to == Ty::Ptr {
-                        let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
-                        let rhs = match kind {
-                            // int-to-ptr: unknown provenance.
-                            CastKind::IntToPtr => usrc,
-                            _ => ex.val_node(fid, *val),
-                        };
-                        ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs });
-                    }
+                Inst::Cast { kind, val, to } if *to == Ty::Ptr => {
+                    let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
+                    let rhs = match kind {
+                        // int-to-ptr: unknown provenance.
+                        CastKind::IntToPtr => usrc,
+                        _ => ex.val_node(fid, *val),
+                    };
+                    ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs });
                 }
                 Inst::Memcpy { dst, src, .. } => {
                     // `*dst ⊇ *src` via a temporary.
                     let d = ex.val_node(fid, *dst);
                     let s = ex.val_node(fid, *src);
                     let tmp = ex.node(NodeKey::Val(fid, Value::Inst(id)));
-                    ex.sys.constraints.push(Constraint::Load { lhs: tmp, ptr: s });
-                    ex.sys.constraints.push(Constraint::Store { ptr: d, rhs: tmp });
+                    ex.sys
+                        .constraints
+                        .push(Constraint::Load { lhs: tmp, ptr: s });
+                    ex.sys
+                        .constraints
+                        .push(Constraint::Store { ptr: d, rhs: tmp });
                 }
                 Inst::Call {
                     callee,
@@ -281,7 +293,9 @@ pub fn extract(m: &Module) -> ConstraintSystem {
                         if *ret == Some(Ty::Ptr) {
                             let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
                             let rn = ex.node(NodeKey::Ret(*c));
-                            ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: rn });
+                            ex.sys
+                                .constraints
+                                .push(Constraint::Copy { lhs: n, rhs: rn });
                         }
                     }
                     FuncRef::External(_) => {
@@ -300,14 +314,18 @@ pub fn extract(m: &Module) -> ConstraintSystem {
                         }
                         if *ret == Some(Ty::Ptr) {
                             let n = ex.node(NodeKey::Val(fid, Value::Inst(id)));
-                            ex.sys.constraints.push(Constraint::Copy { lhs: n, rhs: usrc });
+                            ex.sys
+                                .constraints
+                                .push(Constraint::Copy { lhs: n, rhs: usrc });
                         }
                     }
                 },
                 Inst::Ret { val: Some(v) } if f.ret == Some(Ty::Ptr) => {
                     let rn = ex.node(NodeKey::Ret(fid));
                     let vn = ex.val_node(fid, *v);
-                    ex.sys.constraints.push(Constraint::Copy { lhs: rn, rhs: vn });
+                    ex.sys
+                        .constraints
+                        .push(Constraint::Copy { lhs: rn, rhs: vn });
                 }
                 _ => {}
             }

@@ -158,8 +158,12 @@ mod tests {
     fn address_taken_computation() {
         let (m, quiet, loud) = setup();
         let aa = GlobalsAA::new(&m);
-        let Value::Global(q) = quiet else { unreachable!() };
-        let Value::Global(l) = loud else { unreachable!() };
+        let Value::Global(q) = quiet else {
+            unreachable!()
+        };
+        let Value::Global(l) = loud else {
+            unreachable!()
+        };
         assert!(!aa.is_address_taken(q));
         assert!(aa.is_address_taken(l));
     }

@@ -136,7 +136,9 @@ impl MemoryLocation {
     /// The source (read) location of a memcpy.
     pub fn memcpy_source(f: &Function, id: InstId) -> Option<MemoryLocation> {
         match f.inst(id) {
-            Inst::Memcpy { src, bytes, meta, .. } => Some(MemoryLocation {
+            Inst::Memcpy {
+                src, bytes, meta, ..
+            } => Some(MemoryLocation {
                 ptr: *src,
                 size: match bytes.as_int() {
                     Some(n) if n >= 0 => LocationSize::Precise(n as u64),
@@ -153,7 +155,9 @@ impl MemoryLocation {
     /// The destination (written) location of a memcpy.
     pub fn memcpy_dest(f: &Function, id: InstId) -> Option<MemoryLocation> {
         match f.inst(id) {
-            Inst::Memcpy { dst, bytes, meta, .. } => Some(MemoryLocation {
+            Inst::Memcpy {
+                dst, bytes, meta, ..
+            } => Some(MemoryLocation {
                 ptr: *dst,
                 size: match bytes.as_int() {
                     Some(n) if n >= 0 => LocationSize::Precise(n as u64),

@@ -71,7 +71,7 @@ impl LoopForest {
             .collect();
 
         // Order outer loops first (larger bodies first), then nest.
-        loops.sort_by(|a, b| b.blocks.len().cmp(&a.blocks.len()));
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
         for i in 0..loops.len() {
             // The innermost enclosing loop is the smallest loop (latest in
             // the sorted order) containing this header, other than itself.

@@ -121,6 +121,7 @@ impl MemorySsa {
         self.walk(m, func, aa, loc, start, &mut visited_phis, &mut budget)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         &self,
         m: &Module,
@@ -153,15 +154,8 @@ impl MemorySsa {
                     // path reaches the same clobber.
                     let mut results: Vec<MemAccess> = Vec::new();
                     for &p in &self.preds[bb.0 as usize] {
-                        let r = self.walk(
-                            m,
-                            func,
-                            aa,
-                            loc,
-                            self.end_access(p),
-                            visited_phis,
-                            budget,
-                        );
+                        let r =
+                            self.walk(m, func, aa, loc, self.end_access(p), visited_phis, budget);
                         results.push(r);
                     }
                     let first = results[0];

@@ -94,11 +94,7 @@ pub fn decompose(f: &Function, ptr: Value) -> DecomposedPtr {
                 }
             }
             Value::Arg(i) => {
-                let noalias = f
-                    .params
-                    .get(i as usize)
-                    .map(|p| p.noalias)
-                    .unwrap_or(false);
+                let noalias = f.params.get(i as usize).map(|p| p.noalias).unwrap_or(false);
                 return DecomposedPtr {
                     base: PtrBase::Arg { index: i, noalias },
                     const_off,

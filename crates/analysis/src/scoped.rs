@@ -29,7 +29,12 @@ impl AliasAnalysis for ScopedNoAliasAA {
         "ScopedNoAliasAA"
     }
 
-    fn alias(&mut self, _ctx: &QueryCtx<'_>, a: &MemoryLocation, b: &MemoryLocation) -> AliasResult {
+    fn alias(
+        &mut self,
+        _ctx: &QueryCtx<'_>,
+        a: &MemoryLocation,
+        b: &MemoryLocation,
+    ) -> AliasResult {
         if intersects(&a.noalias, &b.scopes) || intersects(&b.noalias, &a.scopes) {
             self.answered += 1;
             return AliasResult::NoAlias;

@@ -135,11 +135,7 @@ impl SteensgaardAA {
         }
     }
 
-    fn node_for(
-        &self,
-        ctx: &QueryCtx<'_>,
-        ptr: oraql_ir::value::Value,
-    ) -> Option<u32> {
+    fn node_for(&self, ctx: &QueryCtx<'_>, ptr: oraql_ir::value::Value) -> Option<u32> {
         if let Some(n) = self.sys.node_of(ctx.func, ptr) {
             return Some(n);
         }

@@ -248,7 +248,11 @@ fn external_call_arguments_escape_in_andersen() {
     let mut b = FunctionBuilder::new(&mut m, "main", vec![Ty::Ptr], None);
     let x = b.alloca(64, "x");
     // Pass x's address to an external (not one of the pure math fns).
-    let sym_exists = b.call_external("pow", vec![Value::const_f64(1.0), Value::const_f64(2.0)], Some(Ty::F64));
+    let sym_exists = b.call_external(
+        "pow",
+        vec![Value::const_f64(1.0), Value::const_f64(2.0)],
+        Some(Ty::F64),
+    );
     let _ = sym_exists;
     b.store(Ty::I64, Value::ConstInt(0), x);
     let via_arg = b.arg(0);

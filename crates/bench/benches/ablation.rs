@@ -27,7 +27,7 @@ fn chain_contribution() {
     for name in configs {
         let case = find_case(name).unwrap();
         let base = compile(
-            &case.build,
+            &*case.build,
             &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
         );
         let base_unique = base.oraql.as_ref().unwrap().lock().stats.unique();
@@ -35,7 +35,7 @@ fn chain_contribution() {
             let mut opts =
                 CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
             opts.suppress = vec![a.to_string()];
-            let c = compile(&case.build, &opts);
+            let c = compile(&*case.build, &opts);
             let unique = c.oraql.as_ref().unwrap().lock().stats.unique();
             rows.push(vec![
                 name.to_string(),
@@ -68,13 +68,12 @@ fn cfl_ablation() {
     for name in ["testsnap", "xsbench", "quicksilver", "minigmg_ompif"] {
         let case = find_case(name).unwrap();
         let without = compile(
-            &case.build,
+            &*case.build,
             &CompileOptions::with_oraql(Decisions::all_pessimistic(), case.scope.clone()),
         );
-        let mut opts =
-            CompileOptions::with_oraql(Decisions::all_pessimistic(), case.scope.clone());
+        let mut opts = CompileOptions::with_oraql(Decisions::all_pessimistic(), case.scope.clone());
         opts.use_cfl = true;
-        let with = compile(&case.build, &opts);
+        let with = compile(&*case.build, &opts);
         let wu = without.oraql.as_ref().unwrap().lock().stats.unique();
         let cu = with.oraql.as_ref().unwrap().lock().stats.unique();
         rows.push(vec![
@@ -141,7 +140,7 @@ fn optimism_ablation() {
         let mut case = find_case(name).unwrap();
         case.optimism = OptimismKind::MustAlias;
         let r = Driver::run(&case, DriverOptions::default()).unwrap();
-        let base = compile(&case.build, &CompileOptions::baseline());
+        let base = compile(&*case.build, &CompileOptions::baseline());
         let base_run = Interpreter::run_main(&base.module).unwrap();
         rows.push(vec![
             name.to_string(),
@@ -205,7 +204,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("compile/full-chain", |b| {
         b.iter(|| {
             compile(
-                &case.build,
+                &*case.build,
                 &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
             )
         })
@@ -215,7 +214,7 @@ fn bench(c: &mut Criterion) {
             let mut opts =
                 CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
             opts.suppress = vec!["BasicAA".into()];
-            compile(&case.build, &opts)
+            compile(&*case.build, &opts)
         })
     });
     g.finish();

@@ -77,7 +77,11 @@ fn layouts() -> Vec<(&'static str, Vec<u64>, u64)> {
         ("no dangers", vec![], 256),
         ("1 danger", vec![101], 256),
         ("clustered (8 adjacent)", (96..104).collect(), 256),
-        ("scattered (8 spread)", vec![3, 40, 77, 110, 150, 190, 220, 250], 256),
+        (
+            "scattered (8 spread)",
+            vec![3, 40, 77, 110, 150, 190, 220, 250],
+            256,
+        ),
         ("dense cluster (32 adjacent)", (100..132).collect(), 512),
     ]
 }

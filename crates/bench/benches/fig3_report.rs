@@ -57,14 +57,7 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("report");
     g.bench_function("render/testsnap_omp", |b| {
-        b.iter(|| {
-            render_report(
-                &r.final_module,
-                &r.queries,
-                DumpFlags::all(),
-                &r.pass_trace,
-            )
-        })
+        b.iter(|| render_report(&r.final_module, &r.queries, DumpFlags::all(), &r.pass_trace))
     });
     g.finish();
 }

@@ -16,11 +16,31 @@ fn print_fig5() {
         "Fig. 5 — software versions (substrate crates standing in for the paper's stack)",
         &["component", "stands in for", "version"],
         &[
-            vec!["oraql-ir".into(), "LLVM IR (git ea7be7e)".into(), env!("CARGO_PKG_VERSION").into()],
-            vec!["oraql-analysis".into(), "LLVM AA stack".into(), env!("CARGO_PKG_VERSION").into()],
-            vec!["oraql-passes".into(), "LLVM O3 pipeline".into(), env!("CARGO_PKG_VERSION").into()],
-            vec!["oraql-vm (device model)".into(), "CUDA 11.4.0 / A100".into(), env!("CARGO_PKG_VERSION").into()],
-            vec!["oraql-workloads".into(), "proxy apps + Kokkos 3.5.0 / Flang".into(), env!("CARGO_PKG_VERSION").into()],
+            vec![
+                "oraql-ir".into(),
+                "LLVM IR (git ea7be7e)".into(),
+                env!("CARGO_PKG_VERSION").into(),
+            ],
+            vec![
+                "oraql-analysis".into(),
+                "LLVM AA stack".into(),
+                env!("CARGO_PKG_VERSION").into(),
+            ],
+            vec![
+                "oraql-passes".into(),
+                "LLVM O3 pipeline".into(),
+                env!("CARGO_PKG_VERSION").into(),
+            ],
+            vec![
+                "oraql-vm (device model)".into(),
+                "CUDA 11.4.0 / A100".into(),
+                env!("CARGO_PKG_VERSION").into(),
+            ],
+            vec![
+                "oraql-workloads".into(),
+                "proxy apps + Kokkos 3.5.0 / Flang".into(),
+                env!("CARGO_PKG_VERSION").into(),
+            ],
         ],
     );
 }
@@ -77,7 +97,14 @@ fn print_fig4() {
         .collect();
     print_table(
         "Probing effort per configuration",
-        &["config", "fully optimistic", "compiles", "tests", "cached", "deduced"],
+        &[
+            "config",
+            "fully optimistic",
+            "compiles",
+            "tests",
+            "cached",
+            "deduced",
+        ],
         &eff,
     );
 }

@@ -67,12 +67,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("compile");
     g.sample_size(20);
     g.bench_function("baseline/quicksilver", |b| {
-        b.iter(|| oraql::compile::compile(&case.build, &oraql::compile::CompileOptions::baseline()))
+        b.iter(|| {
+            oraql::compile::compile(&*case.build, &oraql::compile::CompileOptions::baseline())
+        })
     });
     g.bench_function("oraql-all-optimistic/quicksilver", |b| {
         b.iter(|| {
             oraql::compile::compile(
-                &case.build,
+                &*case.build,
                 &oraql::compile::CompileOptions::with_oraql(
                     oraql::Decisions::all_optimistic(),
                     case.scope.clone(),

@@ -12,7 +12,7 @@ fn print_fig7() {
     let (_, r) = run_config("testsnap_kokkos");
     // Baseline module: recompile without ORAQL.
     let case = oraql_workloads::find_case("testsnap_kokkos").unwrap();
-    let base = oraql::compile::compile(&case.build, &oraql::compile::CompileOptions::baseline());
+    let base = oraql::compile::compile(&*case.build, &oraql::compile::CompileOptions::baseline());
 
     let mut rows = Vec::new();
     let mut total = 0;
@@ -34,7 +34,11 @@ fn print_fig7() {
             )
         };
         let dstk = if b.stack_bytes == 0 {
-            if o.stack_bytes == 0 { "0%".into() } else { "new".into() }
+            if o.stack_bytes == 0 {
+                "0%".into()
+            } else {
+                "new".into()
+            }
         } else {
             format!(
                 "{:+.1}%",

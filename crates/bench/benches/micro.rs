@@ -22,9 +22,7 @@ fn big_module() -> Module {
 
 fn bench_aa(c: &mut Criterion) {
     let m = big_module();
-    let f = m
-        .find_func("CalcEnergyForElems")
-        .expect("kernel present");
+    let f = m.find_func("CalcEnergyForElems").expect("kernel present");
     let func = m.func(f);
     // Collect some access locations to query pairwise.
     let locs: Vec<MemoryLocation> = func
@@ -55,9 +53,7 @@ fn bench_aa(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    g.bench_function("Steensgaard/build", |b| {
-        b.iter(|| SteensgaardAA::new(&m))
-    });
+    g.bench_function("Steensgaard/build", |b| b.iter(|| SteensgaardAA::new(&m)));
     g.bench_function("Andersen/build+solve", |b| b.iter(|| AndersenAA::new(&m)));
     g.bench_function("MemorySSA/build-per-function", |b| {
         b.iter(|| {
@@ -75,13 +71,13 @@ fn bench_pipeline_and_vm(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("standard-pipeline/testsnap", |b| {
         b.iter(|| {
-            oraql::compile::compile(&case.build, &oraql::compile::CompileOptions::baseline())
+            oraql::compile::compile(&*case.build, &oraql::compile::CompileOptions::baseline())
         })
     });
     g.finish();
 
     let compiled =
-        oraql::compile::compile(&case.build, &oraql::compile::CompileOptions::baseline());
+        oraql::compile::compile(&*case.build, &oraql::compile::CompileOptions::baseline());
     let mut g = c.benchmark_group("vm");
     g.bench_function("interpret/testsnap", |b| {
         b.iter(|| Interpreter::run_main(&compiled.module).unwrap())

@@ -68,9 +68,9 @@ fn bench(c: &mut Criterion) {
     // Criterion: wall-clock of interpreting original vs optimized
     // modules (the simulator-level analogue of the paper's timings).
     let case = oraql_workloads::find_case("minigmg_ompif").unwrap();
-    let base = oraql::compile::compile(&case.build, &oraql::compile::CompileOptions::baseline());
+    let base = oraql::compile::compile(&*case.build, &oraql::compile::CompileOptions::baseline());
     let opt = oraql::compile::compile(
-        &case.build,
+        &*case.build,
         &oraql::compile::CompileOptions::with_oraql(
             oraql::Decisions::all_optimistic(),
             case.scope.clone(),

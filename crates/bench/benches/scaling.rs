@@ -15,10 +15,9 @@ use oraql_workloads::lulesh::{build_with, Variant};
 use oraql_workloads::toolkit::standard_ignore_patterns;
 
 fn case_with(hazards: i64) -> TestCase {
-    let mut c = TestCase::new(
-        &format!("lulesh-h{hazards}"),
-        move || build_with(Variant::Seq, hazards),
-    );
+    let mut c = TestCase::new(&format!("lulesh-h{hazards}"), move || {
+        build_with(Variant::Seq, hazards)
+    });
     c.scope = oraql::compile::Scope::files(vec!["lulesh.cc".into()]);
     c.ignore_patterns = standard_ignore_patterns();
     c

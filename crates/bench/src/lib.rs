@@ -13,8 +13,7 @@ use oraql_workloads::{find_case, find_info, CaseInfo, CASE_INFOS};
 pub fn run_config(name: &str) -> (CaseInfo, DriverResult) {
     let case = find_case(name).unwrap_or_else(|| panic!("unknown config {name}"));
     let info = find_info(name).expect("info");
-    let r = Driver::run(&case, DriverOptions::default())
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let r = Driver::run(&case, DriverOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
     (info, r)
 }
 

@@ -155,8 +155,7 @@ pub fn compile(build: &dyn Fn() -> Module, opts: &CompileOptions) -> Compiled {
     let mut aa = conservative_chain(&module, opts.use_cfl);
     aa.suppressed = opts.suppress.iter().cloned().collect();
     let oraql = opts.oraql.as_ref().map(|(decisions, scope)| {
-        let shared =
-            crate::pass::new_shared_with(decisions.clone(), scope.clone(), opts.optimism);
+        let shared = crate::pass::new_shared_with(decisions.clone(), scope.clone(), opts.optimism);
         aa.add(Box::new(OraqlAA::new(shared.clone())));
         shared
     });

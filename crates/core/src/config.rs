@@ -114,8 +114,7 @@ impl Config {
 
     /// Loads and parses a configuration file.
     pub fn load(path: &str) -> Result<Config, String> {
-        let src =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         Self::parse(&src)
     }
 }

@@ -1,16 +1,57 @@
-//! The ORAQL probing driver (paper §IV-B).
+//! The ORAQL probing driver (paper §IV-B), parallel edition.
 //!
 //! Workflow: compile and run with the ORAQL pass deactivated and verify
 //! the reference behaviour; try answering *every* query optimistically
 //! (the empty sequence); if that breaks verification, bisect with the
 //! configured strategy to pin down the queries that must stay
-//! pessimistic. Executables are hashed so bit-identical recompilations
-//! reuse the previous test verdict.
+//! pessimistic.
+//!
+//! # Probe execution and caching
+//!
+//! Every probe goes through one shared `ProbeEngine` per driver,
+//! which answers it from (in order):
+//!
+//! 1. the **decisions-digest cache** — identical decision vectors skip
+//!    even the recompile (parallel mode only, keyed by the case name
+//!    plus [`Decisions::render`]);
+//! 2. the **executable-hash cache** — bit-identical recompilations
+//!    reuse the previous test verdict (the seed driver's cache, now a
+//!    `Mutex<HashMap>` shared across all probing threads of a suite);
+//! 3. an actual VM execution plus output verification.
+//!
+//! # Concurrency and determinism contract
+//!
+//! * With `jobs = 1` (the default) no worker pool exists, speculative
+//!   handles are deferred, and the driver reproduces the sequential
+//!   seed driver byte-for-byte: same probe order, same
+//!   [`ProbeEffort`] counters, same final [`Decisions`].
+//! * With `jobs > 1` the bisection strategies launch **speculative
+//!   sibling probes** ([`Prober::probe_speculative`]) on a bounded
+//!   [`WorkerPool`]; when the Fig. 2 deduction rule fires, the
+//!   now-unneeded sibling is cancelled. In parallel mode every probe
+//!   outcome is a pure function of the probed decision vector
+//!   (compilation and the VM are deterministic, and cache hits report
+//!   the freshly compiled unique-query count), so parallel runs are
+//!   repeatable at any job count and decide the same queries as
+//!   `jobs = 1`: the final decisions agree in
+//!   [`Decisions::canonical`] form and all verification verdicts
+//!   match. (Raw explicit vectors can differ in no-op trailing
+//!   entries, because sequential mode preserves the seed driver's
+//!   quirk of reporting the *first inserter's* unique count on an
+//!   executable-cache hit.) Effort counters and cache-hit
+//!   classifications may also differ — speculation executes extra
+//!   probes — which is why Fig. 2/Fig. 4-style analysis should consume
+//!   the probe trace ([`crate::trace`]) rather than raw counters.
+//! * The test budget (`max_tests`) is accounted in executed tests; with
+//!   speculation those include wasted probes, so budget-truncated runs
+//!   are only guaranteed reproducible at `jobs = 1`.
 
 use crate::compile::{compile, CompileOptions, Compiled, Scope};
-use crate::pass::{OraqlStats, UniqueQuery};
+use crate::pass::{OptimismKind, OraqlStats, UniqueQuery};
+use crate::pool::{CancelToken, WorkerPool};
 use crate::sequence::Decisions;
-use crate::strategy::{ProbeOutcome, Prober, Strategy};
+use crate::strategy::{ProbeOutcome, Prober, SpeculativeProbe, Strategy};
+use crate::trace::{ProbeEvent, ProbeKind, TraceSink};
 use crate::verify::{Mismatch, Verifier};
 use oraql_ir::module::Module;
 use oraql_passes::Stats;
@@ -18,6 +59,10 @@ use oraql_vm::{Interpreter, RunOutcome};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// A benchmark handed to the driver: how to build the program, where
 /// ORAQL may answer, and how to verify output.
@@ -25,8 +70,9 @@ pub struct TestCase {
     /// Benchmark name.
     pub name: String,
     /// Builds a fresh module (one "compilation" input). Must be
-    /// deterministic: the driver compiles it many times.
-    pub build: Box<dyn Fn() -> Module + Send + Sync>,
+    /// deterministic: the driver compiles it many times, possibly from
+    /// several probe threads at once.
+    pub build: Arc<dyn Fn() -> Module + Send + Sync>,
     /// ORAQL scope restriction (files / target).
     pub scope: Scope,
     /// Ignore patterns for volatile output lines (see [`crate::textpat`]).
@@ -47,7 +93,7 @@ impl TestCase {
     pub fn new(name: &str, build: impl Fn() -> Module + Send + Sync + 'static) -> Self {
         TestCase {
             name: name.to_owned(),
-            build: Box::new(build),
+            build: Arc::new(build),
             scope: Scope::everything(),
             ignore_patterns: Vec::new(),
             extra_references: Vec::new(),
@@ -68,6 +114,12 @@ pub struct DriverOptions {
     pub max_tests: u64,
     /// Record `-debug-pass=Executions` trace lines in the final compile.
     pub trace_passes: bool,
+    /// Probe concurrency. `1` (the default) is the sequential seed
+    /// driver; `N > 1` enables speculative sibling probes on an
+    /// `N`-worker pool and the decisions-digest cache.
+    pub jobs: usize,
+    /// Probe-trace sink; every probe answer is recorded here.
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for DriverOptions {
@@ -76,6 +128,8 @@ impl Default for DriverOptions {
             strategy: Strategy::Chunked,
             max_tests: 4_096,
             trace_passes: false,
+            jobs: 1,
+            trace: None,
         }
     }
 }
@@ -91,6 +145,14 @@ pub struct ProbeEffort {
     pub tests_cached: u64,
     /// Tests skipped by the Fig. 2 deduction rule.
     pub tests_deduced: u64,
+    /// Probes answered from the decisions-digest cache without even
+    /// recompiling (parallel driver only).
+    pub tests_dec_cached: u64,
+    /// Speculative sibling probes launched on the worker pool.
+    pub spec_launched: u64,
+    /// Speculative probes cancelled before their verdict was consumed
+    /// (the deduction rule or a passing parent made them unnecessary).
+    pub spec_cancelled: u64,
 }
 
 /// Everything the driver learned about one benchmark.
@@ -132,8 +194,7 @@ impl DriverResult {
         if self.no_alias_original == 0 {
             return 0.0;
         }
-        (self.no_alias_oraql as f64 - self.no_alias_original as f64)
-            / self.no_alias_original as f64
+        (self.no_alias_oraql as f64 - self.no_alias_original as f64) / self.no_alias_original as f64
             * 100.0
     }
 }
@@ -158,43 +219,286 @@ impl std::fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
-/// The probing driver.
-pub struct Driver<'c> {
-    case: &'c TestCase,
-    opts: DriverOptions,
-    verifier: Verifier,
+/// Thread-shared probe verdict caches. One instance may back a whole
+/// suite run: the executable-hash key and the decisions digest are both
+/// salted with the case name, so entries from different benchmarks
+/// never collide even when their module text coincides (their verifier
+/// references may differ).
+#[derive(Debug, Default)]
+pub struct VerdictCaches {
     /// executable hash -> (verdict, unique query count)
-    hash_cache: HashMap<u64, (bool, u64)>,
-    effort: ProbeEffort,
+    exe: Mutex<HashMap<u64, (bool, u64)>>,
+    /// decisions digest -> (verdict, unique query count)
+    dec: Mutex<HashMap<u64, (bool, u64)>>,
 }
 
-fn module_hash(m: &Module) -> u64 {
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl VerdictCaches {
+    /// Entries in the executable-hash cache.
+    pub fn exe_entries(&self) -> usize {
+        lock_ignore_poison(&self.exe).len()
+    }
+
+    /// Entries in the decisions-digest cache.
+    pub fn dec_entries(&self) -> usize {
+        lock_ignore_poison(&self.dec).len()
+    }
+}
+
+fn module_hash(salt: u64, m: &Module) -> u64 {
     let text = oraql_ir::printer::module_str(m);
     let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
     text.hash(&mut h);
     h.finish()
 }
 
+fn decisions_digest(salt: u64, d: &Decisions) -> u64 {
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    d.render().hash(&mut h);
+    h.finish()
+}
+
+/// Cache-key salt identifying one case within shared caches: a probe
+/// verdict is only transferable between probes that agree on the case
+/// name *and* the accepted references — the verdict of a bit-identical
+/// module under a different verifier is a different fact.
+fn case_salt(case: &TestCase, references: &[String]) -> u64 {
+    let mut h = DefaultHasher::new();
+    case.name.hash(&mut h);
+    references.hash(&mut h);
+    case.ignore_patterns.hash(&mut h);
+    case.fuel.hash(&mut h);
+    h.finish()
+}
+
+/// The probe execution engine: everything needed to answer one probe,
+/// shareable across the worker pool (`Sync`). The seed driver's
+/// `compile_with` + `probe` logic lives here unchanged; the caches are
+/// merely behind mutexes now.
+struct ProbeEngine {
+    case_name: String,
+    salt: u64,
+    build: Arc<dyn Fn() -> Module + Send + Sync>,
+    scope: Scope,
+    use_cfl: bool,
+    optimism: OptimismKind,
+    fuel: u64,
+    verifier: Verifier,
+    /// Enables the decisions-digest cache (parallel mode only, so that
+    /// `jobs = 1` reproduces seed effort counters exactly).
+    use_dec_cache: bool,
+    caches: Arc<VerdictCaches>,
+    effort: Mutex<ProbeEffort>,
+    trace: Option<TraceSink>,
+    trace_seq: AtomicU64,
+}
+
+impl ProbeEngine {
+    fn effort(&self) -> MutexGuard<'_, ProbeEffort> {
+        lock_ignore_poison(&self.effort)
+    }
+
+    fn trace_event(
+        &self,
+        digest: u64,
+        kind: ProbeKind,
+        pass: bool,
+        unique: u64,
+        speculative: bool,
+        started: Instant,
+    ) {
+        if let Some(sink) = &self.trace {
+            sink.record(ProbeEvent {
+                case: self.case_name.clone(),
+                seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
+                digest,
+                kind,
+                pass,
+                unique,
+                speculative,
+                wall_micros: started.elapsed().as_micros() as u64,
+            });
+        }
+    }
+
+    /// Answers one probe: decisions cache, compile, executable cache,
+    /// then an actual execution. Safe to call from any thread.
+    fn execute(&self, d: &Decisions, speculative: bool) -> ProbeOutcome {
+        self.execute_inner(d, speculative, None)
+            .expect("non-cancellable probe always completes")
+    }
+
+    /// [`ProbeEngine::execute`] with an advisory abort point: a
+    /// cancelled speculative probe stops between the compile and the
+    /// (usually much more expensive) test execution and returns `None`
+    /// without recording a probe answer. The waiter recomputes inline
+    /// in that case, so verdicts are never lost — only wasted work is.
+    fn execute_inner(
+        &self,
+        d: &Decisions,
+        speculative: bool,
+        cancel: Option<&CancelToken>,
+    ) -> Option<ProbeOutcome> {
+        let started = Instant::now();
+        let digest = decisions_digest(self.salt, d);
+        if self.use_dec_cache {
+            if let Some(&(pass, unique)) = lock_ignore_poison(&self.caches.dec).get(&digest) {
+                self.effort().tests_dec_cached += 1;
+                self.trace_event(
+                    digest,
+                    ProbeKind::DecisionCacheHit,
+                    pass,
+                    unique,
+                    speculative,
+                    started,
+                );
+                return Some(ProbeOutcome { pass, unique });
+            }
+        }
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return None;
+        }
+        self.effort().compiles += 1;
+        let compiled = compile(
+            &*self.build,
+            &CompileOptions {
+                oraql: Some((d.clone(), self.scope.clone())),
+                use_cfl: self.use_cfl,
+                optimism: self.optimism,
+                ..CompileOptions::default()
+            },
+        );
+        let unique = compiled
+            .oraql
+            .as_ref()
+            .map(|s| s.lock().stats.unique())
+            .unwrap_or(0);
+        let h = module_hash(self.salt, &compiled.module);
+        let hit = lock_ignore_poison(&self.caches.exe).get(&h).copied();
+        if let Some((pass, cached_unique)) = hit {
+            self.effort().tests_cached += 1;
+            // Sequential mode preserves the seed driver's quirk of
+            // reporting the unique count recorded when the verdict was
+            // first cached. Parallel mode reports the freshly compiled
+            // count instead: cache insertion order is
+            // scheduling-dependent under speculation, and the fresh
+            // count makes every probe outcome a pure function of the
+            // probed decision vector — which is what keeps the
+            // bisection path (and the final decisions) identical across
+            // job counts.
+            let unique = if self.use_dec_cache {
+                unique
+            } else {
+                cached_unique
+            };
+            if self.use_dec_cache {
+                lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+            }
+            self.trace_event(
+                digest,
+                ProbeKind::ExeCacheHit,
+                pass,
+                unique,
+                speculative,
+                started,
+            );
+            return Some(ProbeOutcome { pass, unique });
+        }
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return None;
+        }
+        self.effort().tests_run += 1;
+        let pass = match run_module(&compiled.module, self.fuel) {
+            Ok(run) => self.verifier.check(&run.stdout).is_ok(),
+            Err(_) => false, // traps count as verification failures
+        };
+        lock_ignore_poison(&self.caches.exe).insert(h, (pass, unique));
+        if self.use_dec_cache {
+            lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+        }
+        self.trace_event(
+            digest,
+            ProbeKind::Executed,
+            pass,
+            unique,
+            speculative,
+            started,
+        );
+        Some(ProbeOutcome { pass, unique })
+    }
+}
+
+/// A speculative probe in flight on the worker pool.
+struct PendingProbe {
+    rx: Receiver<ProbeOutcome>,
+    token: CancelToken,
+}
+
+/// The probing driver.
+pub struct Driver<'c> {
+    case: &'c TestCase,
+    opts: DriverOptions,
+    engine: Arc<ProbeEngine>,
+    pool: Option<Arc<WorkerPool>>,
+    pending: HashMap<u64, PendingProbe>,
+    next_ticket: u64,
+}
+
 impl<'c> Driver<'c> {
-    /// Runs the full workflow on one case.
+    /// Runs the full workflow on one case with private caches; a
+    /// private worker pool is created when `opts.jobs > 1`.
     pub fn run(case: &'c TestCase, opts: DriverOptions) -> Result<DriverResult, DriverError> {
+        let pool = (opts.jobs > 1).then(|| Arc::new(WorkerPool::new(opts.jobs)));
+        Self::run_shared(case, opts, Arc::new(VerdictCaches::default()), pool)
+    }
+
+    /// [`Driver::run`] against caller-provided caches and worker pool,
+    /// so a suite run shares both across benchmarks.
+    pub fn run_shared(
+        case: &'c TestCase,
+        opts: DriverOptions,
+        caches: Arc<VerdictCaches>,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Result<DriverResult, DriverError> {
         // Step 1: baseline (ORAQL deactivated) — produces the reference.
-        let baseline = compile(&case.build, &CompileOptions::baseline());
+        let baseline = compile(&*case.build, &CompileOptions::baseline());
         let baseline_run = run_module(&baseline.module, case.fuel)
             .map_err(|e| DriverError::BaselineBroken(Mismatch::ExecutionFailed(e)))?;
         let mut references = vec![baseline_run.stdout.clone()];
         references.extend(case.extra_references.iter().cloned());
+        let salt = case_salt(case, &references);
         let verifier = Verifier::new(references, &case.ignore_patterns);
         verifier
             .check(&baseline_run.stdout)
             .map_err(DriverError::BaselineBroken)?;
 
+        let engine = Arc::new(ProbeEngine {
+            case_name: case.name.clone(),
+            salt,
+            build: Arc::clone(&case.build),
+            scope: case.scope.clone(),
+            use_cfl: case.use_cfl,
+            optimism: case.optimism,
+            fuel: case.fuel,
+            verifier,
+            use_dec_cache: opts.jobs > 1,
+            caches,
+            effort: Mutex::new(ProbeEffort::default()),
+            trace: opts.trace.clone(),
+            trace_seq: AtomicU64::new(0),
+        });
         let mut driver = Driver {
             case,
             opts,
-            verifier,
-            hash_cache: HashMap::new(),
-            effort: ProbeEffort::default(),
+            engine,
+            pool,
+            pending: HashMap::new(),
+            next_ticket: 0,
         };
 
         // Step 2: the empty sequence — everything optimistic.
@@ -216,14 +520,16 @@ impl<'c> Driver<'c> {
             optimism: case.optimism,
             ..CompileOptions::default()
         };
-        let finalc = compile(&case.build, &final_opts);
+        let finalc = compile(&*case.build, &final_opts);
         let final_run = run_module(&finalc.module, case.fuel)
             .map_err(|e| DriverError::FinalBroken(Mismatch::ExecutionFailed(e)))?;
         driver
+            .engine
             .verifier
             .check(&final_run.stdout)
             .map_err(DriverError::FinalBroken)?;
 
+        let effort = *driver.engine.effort();
         let shared = finalc.oraql.as_ref().expect("oraql installed");
         let st = shared.lock();
         Ok(DriverResult {
@@ -237,17 +543,19 @@ impl<'c> Driver<'c> {
             final_stats: finalc.stats.clone(),
             baseline_run,
             final_run,
-            effort: driver.effort,
+            effort,
             queries: st.queries.clone(),
             final_module: finalc.module.clone(),
             pass_trace: finalc.pass_trace.clone(),
         })
     }
 
-    fn compile_with(&mut self, d: &Decisions) -> Compiled {
-        self.effort.compiles += 1;
+    /// Compiles with a fixed decision source, bypassing probe caching
+    /// (used by tests and tooling that need the [`Compiled`] artifact).
+    pub fn compile_with(&mut self, d: &Decisions) -> Compiled {
+        self.engine.effort().compiles += 1;
         compile(
-            &self.case.build,
+            &*self.case.build,
             &CompileOptions {
                 oraql: Some((d.clone(), self.case.scope.clone())),
                 use_cfl: self.case.use_cfl,
@@ -272,59 +580,152 @@ fn run_module(m: &Module, fuel: u64) -> Result<RunOutcome, String> {
 
 impl Prober for Driver<'_> {
     fn probe(&mut self, d: &Decisions) -> ProbeOutcome {
-        let compiled = self.compile_with(d);
-        let unique = compiled
-            .oraql
-            .as_ref()
-            .map(|s| s.lock().stats.unique())
-            .unwrap_or(0);
-        let h = module_hash(&compiled.module);
-        if let Some(&(pass, cached_unique)) = self.hash_cache.get(&h) {
-            self.effort.tests_cached += 1;
-            return ProbeOutcome {
-                pass,
-                unique: cached_unique,
-            };
-        }
-        self.effort.tests_run += 1;
-        let pass = match run_module(&compiled.module, self.case.fuel) {
-            Ok(run) => self.verifier.check(&run.stdout).is_ok(),
-            Err(_) => false, // traps count as verification failures
-        };
-        self.hash_cache.insert(h, (pass, unique));
-        ProbeOutcome { pass, unique }
+        self.engine.execute(d, false)
     }
 
     fn budget_exceeded(&self) -> bool {
-        self.effort.tests_run >= self.opts.max_tests
+        self.engine.effort().tests_run >= self.opts.max_tests
     }
 
     fn note_deduced(&mut self) {
-        self.effort.tests_deduced += 1;
+        self.engine.effort().tests_deduced += 1;
+        self.engine
+            .trace_event(0, ProbeKind::Deduced, false, 0, false, Instant::now());
+    }
+
+    fn probe_speculative(&mut self, d: &Decisions) -> SpeculativeProbe {
+        let Some(pool) = &self.pool else {
+            // Sequential mode: defer — the probe runs inline at the
+            // wait site, preserving the seed driver's probe order.
+            return SpeculativeProbe {
+                decisions: d.clone(),
+                ticket: None,
+            };
+        };
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let (tx, rx) = channel();
+        let token = CancelToken::default();
+        let engine = Arc::clone(&self.engine);
+        let decisions = d.clone();
+        let job_token = token.clone();
+        self.engine.effort().spec_launched += 1;
+        pool.submit(move || {
+            if job_token.is_cancelled() {
+                return;
+            }
+            if let Some(o) = engine.execute_inner(&decisions, true, Some(&job_token)) {
+                let _ = tx.send(o);
+            }
+        });
+        self.pending.insert(ticket, PendingProbe { rx, token });
+        SpeculativeProbe {
+            decisions: d.clone(),
+            ticket: Some(ticket),
+        }
+    }
+
+    fn wait_probe(&mut self, h: SpeculativeProbe) -> ProbeOutcome {
+        match h.ticket.and_then(|t| self.pending.remove(&t)) {
+            Some(p) => match p.rx.recv() {
+                Ok(o) => o,
+                // The job observed a (stale) cancellation or the pool is
+                // shutting down; recompute inline — the caches make this
+                // cheap if the work already happened.
+                Err(_) => self.engine.execute(&h.decisions, false),
+            },
+            None => self.engine.execute(&h.decisions, false),
+        }
+    }
+
+    fn cancel_probe(&mut self, h: SpeculativeProbe) {
+        if let Some(p) = h.ticket.and_then(|t| self.pending.remove(&t)) {
+            p.token.cancel();
+            self.engine.effort().spec_cancelled += 1;
+        }
     }
 }
 
-/// Runs several cases concurrently (one driver per thread) and returns
-/// results in input order. This is the driver-level parallelism used by
-/// the Fig. 4 harness across the sixteen configurations.
+/// Runs several cases concurrently (one driver thread per case, all at
+/// once) and returns results in input order. This is the driver-level
+/// parallelism used by the Fig. 4 harness across the sixteen
+/// configurations. With `opts.jobs > 1` all drivers share one verdict
+/// cache and one speculative-probe pool; with `jobs = 1` each driver is
+/// fully independent, matching the seed behaviour.
 pub fn run_many(
     cases: &[TestCase],
     opts: &DriverOptions,
 ) -> Vec<Result<DriverResult, DriverError>> {
+    let shared = (opts.jobs > 1).then(|| {
+        (
+            Arc::new(VerdictCaches::default()),
+            Arc::new(WorkerPool::new(opts.jobs)),
+        )
+    });
     let mut results: Vec<Option<Result<DriverResult, DriverError>>> =
         (0..cases.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (i, case) in cases.iter().enumerate() {
             let opts = opts.clone();
-            handles.push((i, s.spawn(move |_| Driver::run(case, opts))));
+            let shared = shared.clone();
+            handles.push((
+                i,
+                s.spawn(move || match shared {
+                    Some((caches, pool)) => Driver::run_shared(case, opts, caches, Some(pool)),
+                    None => Driver::run(case, opts),
+                }),
+            ));
         }
         for (i, h) in handles {
             results[i] = Some(h.join().expect("driver thread panicked"));
         }
-    })
-    .expect("scope");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Runs a suite under a global probe-concurrency budget: at most
+/// `opts.jobs` cases probe at any moment, all sharing one
+/// [`VerdictCaches`] and one [`WorkerPool`] for speculative siblings.
+/// With `jobs = 1` the cases run strictly sequentially, reproducing the
+/// seed CLI's `--all` behaviour exactly. Results are in input order.
+pub fn run_suite(
+    cases: &[TestCase],
+    opts: &DriverOptions,
+) -> Vec<Result<DriverResult, DriverError>> {
+    if opts.jobs <= 1 {
+        return cases.iter().map(|c| Driver::run(c, opts.clone())).collect();
+    }
+    let caches = Arc::new(VerdictCaches::default());
+    let pool = Arc::new(WorkerPool::new(opts.jobs));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<DriverResult, DriverError>>>> =
+        (0..cases.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..opts.jobs.min(cases.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= cases.len() {
+                    break;
+                }
+                let r = Driver::run_shared(
+                    &cases[i],
+                    opts.clone(),
+                    Arc::clone(&caches),
+                    Some(Arc::clone(&pool)),
+                );
+                *lock_ignore_poison(&results[i]) = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .expect("filled")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -345,7 +746,8 @@ mod tests {
 
     /// One opaque two-pointer kernel; `i` makes the name unique.
     fn add_worker(m: &mut Module, i: usize, kind: &str) -> oraql_ir::module::FunctionId {
-        let mut b = FunctionBuilder::new(m, &format!("work_{kind}_{i}"), vec![Ty::Ptr, Ty::Ptr], None);
+        let mut b =
+            FunctionBuilder::new(m, &format!("work_{kind}_{i}"), vec![Ty::Ptr, Ty::Ptr], None);
         b.set_src_file("kernel.c");
         let p = b.arg(0);
         let q = b.arg(1);
@@ -372,9 +774,7 @@ mod tests {
         let workers_danger: Vec<_> = (0..danger)
             .map(|i| add_worker(&mut m, i, "danger"))
             .collect();
-        let workers_inert: Vec<_> = (0..inert)
-            .map(|i| add_worker(&mut m, i, "inert"))
-            .collect();
+        let workers_inert: Vec<_> = (0..inert).map(|i| add_worker(&mut m, i, "inert")).collect();
         let cells = 2 * (safe + danger + inert) + 2;
         let g = m.add_global("cells", 16 * cells as u64, vec![], false);
         let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
@@ -470,5 +870,117 @@ mod tests {
         assert_eq!(rs.len(), 2);
         assert!(rs[0].as_ref().unwrap().fully_optimistic);
         assert!(!rs[1].as_ref().unwrap().fully_optimistic);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_decisions() {
+        for strategy in [Strategy::Chunked, Strategy::FrequencySpace] {
+            let case = mixed_case(4, 2, 2);
+            let seq = Driver::run(
+                &case,
+                DriverOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let par = Driver::run(
+                &case,
+                DriverOptions {
+                    strategy,
+                    jobs: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq.decisions, par.decisions, "{strategy:?}");
+            assert_eq!(seq.fully_optimistic, par.fully_optimistic);
+            assert_eq!(seq.final_run.stdout, par.final_run.stdout);
+            assert!(par.effort.spec_launched > 0, "speculation should engage");
+        }
+    }
+
+    #[test]
+    fn shared_verdict_cache_hit_under_concurrency() {
+        // Inert pairs make many decision vectors compile bit-identically,
+        // so concurrent probes must land in the shared executable cache.
+        let case = mixed_case(3, 2, 5);
+        let caches = Arc::new(VerdictCaches::default());
+        let pool = Arc::new(WorkerPool::new(4));
+        let r = Driver::run_shared(
+            &case,
+            DriverOptions {
+                jobs: 4,
+                ..Default::default()
+            },
+            Arc::clone(&caches),
+            Some(pool),
+        )
+        .unwrap();
+        assert!(!r.fully_optimistic);
+        assert!(
+            r.effort.tests_cached > 0,
+            "expected shared-cache hits: {:?}",
+            r.effort
+        );
+        assert!(caches.exe_entries() > 0);
+        assert!(caches.dec_entries() > 0);
+    }
+
+    #[test]
+    fn run_suite_sequential_equals_bounded_parallel() {
+        let cases = vec![
+            mixed_case(2, 0, 0),
+            mixed_case(3, 1, 0),
+            mixed_case(2, 1, 2),
+        ];
+        let seq = run_suite(&cases, &DriverOptions::default());
+        let par = run_suite(
+            &cases,
+            &DriverOptions {
+                jobs: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.decisions, b.decisions);
+            assert_eq!(a.final_run.stdout, b.final_run.stdout);
+        }
+    }
+
+    #[test]
+    fn probe_trace_records_all_probe_answers() {
+        let sink = TraceSink::in_memory();
+        let case = mixed_case(4, 1, 2);
+        let r = Driver::run(
+            &case,
+            DriverOptions {
+                trace: Some(sink.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let events = sink.events();
+        let executed = events
+            .iter()
+            .filter(|e| e.kind == ProbeKind::Executed)
+            .count() as u64;
+        let cached = events
+            .iter()
+            .filter(|e| e.kind == ProbeKind::ExeCacheHit)
+            .count() as u64;
+        let deduced = events
+            .iter()
+            .filter(|e| e.kind == ProbeKind::Deduced)
+            .count() as u64;
+        assert_eq!(executed, r.effort.tests_run);
+        assert_eq!(cached, r.effort.tests_cached);
+        assert_eq!(deduced, r.effort.tests_deduced);
+        // Sequential mode: per-case sequence numbers are contiguous.
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..events.len() as u64).collect::<Vec<_>>());
     }
 }

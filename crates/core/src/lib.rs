@@ -16,8 +16,14 @@
 //!   targets (§IV-E).
 //! * [`driver::Driver`] — the probing driver (§IV-B): baseline compile,
 //!   full-optimism fast path, recursive bisection with the *chunked*
-//!   and *frequency-space* strategies ([`strategy`]), an
-//!   executable-hash test cache and the Fig. 2 deduction rule.
+//!   and *frequency-space* strategies ([`strategy`]), shared verdict
+//!   caches (executable hash + decisions digest) and the Fig. 2
+//!   deduction rule. Probes run speculatively on a bounded worker
+//!   pool ([`pool`]) when `jobs > 1`; `jobs = 1` reproduces the
+//!   sequential driver byte-for-byte.
+//! * [`trace`] — probe-trace observability: a JSONL event stream
+//!   recording how every probe was answered (executed / cached /
+//!   deduced), consumed by [`report`] summaries.
 //! * [`verify::Verifier`] — the verification script (§IV-C): compares
 //!   program output against one or more references, ignoring volatile
 //!   lines via [`textpat`] patterns.
@@ -32,15 +38,21 @@ pub mod compile;
 pub mod config;
 pub mod driver;
 pub mod pass;
+pub mod pool;
 pub mod report;
 pub mod sequence;
 pub mod strategy;
 pub mod textpat;
+pub mod trace;
 pub mod verify;
 
 pub use compile::{compile, CompileOptions, Compiled, Scope};
-pub use driver::{Driver, DriverOptions, DriverResult, TestCase};
+pub use driver::{
+    run_many, run_suite, Driver, DriverOptions, DriverResult, TestCase, VerdictCaches,
+};
 pub use pass::{OraqlAA, OraqlShared, OraqlStats};
+pub use pool::{CancelToken, WorkerPool};
 pub use sequence::Decisions;
 pub use strategy::Strategy;
+pub use trace::{read_trace, ProbeEvent, ProbeKind, TraceSink};
 pub use verify::Verifier;

@@ -19,9 +19,8 @@ use oraql_analysis::aa::{AliasAnalysis, QueryCtx};
 use oraql_analysis::location::{AliasResult, MemoryLocation};
 use oraql_ir::module::FunctionId;
 use oraql_ir::value::Value;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Query counters, matching the columns of the paper's Fig. 4.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,8 +105,23 @@ impl Default for Decisions {
     }
 }
 
+/// `std::sync::Mutex` wrapper with a `parking_lot`-style infallible
+/// `lock()` (a poisoned lock means a panicking compilation thread; the
+/// state is plain counters, so we recover the inner value).
+#[derive(Debug, Default)]
+pub struct SharedOraqlState(Mutex<OraqlState>);
+
+impl SharedOraqlState {
+    /// Locks the pass state.
+    pub fn lock(&self) -> MutexGuard<'_, OraqlState> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 /// Shared handle to the pass state.
-pub type OraqlShared = Arc<Mutex<OraqlState>>;
+pub type OraqlShared = Arc<SharedOraqlState>;
 
 /// Creates a fresh shared state for one compilation.
 pub fn new_shared(decisions: Decisions, scope: Scope) -> OraqlShared {
@@ -116,13 +130,13 @@ pub fn new_shared(decisions: Decisions, scope: Scope) -> OraqlShared {
 
 /// [`new_shared`] with an explicit optimism kind (§VIII extension).
 pub fn new_shared_with(decisions: Decisions, scope: Scope, optimism: OptimismKind) -> OraqlShared {
-    Arc::new(Mutex::new(OraqlState {
+    Arc::new(SharedOraqlState(Mutex::new(OraqlState {
         decisions,
         scope,
         enabled: true,
         optimism,
         ..Default::default()
-    }))
+    })))
 }
 
 /// The installable analysis: a thin adapter around the shared state.
@@ -236,12 +250,7 @@ mod tests {
         MemoryLocation::new(Value::Arg(arg), size)
     }
 
-    fn query(
-        aa: &mut OraqlAA,
-        m: &Module,
-        a: &MemoryLocation,
-        b: &MemoryLocation,
-    ) -> AliasResult {
+    fn query(aa: &mut OraqlAA, m: &Module, a: &MemoryLocation, b: &MemoryLocation) -> AliasResult {
         let ctx = QueryCtx {
             module: m,
             func: FunctionId(0),
@@ -347,7 +356,7 @@ mod tests {
     }
 
     #[test]
-    fn records_issuing_pass(){
+    fn records_issuing_pass() {
         let m = module();
         let shared = new_shared(Decisions::all_optimistic(), Scope::everything());
         let mut aa = OraqlAA::new(shared.clone());

@@ -1,0 +1,199 @@
+//! Bounded worker pool for parallel probing (std-only concurrency).
+//!
+//! The probing driver (paper §IV-B) spends almost all of its time in
+//! compile-and-run probe cycles that are independent of each other:
+//! sibling probes inside one bisection step, and probes of different
+//! [`crate::driver::TestCase`]s in a suite. [`WorkerPool`] is the shared
+//! execution substrate for both — a fixed set of `std::thread` workers
+//! draining a single job queue, so a `--jobs N` budget bounds the total
+//! probe concurrency of a whole suite run no matter how many drivers
+//! feed it.
+//!
+//! # Concurrency contract
+//!
+//! * Jobs are opaque `FnOnce() + Send` closures; they must not block on
+//!   other pool jobs (probe jobs never do — each one is a self-contained
+//!   compile + execute + verify cycle), otherwise the bounded pool can
+//!   deadlock.
+//! * Submission order is preserved per queue, but completion order is
+//!   unspecified; consumers synchronize through the channel they pass
+//!   into their job (see `Driver::probe_speculative`).
+//! * [`CancelToken`] is advisory: a job observes it *before* starting
+//!   expensive work. A job already past that check runs to completion;
+//!   cancellation then merely means nobody consumes its result (the
+//!   shared verdict cache still keeps the work from being wasted).
+//! * Dropping the pool closes the queue and joins every worker, so all
+//!   borrowed-free (`'static`) state captured by pending jobs is
+//!   released deterministically.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{
+    atomic::{AtomicBool, Ordering},
+    Arc, Mutex,
+};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Advisory cancellation flag shared between a submitter and a queued
+/// job. See the module docs for the exact semantics.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Requests cancellation; queued-but-unstarted jobs will be skipped.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A fixed-size pool of worker threads draining one job queue.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `jobs` worker threads (at least one).
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..jobs)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("oraql-probe-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Panics if called after the pool was shut down
+    /// (impossible through the public API — shutdown happens in `Drop`).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while
+        // running a job.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // queue closed: pool is shutting down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_jobs_bounded() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            let tx = tx.clone();
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..64 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn cancelled_jobs_are_skipped() {
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::default();
+        token.cancel();
+        let ran = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel();
+        let t = token.clone();
+        let r = Arc::clone(&ran);
+        pool.submit(move || {
+            if !t.is_cancelled() {
+                r.store(true, Ordering::SeqCst);
+            }
+            let _ = tx.send(());
+        });
+        rx.recv().unwrap();
+        assert!(!ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let hits = Arc::new(AtomicU64::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..8 {
+                let hits = Arc::clone(&hits);
+                pool.submit(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop waits for the queue to drain
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_requested_workers_still_works() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = channel();
+        pool.submit(move || {
+            let _ = tx.send(7u8);
+        });
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

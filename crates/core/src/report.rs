@@ -1,8 +1,11 @@
 //! Static impact identification (paper §IV-D): renders the queries the
 //! ORAQL pass answered, in the Fig. 3 dump format, associating them with
 //! the issuing pass, the containing function and source locations.
+//! Also aggregates probe traces ([`crate::trace`]) into per-case effort
+//! tables — the Fig. 2-style "how many tests did probing need" view.
 
 use crate::pass::UniqueQuery;
+use crate::trace::{ProbeEvent, ProbeKind};
 use oraql_analysis::location::MemoryLocation;
 use oraql_ir::module::Module;
 use oraql_ir::printer;
@@ -118,7 +121,11 @@ pub fn render_report(
             if let Some(line) = pass_trace.iter().find(|l| l.contains(&needle)) {
                 let _ = writeln!(s, "[...] {line}");
             } else {
-                let _ = writeln!(s, "[...] Executing Pass '{}' on Function '{}'...", q.pass, fname);
+                let _ = writeln!(
+                    s,
+                    "[...] Executing Pass '{}' on Function '{}'...",
+                    q.pass, fname
+                );
             }
             last_pass = q.pass.clone();
         }
@@ -138,6 +145,109 @@ pub fn queries_by_pass(queries: &[UniqueQuery]) -> Vec<(String, u64)> {
     let mut v: Vec<(String, u64)> = map.into_iter().collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v
+}
+
+/// Aggregated view of one case's (or a whole trace's) probe events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// All probe answers (including deduced ones).
+    pub probes: u64,
+    /// Probes that compiled, ran and verified.
+    pub executed: u64,
+    /// Probes answered from the executable-hash cache.
+    pub exe_cache_hits: u64,
+    /// Probes answered from the decisions-digest cache.
+    pub dec_cache_hits: u64,
+    /// Probes answered by the Fig. 2 deduction rule.
+    pub deduced: u64,
+    /// Probes launched speculatively for a bisection sibling.
+    pub speculative: u64,
+    /// Passing verdicts.
+    pub passes: u64,
+    /// Total wall time spent answering, in microseconds.
+    pub wall_micros: u64,
+    /// Largest unique-query count any probe observed.
+    pub max_unique: u64,
+}
+
+impl TraceSummary {
+    fn add(&mut self, e: &ProbeEvent) {
+        self.probes += 1;
+        match e.kind {
+            ProbeKind::Executed => self.executed += 1,
+            ProbeKind::ExeCacheHit => self.exe_cache_hits += 1,
+            ProbeKind::DecisionCacheHit => self.dec_cache_hits += 1,
+            ProbeKind::Deduced => self.deduced += 1,
+        }
+        if e.speculative {
+            self.speculative += 1;
+        }
+        if e.pass {
+            self.passes += 1;
+        }
+        self.wall_micros += e.wall_micros;
+        self.max_unique = self.max_unique.max(e.unique);
+    }
+}
+
+/// Aggregates a probe trace over all cases.
+pub fn summarize_trace(events: &[ProbeEvent]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for e in events {
+        s.add(e);
+    }
+    s
+}
+
+/// Aggregates a probe trace per case, sorted by case name.
+pub fn summarize_trace_by_case(events: &[ProbeEvent]) -> Vec<(String, TraceSummary)> {
+    let mut map: std::collections::BTreeMap<String, TraceSummary> = Default::default();
+    for e in events {
+        map.entry(e.case.clone()).or_default().add(e);
+    }
+    map.into_iter().collect()
+}
+
+/// Renders the per-case probe-effort table plus a totals row — the
+/// report path consuming the JSONL probe trace.
+pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>10}",
+        "case", "probes", "executed", "exe-cache", "dec-cache", "deduced", "spec", "wall(ms)"
+    );
+    let per_case = summarize_trace_by_case(events);
+    for (name, t) in &per_case {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>10.1}",
+            name,
+            t.probes,
+            t.executed,
+            t.exe_cache_hits,
+            t.dec_cache_hits,
+            t.deduced,
+            t.speculative,
+            t.wall_micros as f64 / 1000.0
+        );
+    }
+    if per_case.len() > 1 {
+        let t = summarize_trace(events);
+        let _ = writeln!(
+            s,
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>10.1}",
+            "TOTAL",
+            t.probes,
+            t.executed,
+            t.exe_cache_hits,
+            t.dec_cache_hits,
+            t.deduced,
+            t.speculative,
+            t.wall_micros as f64 / 1000.0
+        );
+    }
+    s
 }
 
 #[cfg(test)]
@@ -248,5 +358,44 @@ mod tests {
         assert!(!by_pass.is_empty());
         let total: u64 = by_pass.iter().map(|(_, n)| n).sum();
         assert_eq!(total, queries.len() as u64);
+    }
+
+    fn trace_event(case: &str, kind: ProbeKind, pass: bool) -> ProbeEvent {
+        ProbeEvent {
+            case: case.into(),
+            seq: 0,
+            digest: 1,
+            kind,
+            pass,
+            unique: 9,
+            speculative: kind == ProbeKind::ExeCacheHit,
+            wall_micros: 500,
+        }
+    }
+
+    #[test]
+    fn trace_summary_counts_kinds() {
+        let events = vec![
+            trace_event("a", ProbeKind::Executed, true),
+            trace_event("a", ProbeKind::ExeCacheHit, false),
+            trace_event("a", ProbeKind::Deduced, false),
+            trace_event("b", ProbeKind::DecisionCacheHit, true),
+        ];
+        let t = summarize_trace(&events);
+        assert_eq!(t.probes, 4);
+        assert_eq!(t.executed, 1);
+        assert_eq!(t.exe_cache_hits, 1);
+        assert_eq!(t.dec_cache_hits, 1);
+        assert_eq!(t.deduced, 1);
+        assert_eq!(t.speculative, 1);
+        assert_eq!(t.passes, 2);
+        assert_eq!(t.max_unique, 9);
+        let per_case = summarize_trace_by_case(&events);
+        assert_eq!(per_case.len(), 2);
+        assert_eq!(per_case[0].0, "a");
+        assert_eq!(per_case[0].1.probes, 3);
+        let text = render_trace_summary(&events);
+        assert!(text.contains("TOTAL"), "{text}");
+        assert!(text.starts_with("case"), "{text}");
     }
 }

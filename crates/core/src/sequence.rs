@@ -49,9 +49,7 @@ impl Decisions {
     /// The decision for unique query number `idx`.
     pub fn decide(&self, idx: u64) -> bool {
         match self {
-            Decisions::Explicit { seq, tail } => {
-                seq.get(idx as usize).copied().unwrap_or(*tail)
-            }
+            Decisions::Explicit { seq, tail } => seq.get(idx as usize).copied().unwrap_or(*tail),
             Decisions::PessimisticClasses(classes) => {
                 !classes.iter().any(|&(m, r)| m != 0 && idx % m == r)
             }
@@ -61,6 +59,30 @@ impl Decisions {
     /// Number of pessimistic decisions among the first `n` indices.
     pub fn pessimistic_count(&self, n: u64) -> u64 {
         (0..n).filter(|&i| !self.decide(i)).count() as u64
+    }
+
+    /// An equivalent canonical form: explicit sequences drop trailing
+    /// entries equal to `tail` (they are no-ops — the tail answers
+    /// those indices identically), class descriptors are deduplicated
+    /// and sorted. Two decision sources that answer every index the
+    /// same way have equal canonical `Explicit` forms; the parallel
+    /// driver's determinism tests compare through this because the
+    /// sequential driver may append no-op trailing entries that
+    /// speculative probing measures more precisely.
+    pub fn canonical(&self) -> Decisions {
+        match self {
+            Decisions::Explicit { seq, tail } => {
+                let mut seq = seq.clone();
+                while seq.last() == Some(tail) {
+                    seq.pop();
+                }
+                Decisions::Explicit { seq, tail: *tail }
+            }
+            Decisions::PessimisticClasses(classes) => {
+                let set: BTreeSet<(u64, u64)> = classes.iter().copied().collect();
+                Decisions::PessimisticClasses(set.into_iter().collect())
+            }
+        }
     }
 
     /// Serializes like the paper's `-opt-aa-seq` argument: explicit
@@ -200,5 +222,37 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(Decisions::parse("1 2 0").is_err());
         assert!(Decisions::parse("4:").is_err());
+    }
+
+    #[test]
+    fn canonical_drops_noop_trailing_entries() {
+        let a = Decisions::Explicit {
+            seq: vec![false, true, true],
+            tail: true,
+        };
+        let b = Decisions::Explicit {
+            seq: vec![false, true, true, true, true],
+            tail: true,
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        for i in 0..16 {
+            assert_eq!(a.decide(i), a.canonical().decide(i), "index {i}");
+        }
+        // Entries different from the tail are kept.
+        let c = Decisions::Explicit {
+            seq: vec![true, false],
+            tail: true,
+        };
+        assert_eq!(c.canonical(), c);
+    }
+
+    #[test]
+    fn canonical_sorts_and_dedups_classes() {
+        let a = Decisions::PessimisticClasses(vec![(4, 1), (2, 0), (4, 1)]);
+        assert_eq!(
+            a.canonical(),
+            Decisions::PessimisticClasses(vec![(2, 0), (4, 1)])
+        );
     }
 }

@@ -1,0 +1,330 @@
+//! Probe-trace observability: a JSONL sink recording every probe the
+//! driver answers, however it answers it.
+//!
+//! The paper's Fig. 2 (probing effort) and Fig. 4 (query statistics)
+//! were produced from ad-hoc counters; this module replaces those with
+//! a structured event stream so the same data can be recomputed,
+//! plotted, or diffed after the fact. One [`ProbeEvent`] is emitted per
+//! probe answer:
+//!
+//! * `executed` — the module was compiled, run in the VM, and verified;
+//! * `exe-cache` — a bit-identical recompilation reused a prior verdict
+//!   (the seed driver's executable-hash cache);
+//! * `dec-cache` — an identical decision vector skipped even the
+//!   recompile (the decisions-digest cache, parallel driver only);
+//! * `deduced` — the Fig. 2 deduction rule answered without a test.
+//!
+//! # Determinism contract
+//!
+//! With `--jobs 1` the event *sequence* is deterministic and reproduces
+//! the seed driver's probe order exactly. With `--jobs N` events from
+//! speculative probes interleave in scheduling order; the
+//! `speculative` flag and per-case `seq` numbers let consumers
+//! reconstruct per-case order. Wall-clock fields are the only
+//! inherently non-reproducible values.
+//!
+//! The format is line-delimited JSON with a fixed key set (no external
+//! serialization crates in this hermetic build — the writer and parser
+//! are hand-rolled and round-trip exactly; see
+//! [`ProbeEvent::to_jsonl`] / [`ProbeEvent::parse_jsonl`]).
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// How a probe was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Compiled, executed in the VM, verified.
+    Executed,
+    /// Bit-identical executable: verdict reused from the hash cache.
+    ExeCacheHit,
+    /// Identical decision vector: verdict reused without recompiling.
+    DecisionCacheHit,
+    /// Answered by the Fig. 2 deduction rule (known-fail, no test).
+    Deduced,
+}
+
+impl ProbeKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProbeKind::Executed => "executed",
+            ProbeKind::ExeCacheHit => "exe-cache",
+            ProbeKind::DecisionCacheHit => "dec-cache",
+            ProbeKind::Deduced => "deduced",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "executed" => ProbeKind::Executed,
+            "exe-cache" => ProbeKind::ExeCacheHit,
+            "dec-cache" => ProbeKind::DecisionCacheHit,
+            "deduced" => ProbeKind::Deduced,
+            _ => return None,
+        })
+    }
+}
+
+/// One probe answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeEvent {
+    /// Benchmark/configuration name the probe belongs to.
+    pub case: String,
+    /// Per-case monotone probe number (0-based, assigned at answer
+    /// time on the answering thread).
+    pub seq: u64,
+    /// Digest of the probed decision vector (keys the decisions cache).
+    /// Zero for `deduced` events, which have no materialized vector.
+    pub digest: u64,
+    /// How the probe was answered.
+    pub kind: ProbeKind,
+    /// The verdict: did the compiled program verify?
+    pub pass: bool,
+    /// Unique ORAQL queries observed by that compilation (0 when the
+    /// compile was skipped).
+    pub unique: u64,
+    /// Was this probe launched speculatively for a bisection sibling?
+    pub speculative: bool,
+    /// Wall time spent answering, in microseconds.
+    pub wall_micros: u64,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl ProbeEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"case\":\"");
+        escape_json(&self.case, &mut s);
+        let _ = write!(
+            s,
+            "\",\"seq\":{},\"digest\":{},\"kind\":\"{}\",\"pass\":{},\"unique\":{},\"speculative\":{},\"wall_micros\":{}}}",
+            self.seq,
+            self.digest,
+            self.kind.as_str(),
+            self.pass,
+            self.unique,
+            self.speculative,
+            self.wall_micros
+        );
+        s
+    }
+
+    /// Parses a line produced by [`ProbeEvent::to_jsonl`]. Returns
+    /// `None` for blank lines or lines missing required keys.
+    pub fn parse_jsonl(line: &str) -> Option<ProbeEvent> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let case = json_str(line, "case")?;
+        Some(ProbeEvent {
+            case,
+            seq: json_u64(line, "seq")?,
+            digest: json_u64(line, "digest")?,
+            kind: ProbeKind::parse(&json_str(line, "kind")?)?,
+            pass: json_bool(line, "pass")?,
+            unique: json_u64(line, "unique")?,
+            speculative: json_bool(line, "speculative")?,
+            wall_micros: json_u64(line, "wall_micros")?,
+        })
+    }
+}
+
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    Some(&line[at..])
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = json_field(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = json_field(line, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let rest = json_field(line, key)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<ProbeEvent>,
+    file: Option<BufWriter<File>>,
+}
+
+/// Thread-shared probe-trace sink. Cloning shares the underlying
+/// buffer; all driver threads of a suite run feed one sink.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+impl TraceSink {
+    /// An in-memory sink (events retrievable via [`TraceSink::events`]).
+    pub fn in_memory() -> Self {
+        TraceSink::default()
+    }
+
+    /// A sink that additionally appends JSONL lines to `path`
+    /// (truncating any existing file).
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = BufWriter::new(File::create(path)?);
+        Ok(TraceSink {
+            inner: Arc::new(Mutex::new(TraceInner {
+                events: Vec::new(),
+                file: Some(file),
+            })),
+        })
+    }
+
+    /// Records one event (writes the JSONL line immediately when backed
+    /// by a file).
+    pub fn record(&self, ev: ProbeEvent) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(f) = inner.file.as_mut() {
+            let _ = writeln!(f, "{}", ev.to_jsonl());
+        }
+        inner.events.push(ev);
+    }
+
+    /// Snapshot of all recorded events, in record order.
+    pub fn events(&self) -> Vec<ProbeEvent> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .events
+            .clone()
+    }
+
+    /// Flushes the backing file, if any.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(f) = inner.file.as_mut() {
+            let _ = f.flush();
+        }
+    }
+}
+
+/// Reads every parseable event from a JSONL trace file.
+pub fn read_trace(path: impl AsRef<Path>) -> std::io::Result<Vec<ProbeEvent>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text.lines().filter_map(ProbeEvent::parse_jsonl).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: ProbeKind, seq: u64) -> ProbeEvent {
+        ProbeEvent {
+            case: "testsnap \"omp\"\n".into(),
+            seq,
+            digest: 0xdead_beef,
+            kind,
+            pass: seq.is_multiple_of(2),
+            unique: 42,
+            speculative: seq == 1,
+            wall_micros: 1234,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        for (i, kind) in [
+            ProbeKind::Executed,
+            ProbeKind::ExeCacheHit,
+            ProbeKind::DecisionCacheHit,
+            ProbeKind::Deduced,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let ev = sample(kind, i as u64);
+            let line = ev.to_jsonl();
+            assert_eq!(ProbeEvent::parse_jsonl(&line), Some(ev), "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(ProbeEvent::parse_jsonl(""), None);
+        assert_eq!(ProbeEvent::parse_jsonl("{\"case\":\"x\"}"), None);
+        assert_eq!(ProbeEvent::parse_jsonl("not json"), None);
+    }
+
+    #[test]
+    fn sink_roundtrips_through_file() {
+        let path = std::env::temp_dir().join("oraql_trace_test.jsonl");
+        let sink = TraceSink::to_file(&path).unwrap();
+        sink.record(sample(ProbeKind::Executed, 0));
+        sink.record(sample(ProbeKind::Deduced, 1));
+        sink.flush();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, sink.events());
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_clones_feed_one_buffer() {
+        let sink = TraceSink::in_memory();
+        let s2 = sink.clone();
+        std::thread::scope(|sc| {
+            sc.spawn(|| s2.record(sample(ProbeKind::Executed, 0)));
+            sc.spawn(|| sink.record(sample(ProbeKind::ExeCacheHit, 1)));
+        });
+        assert_eq!(sink.events().len(), 2);
+    }
+}

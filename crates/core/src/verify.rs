@@ -105,10 +105,7 @@ impl Verifier {
                 continue;
             }
             // A volatile line: both sides must match the same pattern.
-            let excused = self
-                .ignore
-                .iter()
-                .any(|p| p.matches(w) && p.matches(g));
+            let excused = self.ignore.iter().any(|p| p.matches(w) && p.matches(g));
             if !excused {
                 return Err(Mismatch::OutputDiffers {
                     line: i + 1,

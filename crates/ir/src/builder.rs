@@ -1,9 +1,7 @@
 //! An ergonomic function builder used by tests and the workload
 //! generators.
 
-use crate::inst::{
-    BinOp, CallKind, CastKind, CmpPred, FuncRef, GepOffset, Inst, InstId,
-};
+use crate::inst::{BinOp, CallKind, CastKind, CmpPred, FuncRef, GepOffset, Inst, InstId};
 use crate::meta::{AccessMeta, SrcLoc, Target, TbaaTag};
 use crate::module::{Block, Function, FunctionId, Module, Param};
 use crate::types::Ty;
@@ -319,7 +317,12 @@ impl<'m> FunctionBuilder<'m> {
     }
 
     /// Call to an external routine resolved by the VM (e.g. `"sqrt"`).
-    pub fn call_external(&mut self, name: &str, args: Vec<Value>, ret: Option<Ty>) -> Option<Value> {
+    pub fn call_external(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        ret: Option<Ty>,
+    ) -> Option<Value> {
         let sym = self.module.strings.intern(name);
         let id = self.emit(Inst::Call {
             callee: FuncRef::External(sym),
@@ -332,7 +335,12 @@ impl<'m> FunctionBuilder<'m> {
 
     /// OpenMP-style parallel region: invokes `callee(tid, args...)` for
     /// every `tid` in `0..threads`.
-    pub fn parallel_region(&mut self, callee: FunctionId, args: Vec<Value>, threads: u32) -> InstId {
+    pub fn parallel_region(
+        &mut self,
+        callee: FunctionId,
+        args: Vec<Value>,
+        threads: u32,
+    ) -> InstId {
         self.emit(Inst::Call {
             callee: FuncRef::Internal(callee),
             args,
@@ -533,7 +541,9 @@ mod tests {
         let mut m = Module::new("t");
         let callee = declare_function(&mut m, "callee", vec![Ty::I64], Some(Ty::I64));
         let mut b = FunctionBuilder::new(&mut m, "caller", vec![], Some(Ty::I64));
-        let r = b.call(callee, vec![Value::ConstInt(3)], Some(Ty::I64)).unwrap();
+        let r = b
+            .call(callee, vec![Value::ConstInt(3)], Some(Ty::I64))
+            .unwrap();
         b.ret(Some(r));
         let caller = b.finish();
         // Fill in the declared body.

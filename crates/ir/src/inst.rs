@@ -202,11 +202,7 @@ pub enum Inst {
         ty: Ty,
     },
     /// Value cast; `to` is the result type.
-    Cast {
-        kind: CastKind,
-        val: Value,
-        to: Ty,
-    },
+    Cast { kind: CastKind, val: Value, to: Ty },
     /// Call; `ret` is the result type if the callee returns a value.
     Call {
         callee: FuncRef,
@@ -268,7 +264,10 @@ impl Inst {
 
     /// True for block terminators.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Ret { .. } | Inst::Br { .. } | Inst::CondBr { .. })
+        matches!(
+            self,
+            Inst::Ret { .. } | Inst::Br { .. } | Inst::CondBr { .. }
+        )
     }
 
     /// True for instructions that read or write memory (or perform I/O),
@@ -337,7 +336,9 @@ impl Inst {
             Inst::CondBr { cond, .. } => f(*cond),
             Inst::Phi { incoming, .. } => incoming.iter().for_each(|(_, v)| f(*v)),
             Inst::Print { args, .. } => args.iter().copied().for_each(f),
-            Inst::Memcpy { dst, src, bytes, .. } => {
+            Inst::Memcpy {
+                dst, src, bytes, ..
+            } => {
                 f(*dst);
                 f(*src);
                 f(*bytes);
@@ -380,7 +381,9 @@ impl Inst {
             Inst::CondBr { cond, .. } => f(cond),
             Inst::Phi { incoming, .. } => incoming.iter_mut().for_each(|(_, v)| f(v)),
             Inst::Print { args, .. } => args.iter_mut().for_each(f),
-            Inst::Memcpy { dst, src, bytes, .. } => {
+            Inst::Memcpy {
+                dst, src, bytes, ..
+            } => {
                 f(dst);
                 f(src);
                 f(bytes);
@@ -489,10 +492,7 @@ mod tests {
     #[test]
     fn terminators() {
         assert!(Inst::Ret { val: None }.is_terminator());
-        assert!(Inst::Br {
-            target: BlockId(0)
-        }
-        .is_terminator());
+        assert!(Inst::Br { target: BlockId(0) }.is_terminator());
         assert!(!Inst::Removed.is_terminator());
     }
 }

@@ -50,7 +50,7 @@ pub mod verify;
 
 pub use inst::{BinOp, CallKind, CastKind, CmpPred, FuncRef, GepOffset, Inst, InstData, InstId};
 pub use interner::{StrId, StringInterner};
-pub use meta::{AccessMeta, ScopeId, SrcLoc, TbaaTag, TbaaTree, Target};
+pub use meta::{AccessMeta, ScopeId, SrcLoc, Target, TbaaTag, TbaaTree};
 pub use module::{Function, FunctionId, Global, GlobalId, Module, Param};
 pub use types::Ty;
 pub use value::{BlockId, Value};

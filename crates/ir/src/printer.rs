@@ -37,7 +37,12 @@ pub fn inst_str(f: &Function, m: &Module, id: InstId) -> String {
                 let _ = write!(s, ", !tbaa {}", m.tbaa.name(t));
             }
         }
-        Inst::Store { ptr, value, ty, meta } => {
+        Inst::Store {
+            ptr,
+            value,
+            ty,
+            meta,
+        } => {
             let _ = write!(s, "store {ty} {}, ptr {}", v(*value), v(*ptr));
             if let Some(t) = meta.tbaa {
                 let _ = write!(s, ", !tbaa {}", m.tbaa.name(t));
@@ -63,7 +68,9 @@ pub fn inst_str(f: &Function, m: &Module, id: InstId) -> String {
         Inst::Cast { kind, val, to } => {
             let _ = write!(s, "cast {kind:?} {} to {to}", v(*val));
         }
-        Inst::Call { callee, args, kind, .. } => {
+        Inst::Call {
+            callee, args, kind, ..
+        } => {
             let name = match callee {
                 FuncRef::Internal(fid) => m.func(*fid).name.clone(),
                 FuncRef::External(sym) => m.strings.resolve(*sym).to_owned(),
@@ -109,9 +116,16 @@ pub fn inst_str(f: &Function, m: &Module, id: InstId) -> String {
         }
         Inst::Print { fmt, args } => {
             let args: Vec<_> = args.iter().map(|&a| v(a)).collect();
-            let _ = write!(s, "print {:?}({})", m.strings.resolve(*fmt), args.join(", "));
+            let _ = write!(
+                s,
+                "print {:?}({})",
+                m.strings.resolve(*fmt),
+                args.join(", ")
+            );
         }
-        Inst::Memcpy { dst, src, bytes, .. } => {
+        Inst::Memcpy {
+            dst, src, bytes, ..
+        } => {
             let _ = write!(s, "memcpy ptr {}, ptr {}, {}", v(*dst), v(*src), v(*bytes));
         }
         Inst::Removed => {

@@ -129,18 +129,15 @@ pub fn verify_function(m: &Module, id: FunctionId) -> Result<(), VerifyError> {
 
             // Branch targets exist.
             match inst {
-                Inst::Br { target } => {
-                    if target.0 as usize >= f.blocks.len() {
-                        return err(format!("branch to unknown block {target:?}"));
-                    }
+                Inst::Br { target } if target.0 as usize >= f.blocks.len() => {
+                    return err(format!("branch to unknown block {target:?}"));
                 }
                 Inst::CondBr {
                     then_bb, else_bb, ..
-                } => {
-                    if then_bb.0 as usize >= f.blocks.len() || else_bb.0 as usize >= f.blocks.len()
-                    {
-                        return err("conditional branch to unknown block".into());
-                    }
+                } if (then_bb.0 as usize >= f.blocks.len()
+                    || else_bb.0 as usize >= f.blocks.len()) =>
+                {
+                    return err("conditional branch to unknown block".into());
                 }
                 _ => {}
             }
@@ -159,15 +156,11 @@ pub fn verify_function(m: &Module, id: FunctionId) -> Result<(), VerifyError> {
                             op_err = Some(format!("{iid:?} uses void inst {d:?} as a value"));
                         }
                     }
-                    Value::Arg(a) => {
-                        if a as usize >= f.params.len() {
-                            op_err = Some(format!("{iid:?} uses unknown argument {a}"));
-                        }
+                    Value::Arg(a) if a as usize >= f.params.len() => {
+                        op_err = Some(format!("{iid:?} uses unknown argument {a}"));
                     }
-                    Value::Global(g) => {
-                        if g.0 as usize >= m.globals.len() {
-                            op_err = Some(format!("{iid:?} uses unknown global {g:?}"));
-                        }
+                    Value::Global(g) if g.0 as usize >= m.globals.len() => {
+                        op_err = Some(format!("{iid:?} uses unknown global {g:?}"));
                     }
                     _ => {}
                 }

@@ -169,7 +169,10 @@ mod tests {
         b.switch_to(e);
         b.br(j);
         b.switch_to(j);
-        b.phi(Ty::I64, vec![(t, Value::ConstInt(1)), (e, Value::ConstInt(2))]);
+        b.phi(
+            Ty::I64,
+            vec![(t, Value::ConstInt(1)), (e, Value::ConstInt(2))],
+        );
         b.ret(None);
         b.finish();
         let stats = run_dce(&mut m);

@@ -117,10 +117,15 @@ impl Pass for EarlyCSE {
                             });
                         }
                     }
-                    Inst::Store { ptr, value, ty, meta } => {
+                    Inst::Store {
+                        ptr,
+                        value,
+                        ty,
+                        meta,
+                    } => {
                         // Kill everything this store may clobber.
-                        let sloc = MemoryLocation::of_access(m.func(fid), id)
-                            .expect("store location");
+                        let sloc =
+                            MemoryLocation::of_access(m.func(fid), id).expect("store location");
                         avail.retain(|a| {
                             cx.aa.alias(m, fid, &sloc, &a.location()) == AliasResult::NoAlias
                         });
@@ -145,8 +150,8 @@ impl Pass for EarlyCSE {
                         }
                     }
                     Inst::Memcpy { .. } => {
-                        let dloc = MemoryLocation::memcpy_dest(m.func(fid), id)
-                            .expect("memcpy dest");
+                        let dloc =
+                            MemoryLocation::memcpy_dest(m.func(fid), id).expect("memcpy dest");
                         avail.retain(|a| {
                             cx.aa.alias(m, fid, &dloc, &a.location()) == AliasResult::NoAlias
                         });

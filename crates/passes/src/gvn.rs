@@ -54,12 +54,7 @@ impl Pass for Gvn {
                 // very same location with a matching width.
                 if let MemAccess::Def(d) = clobber {
                     let f = m.func(fid);
-                    if let Inst::Store {
-                        value,
-                        ty: sty,
-                        ..
-                    } = f.inst(d)
-                    {
+                    if let Inst::Store { value, ty: sty, .. } = f.inst(d) {
                         let (value, sty) = (*value, *sty);
                         let sloc = MemoryLocation::of_access(f, d).expect("store loc");
                         if sty == ty

@@ -84,7 +84,11 @@ fn recognize(
         return None;
     }
     let (iv_phi, cmp_id, br_id) = (h[0], h[1], h[2]);
-    let Inst::Phi { ty: Ty::I64, incoming } = f.inst(iv_phi) else {
+    let Inst::Phi {
+        ty: Ty::I64,
+        incoming,
+    } = f.inst(iv_phi)
+    else {
         return None;
     };
     if incoming.len() != 2 {
@@ -264,7 +268,12 @@ fn legalize(m: &Module, fid: FunctionId, cx: &mut PassCx<'_>, canon: &CanonLoop)
                             v if invariant(f, canon, *v) => true,
                             Value::Inst(d) => matches!(
                                 roles.get(d),
-                                Some(Role::ConsecLoad | Role::Lanewise | Role::Uniform | Role::UniformLoad)
+                                Some(
+                                    Role::ConsecLoad
+                                        | Role::Lanewise
+                                        | Role::Uniform
+                                        | Role::UniformLoad
+                                )
                             ),
                             _ => false,
                         };
@@ -360,9 +369,7 @@ fn legalize(m: &Module, fid: FunctionId, cx: &mut PassCx<'_>, canon: &CanonLoop)
     // Dependence phase: issues alias queries.
     let accesses: Vec<(InstId, Role)> = roles
         .iter()
-        .filter(|(_, r)| {
-            matches!(r, Role::ConsecLoad | Role::ConsecStore | Role::UniformLoad)
-        })
+        .filter(|(_, r)| matches!(r, Role::ConsecLoad | Role::ConsecStore | Role::UniformLoad))
         .map(|(&i, &r)| (i, r))
         .collect();
     for &(s, rs) in &accesses {
@@ -375,7 +382,11 @@ fn legalize(m: &Module, fid: FunctionId, cx: &mut PassCx<'_>, canon: &CanonLoop)
             }
             let f = m.func(fid);
             let (sb, ss, sa) = {
-                let Inst::Store { ptr: Value::Inst(g), .. } = f.inst(s) else {
+                let Inst::Store {
+                    ptr: Value::Inst(g),
+                    ..
+                } = f.inst(s)
+                else {
                     unreachable!()
                 };
                 consec_gep(f, canon, *g).expect("store gep")
@@ -383,8 +394,14 @@ fn legalize(m: &Module, fid: FunctionId, cx: &mut PassCx<'_>, canon: &CanonLoop)
             match ra {
                 Role::ConsecStore | Role::ConsecLoad => {
                     let gid = match f.inst(a) {
-                        Inst::Store { ptr: Value::Inst(g), .. } => *g,
-                        Inst::Load { ptr: Value::Inst(g), .. } => *g,
+                        Inst::Store {
+                            ptr: Value::Inst(g),
+                            ..
+                        } => *g,
+                        Inst::Load {
+                            ptr: Value::Inst(g),
+                            ..
+                        } => *g,
                         _ => unreachable!(),
                     };
                     let (ab, as_, aa) = consec_gep(f, canon, gid).expect("gep");
@@ -478,7 +495,9 @@ fn transform(m: &mut Module, fid: FunctionId, canon: &CanonLoop, plan: &Plan) {
     let pt = f.terminator(pre).expect("preheader terminator");
     match f.inst_mut(pt) {
         Inst::Br { target } if *target == canon.header => *target = vh,
-        Inst::CondBr { then_bb, else_bb, .. } => {
+        Inst::CondBr {
+            then_bb, else_bb, ..
+        } => {
             if *then_bb == canon.header {
                 *then_bb = vh;
             }
@@ -656,7 +675,13 @@ fn transform(m: &mut Module, fid: FunctionId, canon: &CanonLoop, plan: &Plan) {
                 vec_map.insert(id, Value::Inst(nb));
             }
             Role::ConsecStore => {
-                let Inst::Store { ptr, value, ty, meta } = inst else {
+                let Inst::Store {
+                    ptr,
+                    value,
+                    ty,
+                    meta,
+                } = inst
+                else {
                     unreachable!()
                 };
                 let Value::Inst(g) = ptr else { unreachable!() };

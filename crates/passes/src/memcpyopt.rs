@@ -22,9 +22,9 @@ impl Pass for MemCpyOpt {
             let f = m.func(fid);
             f.live_insts()
                 .filter(|&id| match f.inst(id) {
-                    Inst::Memcpy { dst, src, bytes, .. } => {
-                        dst == src || bytes.as_int() == Some(0)
-                    }
+                    Inst::Memcpy {
+                        dst, src, bytes, ..
+                    } => dst == src || bytes.as_int() == Some(0),
                     _ => false,
                 })
                 .collect()
@@ -42,12 +42,12 @@ impl Pass for MemCpyOpt {
             let ids: Vec<InstId> = m.func(fid).blocks[bi].insts.clone();
             for (i, &first) in ids.iter().enumerate() {
                 let (b_dst, a_src, n) = match m.func(fid).inst(first) {
-                    Inst::Memcpy { dst, src, bytes, .. } => {
-                        match bytes.as_int() {
-                            Some(n) if n > 0 => (*dst, *src, n),
-                            _ => continue,
-                        }
-                    }
+                    Inst::Memcpy {
+                        dst, src, bytes, ..
+                    } => match bytes.as_int() {
+                        Some(n) if n > 0 => (*dst, *src, n),
+                        _ => continue,
+                    },
                     _ => continue,
                 };
                 // Scan forward for a copy out of b_dst.
@@ -55,7 +55,10 @@ impl Pass for MemCpyOpt {
                     if matches!(m.func(fid).inst(second), Inst::Removed) {
                         continue;
                     }
-                    if let Inst::Memcpy { dst, src, bytes, .. } = m.func(fid).inst(second) {
+                    if let Inst::Memcpy {
+                        dst, src, bytes, ..
+                    } = m.func(fid).inst(second)
+                    {
                         let (c_dst, b_src, k) = (*dst, *src, *bytes);
                         if b_src == b_dst && k.as_int().map(|k| k <= n).unwrap_or(false) {
                             // Nothing between may have written a or b.
@@ -78,10 +81,8 @@ impl Pass for MemCpyOpt {
                             }
                             // Also the source regions must not overlap in
                             // a way that changes semantics: a vs c write.
-                            let loc_c = MemoryLocation::precise(
-                                c_dst,
-                                k.as_int().unwrap_or(0) as u64,
-                            );
+                            let loc_c =
+                                MemoryLocation::precise(c_dst, k.as_int().unwrap_or(0) as u64);
                             if cx.aa.alias(m, fid, &loc_a, &loc_c) != AliasResult::NoAlias {
                                 break 'second;
                             }
@@ -92,7 +93,12 @@ impl Pass for MemCpyOpt {
                             break 'second;
                         }
                         // A copy INTO b_dst between kills the chain.
-                        if cx.aa.may_clobber(m, fid, second, &MemoryLocation::precise(b_dst, n as u64)) {
+                        if cx.aa.may_clobber(
+                            m,
+                            fid,
+                            second,
+                            &MemoryLocation::precise(b_dst, n as u64),
+                        ) {
                             break 'second;
                         }
                     } else if m.func(fid).inst(second).writes_memory() {

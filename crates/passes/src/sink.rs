@@ -198,8 +198,7 @@ mod tests {
         assert_eq!(f.block_of(load), BlockId(1));
         assert_eq!(f.block_of(mul), BlockId(1));
         // Load precedes mul after sinking.
-        let pos =
-            |x: InstId| f.blocks[1].insts.iter().position(|&i| i == x).unwrap();
+        let pos = |x: InstId| f.blocks[1].insts.iter().position(|&i| i == x).unwrap();
         assert!(pos(load) < pos(mul));
         let _ = fid;
     }
@@ -219,10 +218,7 @@ mod tests {
         let (mut m, fid) = build(true);
         run_pass(&mut m);
         // Execute the then-branch against real memory.
-        let g = {
-            let gid = m.add_global("cell", 16, vec![42, 0, 0, 0, 0, 0, 0, 0], false);
-            gid
-        };
+        let g = { m.add_global("cell", 16, vec![42, 0, 0, 0, 0, 0, 0, 0], false) };
         let mut i = Interpreter::new(&m);
         let base = oraql_vm::memory::GLOBAL_BASE;
         let _ = g;

@@ -38,10 +38,7 @@ impl Pass for SlpVectorize {
         let nblocks = m.func(fid).blocks.len();
         for bi in 0..nblocks {
             // Repeatedly harvest groups from this block until none fit.
-            loop {
-                let Some(group) = find_group(m, fid, bi, cx) else {
-                    break;
-                };
+            while let Some(group) = find_group(m, fid, bi, cx) {
                 generated += apply_group(m, fid, bi, &group);
             }
         }
@@ -184,7 +181,10 @@ fn find_group(m: &Module, fid: FunctionId, bi: usize, cx: &mut PassCx<'_>) -> Op
                         let Inst::Load { ptr, ty: lty, .. } = f.inst(ld) else {
                             return None;
                         };
-                        if *lty != ty || use_count(f, ld) != 1 || f.block_of(ld) != f.block_of(l.store) {
+                        if *lty != ty
+                            || use_count(f, ld) != 1
+                            || f.block_of(ld) != f.block_of(l.store)
+                        {
                             return None;
                         }
                         let (b, o) = const_addr(f, *ptr)?;
@@ -335,10 +335,10 @@ fn apply_group(m: &mut Module, fid: FunctionId, bi: usize, g: &Group) -> u64 {
     let mut generated = 0u64;
 
     let vec_side = |f: &mut oraql_ir::module::Function,
-                        at: &mut usize,
-                        loads: &[InstId],
-                        shared: Option<Value>,
-                        generated: &mut u64|
+                    at: &mut usize,
+                    loads: &[InstId],
+                    shared: Option<Value>,
+                    generated: &mut u64|
      -> Value {
         if let Some(s) = shared {
             let id = f.insert_inst(

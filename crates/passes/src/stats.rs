@@ -42,8 +42,7 @@ impl Stats {
     /// Sets a counter to an absolute value (used for end-of-compilation
     /// figures like machine-instruction counts).
     pub fn set(&mut self, pass: &str, stat: &str, n: u64) {
-        self.counters
-            .insert((pass.to_owned(), stat.to_owned()), n);
+        self.counters.insert((pass.to_owned(), stat.to_owned()), n);
     }
 
     /// Iterates all counters in a stable (sorted) order.

@@ -52,7 +52,11 @@ fn gvn_merge_lets_dce_remove_the_orphaned_gep() {
     assert_eq!(after_out, "10\n");
     assert!(after_insts < before_insts);
     // EarlyCSE (or GVN) merged; DCE cleaned the dead gep.
-    assert!(stats.get("DCE", "instructions removed") >= 1, "{}", stats.render());
+    assert!(
+        stats.get("DCE", "instructions removed") >= 1,
+        "{}",
+        stats.render()
+    );
 }
 
 #[test]
@@ -246,7 +250,7 @@ fn second_gvn_round_picks_up_licm_exposure() {
     let (after_out, after_insts) = run(&m);
     assert_eq!(before_out, after_out);
     assert_eq!(after_out, "24\n"); // 3 + 21
-    // Only one load of k should remain dynamically.
+                                   // Only one load of k should remain dynamically.
     let f = m.func(m.find_func("main").unwrap());
     let k_loads = f
         .live_insts()

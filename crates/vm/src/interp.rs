@@ -302,13 +302,10 @@ impl<'m> Interpreter<'m> {
             for &id in insts {
                 match f.inst(id) {
                     Inst::Phi { incoming, .. } => {
-                        let from = pred.ok_or_else(|| {
-                            RuntimeError::BadProgram("phi in entry block".into())
-                        })?;
-                        let (_, v) = incoming
-                            .iter()
-                            .find(|(bb, _)| *bb == from)
-                            .ok_or_else(|| {
+                        let from = pred
+                            .ok_or_else(|| RuntimeError::BadProgram("phi in entry block".into()))?;
+                        let (_, v) =
+                            incoming.iter().find(|(bb, _)| *bb == from).ok_or_else(|| {
                                 RuntimeError::BadProgram(format!(
                                     "phi %{} lacks edge from bb{}",
                                     id.0, from.0
@@ -339,7 +336,10 @@ impl<'m> Interpreter<'m> {
                         frame.values[id.0 as usize] = Some(RtVal::P(addr));
                     }
                     Inst::Load { ptr, ty, .. } => {
-                        let addr = self.eval(&frame, *ptr)?.as_p().map_err(RuntimeError::UndefRead)?;
+                        let addr = self
+                            .eval(&frame, *ptr)?
+                            .as_p()
+                            .map_err(RuntimeError::UndefRead)?;
                         if let Some(t) = &mut self.trace {
                             t.push(AccessEvent {
                                 frame: frame_id,
@@ -354,7 +354,10 @@ impl<'m> Interpreter<'m> {
                         frame.values[id.0 as usize] = Some(v);
                     }
                     Inst::Store { ptr, value, ty, .. } => {
-                        let addr = self.eval(&frame, *ptr)?.as_p().map_err(RuntimeError::UndefRead)?;
+                        let addr = self
+                            .eval(&frame, *ptr)?
+                            .as_p()
+                            .map_err(RuntimeError::UndefRead)?;
                         if let Some(t) = &mut self.trace {
                             t.push(AccessEvent {
                                 frame: frame_id,
@@ -369,7 +372,10 @@ impl<'m> Interpreter<'m> {
                         self.store_typed(addr, *ty, &v)?;
                     }
                     Inst::Gep { base, offset } => {
-                        let b = self.eval(&frame, *base)?.as_p().map_err(RuntimeError::UndefRead)?;
+                        let b = self
+                            .eval(&frame, *base)?
+                            .as_p()
+                            .map_err(RuntimeError::UndefRead)?;
                         let off: i64 = match offset {
                             GepOffset::Const(c) => *c,
                             GepOffset::Scaled { index, scale, add } => {
@@ -388,13 +394,18 @@ impl<'m> Interpreter<'m> {
                         let b = self.eval(&frame, *rhs)?;
                         frame.values[id.0 as usize] = Some(exec_bin(*op, *ty, &a, &b)?);
                     }
-                    Inst::Cmp { pred: p, lhs, rhs, .. } => {
+                    Inst::Cmp {
+                        pred: p, lhs, rhs, ..
+                    } => {
                         let a = self.eval(&frame, *lhs)?;
                         let b = self.eval(&frame, *rhs)?;
                         frame.values[id.0 as usize] = Some(RtVal::I(exec_cmp(*p, &a, &b)? as i64));
                     }
                     Inst::Select { cond, t, f: fv, .. } => {
-                        let c = self.eval(&frame, *cond)?.as_i().map_err(RuntimeError::UndefRead)?;
+                        let c = self
+                            .eval(&frame, *cond)?
+                            .as_i()
+                            .map_err(RuntimeError::UndefRead)?;
                         let v = if c != 0 {
                             self.eval(&frame, *t)?
                         } else {
@@ -406,7 +417,12 @@ impl<'m> Interpreter<'m> {
                         let v = self.eval(&frame, *val)?;
                         frame.values[id.0 as usize] = Some(exec_cast(*kind, &v, *to)?);
                     }
-                    Inst::Call { callee, args: cargs, kind, .. } => {
+                    Inst::Call {
+                        callee,
+                        args: cargs,
+                        kind,
+                        ..
+                    } => {
                         let mut vals = Vec::with_capacity(cargs.len());
                         for a in cargs {
                             vals.push(self.eval(&frame, *a)?);
@@ -422,10 +438,21 @@ impl<'m> Interpreter<'m> {
                         }
                         self.exec_print(&fmt, &vals);
                     }
-                    Inst::Memcpy { dst, src, bytes, .. } => {
-                        let d = self.eval(&frame, *dst)?.as_p().map_err(RuntimeError::UndefRead)?;
-                        let s = self.eval(&frame, *src)?.as_p().map_err(RuntimeError::UndefRead)?;
-                        let n = self.eval(&frame, *bytes)?.as_i().map_err(RuntimeError::UndefRead)?;
+                    Inst::Memcpy {
+                        dst, src, bytes, ..
+                    } => {
+                        let d = self
+                            .eval(&frame, *dst)?
+                            .as_p()
+                            .map_err(RuntimeError::UndefRead)?;
+                        let s = self
+                            .eval(&frame, *src)?
+                            .as_p()
+                            .map_err(RuntimeError::UndefRead)?;
+                        let n = self
+                            .eval(&frame, *bytes)?
+                            .as_i()
+                            .map_err(RuntimeError::UndefRead)?;
                         if n < 0 {
                             return Err(RuntimeError::BadProgram("negative memcpy size".into()));
                         }
@@ -448,8 +475,15 @@ impl<'m> Interpreter<'m> {
                         next = Some(*target);
                         break;
                     }
-                    Inst::CondBr { cond, then_bb, else_bb } => {
-                        let c = self.eval(&frame, *cond)?.as_i().map_err(RuntimeError::UndefRead)?;
+                    Inst::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let c = self
+                            .eval(&frame, *cond)?
+                            .as_i()
+                            .map_err(RuntimeError::UndefRead)?;
                         next = Some(if c != 0 { *then_bb } else { *else_bb });
                         break;
                     }
@@ -654,8 +688,7 @@ impl<'m> Interpreter<'m> {
     }
 
     fn store_typed(&mut self, addr: u64, ty: Ty, v: &RtVal) -> Result<(), RuntimeError> {
-        let badty =
-            || RuntimeError::BadProgram(format!("store of {v:?} as {ty}"));
+        let badty = || RuntimeError::BadProgram(format!("store of {v:?} as {ty}"));
         match ty {
             Ty::I1 | Ty::I8 => {
                 let x = v.as_i().map_err(|_| badty())?;
@@ -849,11 +882,7 @@ fn exec_cast(kind: CastKind, v: &RtVal, to: Ty) -> Result<RtVal, RuntimeError> {
         CastKind::Splat => match (v, to) {
             (RtVal::I(x), Ty::VecI64(n)) => RtVal::VI(vec![*x; n as usize]),
             (RtVal::F(x), Ty::VecF64(n)) => RtVal::VF(vec![*x; n as usize]),
-            _ => {
-                return Err(RuntimeError::BadProgram(format!(
-                    "splat of {v:?} to {to}"
-                )))
-            }
+            _ => return Err(RuntimeError::BadProgram(format!("splat of {v:?} to {to}"))),
         },
     })
 }
@@ -1045,7 +1074,10 @@ mod tests {
         b.print("{}", vec![d]);
         b.ret(None);
         b.finish();
-        assert!(matches!(Interpreter::run_main(&m), Err(RuntimeError::DivByZero)));
+        assert!(matches!(
+            Interpreter::run_main(&m),
+            Err(RuntimeError::DivByZero)
+        ));
     }
 
     #[test]
@@ -1058,7 +1090,10 @@ mod tests {
         b.br(hdr); // infinite loop
         let id = b.finish();
         let mut interp = Interpreter::new(&m).with_fuel(1000);
-        assert!(matches!(interp.run(id, vec![]), Err(RuntimeError::FuelExhausted)));
+        assert!(matches!(
+            interp.run(id, vec![]),
+            Err(RuntimeError::FuelExhausted)
+        ));
     }
 
     #[test]

@@ -76,12 +76,7 @@ pub fn lower_function(m: &Module, fid: FunctionId, regs: Option<u32>) -> Machine
     let block_end: Vec<usize> = f
         .blocks
         .iter()
-        .map(|b| {
-            b.insts
-                .last()
-                .map(|&i| pos_of[i.0 as usize])
-                .unwrap_or(0)
-        })
+        .map(|b| b.insts.last().map(|&i| pos_of[i.0 as usize]).unwrap_or(0))
         .collect();
 
     // 2. Live intervals [def, last_use] per value (args def at 0). A use
@@ -142,12 +137,7 @@ pub fn lower_function(m: &Module, fid: FunctionId, regs: Option<u32>) -> Machine
         active.retain(|&ae| ae >= s);
         if active.len() as u32 == k {
             // Spill the interval with the farthest end (it, or us).
-            let far = active
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(e)
-                .max(e);
+            let far = active.iter().copied().max().unwrap_or(e).max(e);
             spills += 1;
             if far != e {
                 // Evict the farthest and take its place.

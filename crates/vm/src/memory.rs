@@ -117,7 +117,11 @@ impl Memory {
     /// Reads `buf.len()` bytes at `addr`.
     pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
         let (is_global, off) = self.region(addr, buf.len() as u64)?;
-        let src = if is_global { &self.globals } else { &self.stack };
+        let src = if is_global {
+            &self.globals
+        } else {
+            &self.stack
+        };
         buf.copy_from_slice(&src[off..off + buf.len()]);
         Ok(())
     }
@@ -196,7 +200,7 @@ mod tests {
         let mut buf = [0u8; 8];
         assert!(mem.read(0, &mut buf).is_err());
         assert!(mem.read(STACK_BASE, &mut buf).is_err()); // nothing allocated
-        // Straddling the end of the global segment.
+                                                          // Straddling the end of the global segment.
         let g = mem.global_base(1);
         assert!(mem.read(g + 4, &mut buf).is_err());
     }

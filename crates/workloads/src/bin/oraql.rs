@@ -3,29 +3,39 @@
 //! ```text
 //! oraql --list
 //! oraql --benchmark <name> [--strategy chunked|frequency] [--dump]
+//!       [--jobs N] [--trace <file.jsonl>]
 //!       [--emit-sequence <file>]            # save the final decisions
 //! oraql --benchmark <name> --replay <seq>   # compile+run a saved
 //!                                           # sequence (or @file)
 //! oraql --config <file>
-//! oraql --all
+//! oraql --all [--jobs N]
 //! ```
 //!
 //! Runs the probing workflow on one (or all) of the registered proxy
 //! benchmarks and prints the Fig. 4-style query statistics, the probing
 //! effort, and (with `--dump`) the Fig. 3-style pessimistic-query
 //! report.
+//!
+//! `--jobs N` (default 1) bounds the probe concurrency: `1` is the
+//! sequential driver with byte-for-byte identical output to earlier
+//! versions; `N > 1` probes speculatively and, with `--all`, runs up to
+//! `N` benchmarks at once sharing one verdict cache. `--trace` writes
+//! one JSONL event per probe answer and prints a per-case summary
+//! table.
 
 use oraql::config::Config;
-use oraql::report::{render_report, DumpFlags};
-use oraql::{Driver, DriverOptions, Strategy};
+use oraql::report::{render_report, render_trace_summary, DumpFlags};
+use oraql::trace::TraceSink;
+use oraql::{Driver, DriverOptions, DriverResult, Strategy, TestCase};
 use oraql_workloads as workloads;
 
 fn usage() -> ! {
     eprintln!(
         "usage: oraql --list\n       \
-         oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n       \
+         oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n                \
+         [--jobs N] [--trace <file.jsonl>]\n       \
          oraql --config <file>\n       \
-         oraql --all"
+         oraql --all [--jobs N]"
     );
     std::process::exit(2)
 }
@@ -45,7 +55,7 @@ fn replay(name: &str, seq_arg: &str) -> i32 {
         }
     };
     let compiled = oraql::compile::compile(
-        &case.build,
+        &*case.build,
         &oraql::compile::CompileOptions::with_oraql(decisions, case.scope.clone()),
     );
     let main = compiled.module.find_func("main").expect("main");
@@ -69,17 +79,9 @@ fn replay(name: &str, seq_arg: &str) -> i32 {
     }
 }
 
-fn run_one(
-    name: &str,
-    opts: DriverOptions,
-    dump: bool,
-    cfg: Option<&Config>,
-    emit_sequence: Option<&str>,
-) -> i32 {
-    let Some(mut case) = workloads::find_case(name) else {
-        eprintln!("unknown benchmark {name:?}; try --list");
-        return 2;
-    };
+/// Looks up a registered case and applies config-file overrides.
+fn prepare_case(name: &str, cfg: Option<&Config>) -> Option<TestCase> {
+    let mut case = workloads::find_case(name)?;
     if let Some(cfg) = cfg {
         // Config overrides the registry defaults.
         if cfg.scope != oraql::compile::Scope::everything() {
@@ -92,74 +94,131 @@ fn run_one(
         case.fuel = cfg.fuel;
         case.use_cfl = cfg.use_cfl;
     }
+    Some(case)
+}
+
+/// Prints one driver result in the report format; returns the exit code.
+fn print_result(
+    name: &str,
+    r: &DriverResult,
+    jobs: usize,
+    dump: bool,
+    emit_sequence: Option<&str>,
+) -> i32 {
     let info = workloads::find_info(name);
-    match Driver::run(&case, opts) {
-        Ok(r) => {
-            println!("== {name} ==");
-            if let Some(i) = info {
-                println!(
-                    "benchmark: {} | model: {} | files: {}",
-                    i.benchmark, i.model, i.source_files
-                );
-            }
-            println!(
-                "fully optimistic: {} | final sequence: {}",
-                r.fully_optimistic,
-                truncate(&r.decisions.render(), 72)
-            );
-            println!(
-                "opt queries: {} unique / {} cached | pess queries: {} unique / {} cached",
-                r.oraql.unique_optimistic,
-                r.oraql.cached_optimistic,
-                r.oraql.unique_pessimistic,
-                r.oraql.cached_pessimistic
-            );
-            println!(
-                "no-alias results: {} -> {} ({:+.1}%)",
-                r.no_alias_original,
-                r.no_alias_oraql,
-                r.no_alias_delta_percent()
-            );
-            println!(
-                "probing: {} compiles, {} tests run, {} cached, {} deduced",
-                r.effort.compiles, r.effort.tests_run, r.effort.tests_cached, r.effort.tests_deduced
-            );
-            println!(
-                "executed instructions: {} -> {} | host cycles: {} -> {} | device cycles: {} -> {}",
-                r.baseline_run.stats.total_insts(),
-                r.final_run.stats.total_insts(),
-                r.baseline_run.stats.host_cycles,
-                r.final_run.stats.host_cycles,
-                r.baseline_run.stats.device_cycles,
-                r.final_run.stats.device_cycles,
-            );
-            if let Some(path) = emit_sequence {
-                match std::fs::write(path, r.decisions.render()) {
-                    Ok(()) => println!("final sequence written to {path} (replay with --replay @{path})"),
-                    Err(e) => eprintln!("cannot write {path}: {e}"),
-                }
-            }
-            if dump {
-                println!("--- pessimistic query report ---");
-                let text = render_report(
-                    &r.final_module,
-                    &r.queries,
-                    DumpFlags::pessimistic_only(),
-                    &r.pass_trace,
-                );
-                if text.is_empty() {
-                    println!("(no pessimistic queries)");
-                } else {
-                    print!("{text}");
-                }
-            }
-            0
+    println!("== {name} ==");
+    if let Some(i) = info {
+        println!(
+            "benchmark: {} | model: {} | files: {}",
+            i.benchmark, i.model, i.source_files
+        );
+    }
+    println!(
+        "fully optimistic: {} | final sequence: {}",
+        r.fully_optimistic,
+        truncate(&r.decisions.render(), 72)
+    );
+    println!(
+        "opt queries: {} unique / {} cached | pess queries: {} unique / {} cached",
+        r.oraql.unique_optimistic,
+        r.oraql.cached_optimistic,
+        r.oraql.unique_pessimistic,
+        r.oraql.cached_pessimistic
+    );
+    println!(
+        "no-alias results: {} -> {} ({:+.1}%)",
+        r.no_alias_original,
+        r.no_alias_oraql,
+        r.no_alias_delta_percent()
+    );
+    println!(
+        "probing: {} compiles, {} tests run, {} cached, {} deduced",
+        r.effort.compiles, r.effort.tests_run, r.effort.tests_cached, r.effort.tests_deduced
+    );
+    if jobs > 1 {
+        // Extra parallel-mode counters; kept off the jobs=1 path so
+        // sequential reports stay byte-identical to earlier versions.
+        println!(
+            "parallel: {} dec-cached, {} speculative launched, {} cancelled",
+            r.effort.tests_dec_cached, r.effort.spec_launched, r.effort.spec_cancelled
+        );
+    }
+    println!(
+        "executed instructions: {} -> {} | host cycles: {} -> {} | device cycles: {} -> {}",
+        r.baseline_run.stats.total_insts(),
+        r.final_run.stats.total_insts(),
+        r.baseline_run.stats.host_cycles,
+        r.final_run.stats.host_cycles,
+        r.baseline_run.stats.device_cycles,
+        r.final_run.stats.device_cycles,
+    );
+    if let Some(path) = emit_sequence {
+        match std::fs::write(path, r.decisions.render()) {
+            Ok(()) => println!("final sequence written to {path} (replay with --replay @{path})"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
         }
+    }
+    if dump {
+        println!("--- pessimistic query report ---");
+        let text = render_report(
+            &r.final_module,
+            &r.queries,
+            DumpFlags::pessimistic_only(),
+            &r.pass_trace,
+        );
+        if text.is_empty() {
+            println!("(no pessimistic queries)");
+        } else {
+            print!("{text}");
+        }
+    }
+    0
+}
+
+fn run_one(
+    name: &str,
+    opts: DriverOptions,
+    dump: bool,
+    cfg: Option<&Config>,
+    emit_sequence: Option<&str>,
+) -> i32 {
+    let Some(case) = prepare_case(name, cfg) else {
+        eprintln!("unknown benchmark {name:?}; try --list");
+        return 2;
+    };
+    let jobs = opts.jobs;
+    match Driver::run(&case, opts) {
+        Ok(r) => print_result(name, &r, jobs, dump, emit_sequence),
         Err(e) => {
             eprintln!("{name}: driver failed: {e}");
             1
         }
     }
+}
+
+/// `--all`: every registered benchmark, sequential at `--jobs 1` and a
+/// bounded-concurrency suite (shared verdict cache + speculation pool)
+/// otherwise. Reports are printed in registry order either way.
+fn run_all(opts: &DriverOptions, dump: bool, cfg: Option<&Config>) -> i32 {
+    let cases: Vec<TestCase> = workloads::CASE_INFOS
+        .iter()
+        .filter_map(|info| prepare_case(info.name, cfg))
+        .collect();
+    let results = oraql::run_suite(&cases, opts);
+    let mut worst = 0;
+    for (case, result) in cases.iter().zip(&results) {
+        match result {
+            Ok(r) => {
+                worst = worst.max(print_result(&case.name, r, opts.jobs, dump, None));
+            }
+            Err(e) => {
+                eprintln!("{}: driver failed: {e}", case.name);
+                worst = worst.max(1);
+            }
+        }
+        println!();
+    }
+    worst
 }
 
 fn truncate(s: &str, n: usize) -> String {
@@ -179,6 +238,7 @@ fn main() {
     let mut all = false;
     let mut emit_sequence: Option<String> = None;
     let mut replay_seq: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -217,6 +277,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                opts.jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--config" | "-c" => {
                 i += 1;
                 let path = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -235,26 +307,34 @@ fn main() {
         i += 1;
     }
     opts.trace_passes = dump;
+    let sink = trace_path.as_deref().map(|p| {
+        TraceSink::to_file(p).unwrap_or_else(|e| {
+            eprintln!("cannot open trace file {p}: {e}");
+            std::process::exit(2)
+        })
+    });
+    opts.trace = sink.clone();
 
     let code = if let (Some(name), Some(seq)) = (&benchmark, &replay_seq) {
         replay(name, seq)
     } else if all {
-        let mut worst = 0;
-        for info in workloads::CASE_INFOS {
-            worst = worst.max(run_one(
-                info.name,
-                opts.clone(),
-                dump,
-                config.as_ref(),
-                emit_sequence.as_deref(),
-            ));
-            println!();
-        }
-        worst
+        run_all(&opts, dump, config.as_ref())
     } else if let Some(name) = benchmark {
-        run_one(&name, opts, dump, config.as_ref(), emit_sequence.as_deref())
+        run_one(
+            &name,
+            opts.clone(),
+            dump,
+            config.as_ref(),
+            emit_sequence.as_deref(),
+        )
     } else {
         usage()
     };
+
+    if let (Some(sink), Some(path)) = (&sink, &trace_path) {
+        sink.flush();
+        println!("--- probe trace summary ({path}) ---");
+        print!("{}", render_trace_summary(&sink.events()));
+    }
     std::process::exit(code);
 }

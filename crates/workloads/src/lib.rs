@@ -47,22 +47,102 @@ pub struct CaseInfo {
 
 /// The sixteen configurations in the paper's Fig. 4 row order.
 pub const CASE_INFOS: [CaseInfo; 16] = [
-    CaseInfo { name: "testsnap", benchmark: "TestSNAP", model: "C++", source_files: "sna" },
-    CaseInfo { name: "testsnap_omp", benchmark: "TestSNAP", model: "C++, OpenMP", source_files: "sna" },
-    CaseInfo { name: "testsnap_kokkos", benchmark: "TestSNAP", model: "C++, Kokkos, CUDA", source_files: "sna" },
-    CaseInfo { name: "testsnap_fortran", benchmark: "TestSNAP", model: "Fortran", source_files: "all (manual LTO)" },
-    CaseInfo { name: "xsbench", benchmark: "XSBench", model: "C", source_files: "Simulation" },
-    CaseInfo { name: "xsbench_omp", benchmark: "XSBench", model: "C, OpenMP", source_files: "Simulation" },
-    CaseInfo { name: "xsbench_cuda", benchmark: "XSBench", model: "CUDA, Thrust", source_files: "Simulation" },
-    CaseInfo { name: "gridmini", benchmark: "GridMini", model: "C++, OpenMP Offload", source_files: "Benchmark_su3" },
-    CaseInfo { name: "quicksilver", benchmark: "Quicksilver", model: "C++, OpenMP", source_files: "all (manual LTO)" },
-    CaseInfo { name: "lulesh", benchmark: "LULESH", model: "C++", source_files: "lulesh" },
-    CaseInfo { name: "lulesh_omp", benchmark: "LULESH", model: "C++, OpenMP", source_files: "lulesh" },
-    CaseInfo { name: "lulesh_mpi", benchmark: "LULESH", model: "C++, MPI", source_files: "lulesh" },
-    CaseInfo { name: "minife", benchmark: "MiniFE", model: "C++, OpenMP", source_files: "main" },
-    CaseInfo { name: "minigmg_ompif", benchmark: "MiniGMG", model: "C, OpenMP", source_files: "operators.ompif" },
-    CaseInfo { name: "minigmg_omptask", benchmark: "MiniGMG", model: "C, OpenMP tasks", source_files: "operators.omptask" },
-    CaseInfo { name: "minigmg_sse", benchmark: "MiniGMG", model: "C, SSE intrinsics", source_files: "operators.sse" },
+    CaseInfo {
+        name: "testsnap",
+        benchmark: "TestSNAP",
+        model: "C++",
+        source_files: "sna",
+    },
+    CaseInfo {
+        name: "testsnap_omp",
+        benchmark: "TestSNAP",
+        model: "C++, OpenMP",
+        source_files: "sna",
+    },
+    CaseInfo {
+        name: "testsnap_kokkos",
+        benchmark: "TestSNAP",
+        model: "C++, Kokkos, CUDA",
+        source_files: "sna",
+    },
+    CaseInfo {
+        name: "testsnap_fortran",
+        benchmark: "TestSNAP",
+        model: "Fortran",
+        source_files: "all (manual LTO)",
+    },
+    CaseInfo {
+        name: "xsbench",
+        benchmark: "XSBench",
+        model: "C",
+        source_files: "Simulation",
+    },
+    CaseInfo {
+        name: "xsbench_omp",
+        benchmark: "XSBench",
+        model: "C, OpenMP",
+        source_files: "Simulation",
+    },
+    CaseInfo {
+        name: "xsbench_cuda",
+        benchmark: "XSBench",
+        model: "CUDA, Thrust",
+        source_files: "Simulation",
+    },
+    CaseInfo {
+        name: "gridmini",
+        benchmark: "GridMini",
+        model: "C++, OpenMP Offload",
+        source_files: "Benchmark_su3",
+    },
+    CaseInfo {
+        name: "quicksilver",
+        benchmark: "Quicksilver",
+        model: "C++, OpenMP",
+        source_files: "all (manual LTO)",
+    },
+    CaseInfo {
+        name: "lulesh",
+        benchmark: "LULESH",
+        model: "C++",
+        source_files: "lulesh",
+    },
+    CaseInfo {
+        name: "lulesh_omp",
+        benchmark: "LULESH",
+        model: "C++, OpenMP",
+        source_files: "lulesh",
+    },
+    CaseInfo {
+        name: "lulesh_mpi",
+        benchmark: "LULESH",
+        model: "C++, MPI",
+        source_files: "lulesh",
+    },
+    CaseInfo {
+        name: "minife",
+        benchmark: "MiniFE",
+        model: "C++, OpenMP",
+        source_files: "main",
+    },
+    CaseInfo {
+        name: "minigmg_ompif",
+        benchmark: "MiniGMG",
+        model: "C, OpenMP",
+        source_files: "operators.ompif",
+    },
+    CaseInfo {
+        name: "minigmg_omptask",
+        benchmark: "MiniGMG",
+        model: "C, OpenMP tasks",
+        source_files: "operators.omptask",
+    },
+    CaseInfo {
+        name: "minigmg_sse",
+        benchmark: "MiniGMG",
+        model: "C, SSE intrinsics",
+        source_files: "operators.sse",
+    },
 ];
 
 /// Builds all sixteen test cases, in Fig. 4 row order.
@@ -106,10 +186,8 @@ mod tests {
     fn every_case_builds_verifies_and_runs() {
         for case in all_cases() {
             let m = (case.build)();
-            oraql_ir::verify::verify_module(&m)
-                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-            let out = Interpreter::run_main(&m)
-                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            oraql_ir::verify::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let out = Interpreter::run_main(&m).unwrap_or_else(|e| panic!("{}: {e}", case.name));
             assert!(
                 out.stdout.contains("checksum"),
                 "{}: {}",

@@ -128,9 +128,17 @@ fn emit_calc_energy(m: &mut Module, ctx: &Ctx, v: Variant, hazards: i64) -> Func
     let cp = b.arg(0);
     // Regular EOS work (sqrt-heavy, pointers in locals).
     axpy_loop_ex(
-        &mut b, ctx, cp, "p", "q", "e", 0.5,
-        Value::ConstInt(0), Value::ConstInt(ELEMS * v.ranks()),
-        PtrMode::Hoisted, true,
+        &mut b,
+        ctx,
+        cp,
+        "p",
+        "q",
+        "e",
+        0.5,
+        Value::ConstInt(0),
+        Value::ConstInt(ELEMS * v.ranks()),
+        PtrMode::Hoisted,
+        true,
     );
     // Hazard pairs: region views of `e`.
     let acc = dptr(&mut b, ctx, cp, "fz");
@@ -205,10 +213,7 @@ pub fn build_with(v: Variant, hazards: i64) -> Module {
     checksum(&mut b, &ctx, "fx", n, "fx");
     checksum(&mut b, &ctx, "fz", n, "fz");
     checksum(&mut b, &ctx, "e", n, "energy");
-    b.print(
-        "Elapsed time = {} s",
-        vec![Value::const_f64(0.0)],
-    );
+    b.print("Elapsed time = {} s", vec![Value::const_f64(0.0)]);
     timing_epilogue(&mut b, "zones/s");
     b.ret(None);
     b.finish();

@@ -35,12 +35,7 @@ fn build() -> Module {
     let ctx = make_ctx(
         &mut m,
         "fe",
-        &[
-            ("mat", bytes),
-            ("x", bytes),
-            ("y", bytes),
-            ("rhs", bytes),
-        ],
+        &[("mat", bytes), ("x", bytes), ("y", bytes), ("rhs", bytes)],
         &alias_refs,
     );
 
@@ -99,9 +94,17 @@ fn build() -> Module {
             hazard_sandwich(&mut b, &ctx, cp, &r, &w, 0, acc);
         }
         axpy_loop_ex(
-            &mut b, &ctx, cp, "rhs", "x", "mat", 1.25,
-            Value::ConstInt(0), Value::ConstInt(ROWS),
-            PtrMode::Hoisted, true,
+            &mut b,
+            &ctx,
+            cp,
+            "rhs",
+            "x",
+            "mat",
+            1.25,
+            Value::ConstInt(0),
+            Value::ConstInt(ROWS),
+            PtrMode::Hoisted,
+            true,
         );
         b.ret(None);
         b.finish()
@@ -142,6 +145,10 @@ mod tests {
         let m = build();
         oraql_ir::verify::assert_valid(&m);
         let out = Interpreter::run_main(&m).unwrap();
-        assert!(out.stdout.contains("checksum(final_resid)="), "{}", out.stdout);
+        assert!(
+            out.stdout.contains("checksum(final_resid)="),
+            "{}",
+            out.stdout
+        );
     }
 }

@@ -56,12 +56,7 @@ impl Variant {
 /// Scalar for the OpenMP variants (vectorizable only with optimistic
 /// alias answers); explicit 2-wide vectors for the SSE variant.
 fn emit_smoother(m: &mut Module, ctx: &Ctx, v: Variant, idx: usize) -> FunctionId {
-    let mut b = FunctionBuilder::new(
-        m,
-        &format!("smooth_{idx}"),
-        vec![Ty::I64, Ty::Ptr],
-        None,
-    );
+    let mut b = FunctionBuilder::new(m, &format!("smooth_{idx}"), vec![Ty::I64, Ty::Ptr], None);
     b.set_outlined(true);
     b.set_src_file(v.src());
     b.set_loc(v.src(), 120 + idx as u32 * 40, 3);
@@ -247,7 +242,10 @@ mod tests {
             f.insts.iter().any(|d| {
                 matches!(
                     d.inst,
-                    oraql_ir::inst::Inst::Load { ty: Ty::VecF64(2), .. }
+                    oraql_ir::inst::Inst::Load {
+                        ty: Ty::VecF64(2),
+                        ..
+                    }
                 )
             })
         });

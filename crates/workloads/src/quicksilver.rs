@@ -105,8 +105,7 @@ fn build() -> Module {
     let esc = escape_helper(&mut m);
     let mut scratch_kernels: Vec<FunctionId> = Vec::new();
     for k in 0..SCRATCH_KERNELS {
-        let mut b =
-            FunctionBuilder::new(&mut m, &format!("coral_tally_{k}"), vec![Ty::Ptr], None);
+        let mut b = FunctionBuilder::new(&mut m, &format!("coral_tally_{k}"), vec![Ty::Ptr], None);
         b.set_src_file("CycleTracking");
         b.set_loc("CycleTracking", 400 + k as u32, 3);
         let cp = b.arg(0);

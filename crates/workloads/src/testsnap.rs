@@ -49,7 +49,12 @@ fn snap_arrays() -> Vec<(&'static str, u64)> {
     ]
 }
 
-fn emit_compute_ui(m: &mut Module, ctx: &Ctx, src: &str, reload: bool) -> oraql_ir::module::FunctionId {
+fn emit_compute_ui(
+    m: &mut Module,
+    ctx: &Ctx,
+    src: &str,
+    reload: bool,
+) -> oraql_ir::module::FunctionId {
     let mut b = FunctionBuilder::new(m, "compute_ui", vec![Ty::Ptr], None);
     b.set_src_file(src);
     b.set_loc(src, 120, 5);
@@ -57,32 +62,104 @@ fn emit_compute_ui(m: &mut Module, ctx: &Ctx, src: &str, reload: bool) -> oraql_
     // ulist_re[i] = sqrt(|x[i] * 0.5|) + y[i], etc. Data pointers are
     // loaded into locals before the loops, as the tuned C++ does — the
     // per-element math dominates, as in the real SNAP kernels.
-    let emit = if reload { axpy_reload_loop } else { axpy_math_loop };
-    emit(&mut b, ctx, cp, "x", "y", "ulist_re", 0.5, Value::ConstInt(0), Value::ConstInt(N));
-    emit(&mut b, ctx, cp, "y", "z", "ulist_im", 0.25, Value::ConstInt(0), Value::ConstInt(N));
+    let emit = if reload {
+        axpy_reload_loop
+    } else {
+        axpy_math_loop
+    };
+    emit(
+        &mut b,
+        ctx,
+        cp,
+        "x",
+        "y",
+        "ulist_re",
+        0.5,
+        Value::ConstInt(0),
+        Value::ConstInt(N),
+    );
+    emit(
+        &mut b,
+        ctx,
+        cp,
+        "y",
+        "z",
+        "ulist_im",
+        0.25,
+        Value::ConstInt(0),
+        Value::ConstInt(N),
+    );
     b.ret(None);
     b.finish()
 }
 
-fn emit_compute_yi(m: &mut Module, ctx: &Ctx, src: &str, reload: bool) -> oraql_ir::module::FunctionId {
+fn emit_compute_yi(
+    m: &mut Module,
+    ctx: &Ctx,
+    src: &str,
+    reload: bool,
+) -> oraql_ir::module::FunctionId {
     let mut b = FunctionBuilder::new(m, "compute_yi", vec![Ty::Ptr], None);
     b.set_src_file(src);
     b.set_loc(src, 260, 9);
     let cp = b.arg(0);
-    let emit = if reload { axpy_reload_loop } else { axpy_math_loop };
-    emit(&mut b, ctx, cp, "ulist_re", "beta", "ylist_re", 1.5, Value::ConstInt(0), Value::ConstInt(N));
-    emit(&mut b, ctx, cp, "ulist_im", "beta", "ylist_im", -0.5, Value::ConstInt(0), Value::ConstInt(N));
+    let emit = if reload {
+        axpy_reload_loop
+    } else {
+        axpy_math_loop
+    };
+    emit(
+        &mut b,
+        ctx,
+        cp,
+        "ulist_re",
+        "beta",
+        "ylist_re",
+        1.5,
+        Value::ConstInt(0),
+        Value::ConstInt(N),
+    );
+    emit(
+        &mut b,
+        ctx,
+        cp,
+        "ulist_im",
+        "beta",
+        "ylist_im",
+        -0.5,
+        Value::ConstInt(0),
+        Value::ConstInt(N),
+    );
     b.ret(None);
     b.finish()
 }
 
-fn emit_compute_duidrj(m: &mut Module, ctx: &Ctx, src: &str, reload: bool) -> oraql_ir::module::FunctionId {
+fn emit_compute_duidrj(
+    m: &mut Module,
+    ctx: &Ctx,
+    src: &str,
+    reload: bool,
+) -> oraql_ir::module::FunctionId {
     let mut b = FunctionBuilder::new(m, "compute_duidrj", vec![Ty::Ptr], None);
     b.set_src_file(src);
     b.set_loc(src, 410, 3);
     let cp = b.arg(0);
-    let emit = if reload { axpy_reload_loop } else { axpy_math_loop };
-    emit(&mut b, ctx, cp, "ylist_re", "ulist_im", "dulist", 2.0, Value::ConstInt(0), Value::ConstInt(N));
+    let emit = if reload {
+        axpy_reload_loop
+    } else {
+        axpy_math_loop
+    };
+    emit(
+        &mut b,
+        ctx,
+        cp,
+        "ylist_re",
+        "ulist_im",
+        "dulist",
+        2.0,
+        Value::ConstInt(0),
+        Value::ConstInt(N),
+    );
     b.ret(None);
     b.finish()
 }
@@ -199,7 +276,12 @@ pub fn build_omp() -> Module {
         let cp = b.arg(1);
         let tag = ctx.tag_data;
         // ---- the four hazards (executed by thread 0 only) ----
-        let zero = b.cmp(oraql_ir::inst::CmpPred::Eq, Ty::I64, tid, Value::ConstInt(0));
+        let zero = b.cmp(
+            oraql_ir::inst::CmpPred::Eq,
+            Ty::I64,
+            tid,
+            Value::ConstInt(0),
+        );
         let hz = b.new_block();
         let rest = b.new_block();
         b.cond_br(zero, hz, rest);
@@ -336,12 +418,7 @@ pub fn build_kokkos() -> Module {
             // do, matching the paper's observation.
             let reps = 18 + (k as i64 / 6) * 4; // 18..38: varied deltas
             let rm = b.rem(gid, Value::ConstInt(32));
-            let rare = b.cmp(
-                oraql_ir::inst::CmpPred::Eq,
-                Ty::I64,
-                rm,
-                Value::ConstInt(0),
-            );
+            let rare = b.cmp(oraql_ir::inst::CmpPred::Eq, Ty::I64, rm, Value::ConstInt(0));
             let heavy_bb = b.new_block();
             let done = b.new_block();
             b.cond_br(rare, heavy_bb, done);
@@ -449,8 +526,15 @@ pub fn build_fortran() -> Module {
         }
         // Plus plain initialization work through dptrs.
         axpy_loop(
-            &mut b, &ctx, cp, "x", "y", "ulist_re", 1.0,
-            Value::ConstInt(0), Value::ConstInt(N),
+            &mut b,
+            &ctx,
+            cp,
+            "x",
+            "y",
+            "ulist_re",
+            1.0,
+            Value::ConstInt(0),
+            Value::ConstInt(N),
         );
         b.ret(None);
         b.finish()
@@ -459,32 +543,51 @@ pub fn build_fortran() -> Module {
     // every access — per-iteration pointer loads, like the IR flang
     // emitted. With no TBAA, only optimistic answers let LICM hoist
     // them (the paper's signature Fortran effect).
-    let fortran_kernel = |m: &mut Module, name: &str, line: u32, specs: &[(&str, &str, &str, f64)]| {
-        let mut b = FunctionBuilder::new(m, name, vec![Ty::Ptr], None);
-        b.set_src_file("sna.f90");
-        b.set_loc("sna.f90", line, 7);
-        let cp = b.arg(0);
-        for (a, bn, o, scale) in specs {
-            axpy_loop_ex(
-                &mut b, &ctx, cp, a, bn, o, *scale,
-                Value::ConstInt(0), Value::ConstInt(N),
-                PtrMode::PerIteration, true,
-            );
-        }
-        b.ret(None);
-        b.finish()
-    };
-    let ui = fortran_kernel(&mut m, "compute_ui_", 120, &[
-        ("x", "y", "ulist_re", 0.5),
-        ("y", "z", "ulist_im", 0.25),
-    ]);
-    let yi = fortran_kernel(&mut m, "compute_yi_", 260, &[
-        ("ulist_re", "beta", "ylist_re", 1.5),
-        ("ulist_im", "beta", "ylist_im", -0.5),
-    ]);
-    let du = fortran_kernel(&mut m, "compute_duidrj_", 410, &[
-        ("ylist_re", "ulist_im", "dulist", 2.0),
-    ]);
+    let fortran_kernel =
+        |m: &mut Module, name: &str, line: u32, specs: &[(&str, &str, &str, f64)]| {
+            let mut b = FunctionBuilder::new(m, name, vec![Ty::Ptr], None);
+            b.set_src_file("sna.f90");
+            b.set_loc("sna.f90", line, 7);
+            let cp = b.arg(0);
+            for (a, bn, o, scale) in specs {
+                axpy_loop_ex(
+                    &mut b,
+                    &ctx,
+                    cp,
+                    a,
+                    bn,
+                    o,
+                    *scale,
+                    Value::ConstInt(0),
+                    Value::ConstInt(N),
+                    PtrMode::PerIteration,
+                    true,
+                );
+            }
+            b.ret(None);
+            b.finish()
+        };
+    let ui = fortran_kernel(
+        &mut m,
+        "compute_ui_",
+        120,
+        &[("x", "y", "ulist_re", 0.5), ("y", "z", "ulist_im", 0.25)],
+    );
+    let yi = fortran_kernel(
+        &mut m,
+        "compute_yi_",
+        260,
+        &[
+            ("ulist_re", "beta", "ylist_re", 1.5),
+            ("ulist_im", "beta", "ylist_im", -0.5),
+        ],
+    );
+    let du = fortran_kernel(
+        &mut m,
+        "compute_duidrj_",
+        410,
+        &[("ylist_re", "ulist_im", "dulist", 2.0)],
+    );
     let de = {
         let mut b = FunctionBuilder::new(&mut m, "compute_deidrj_", vec![Ty::Ptr], None);
         b.set_src_file("sna.f90");
@@ -559,7 +662,11 @@ mod tests {
             let m = build();
             oraql_ir::verify::assert_valid(&m);
             let out = Interpreter::run_main(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert!(out.stdout.contains("checksum(fx)="), "{name}: {}", out.stdout);
+            assert!(
+                out.stdout.contains("checksum(fx)="),
+                "{name}: {}",
+                out.stdout
+            );
             assert!(out.stdout.contains("Runtime: "), "{name}");
         }
     }
@@ -574,9 +681,7 @@ mod tests {
     #[test]
     fn kokkos_has_44_device_kernels() {
         let m = build_kokkos();
-        let n = m
-            .funcs_for_target(oraql_ir::Target::Device)
-            .count();
+        let n = m.funcs_for_target(oraql_ir::Target::Device).count();
         assert_eq!(n, 44);
     }
 

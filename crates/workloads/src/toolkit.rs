@@ -186,10 +186,8 @@ pub fn init_ctx(b: &mut FunctionBuilder<'_>, ctx: &Ctx) {
                             s = *slot;
                         }
                         SlotTarget::CtxField { offset } => {
-                            break b.gep(
-                                Value::Global(ctx.global),
-                                ctx.fields_base() + offset + off,
-                            )
+                            break b
+                                .gep(Value::Global(ctx.global), ctx.fields_base() + offset + off)
                         }
                     }
                 }
@@ -265,6 +263,7 @@ pub enum PtrMode {
 /// With `math` on, each element additionally pays a `sqrt(fabs(...))`
 /// — the FP-heavy shape of real kernels, which also (realistically)
 /// blocks the loop vectorizer.
+#[allow(clippy::too_many_arguments)]
 pub fn axpy_loop_ex(
     b: &mut FunctionBuilder<'_>,
     ctx: &Ctx,
@@ -320,6 +319,7 @@ pub fn axpy_loop_ex(
 /// may-aliasing store conservatively and merged/forwarded by GVN only
 /// under optimism — the per-iteration instruction reduction the paper
 /// reports for the OpenMP TestSNAP build.
+#[allow(clippy::too_many_arguments)]
 pub fn axpy_reload_loop(
     b: &mut FunctionBuilder<'_>,
     ctx: &Ctx,
@@ -360,6 +360,7 @@ pub fn axpy_reload_loop(
 /// [`axpy_loop_ex`] with hoisted pointers and per-element math — the
 /// tuned-kernel shape, as a plain `fn` so call sites can select between
 /// this and [`axpy_reload_loop`] uniformly.
+#[allow(clippy::too_many_arguments)]
 pub fn axpy_math_loop(
     b: &mut FunctionBuilder<'_>,
     ctx: &Ctx,
@@ -372,13 +373,23 @@ pub fn axpy_math_loop(
     end: Value,
 ) {
     axpy_loop_ex(
-        b, ctx, ctx_param, a_name, b_name, out_name, scale, start, end,
-        PtrMode::Hoisted, true,
+        b,
+        ctx,
+        ctx_param,
+        a_name,
+        b_name,
+        out_name,
+        scale,
+        start,
+        end,
+        PtrMode::Hoisted,
+        true,
     );
 }
 
 /// [`axpy_loop_ex`] with per-iteration pointers and no math (the
 /// original behaviour; used where those effects are the point).
+#[allow(clippy::too_many_arguments)]
 pub fn axpy_loop(
     b: &mut FunctionBuilder<'_>,
     ctx: &Ctx,
@@ -391,8 +402,17 @@ pub fn axpy_loop(
     end: Value,
 ) {
     axpy_loop_ex(
-        b, ctx, ctx_param, a_name, b_name, out_name, scale, start, end,
-        PtrMode::PerIteration, false,
+        b,
+        ctx,
+        ctx_param,
+        a_name,
+        b_name,
+        out_name,
+        scale,
+        start,
+        end,
+        PtrMode::PerIteration,
+        false,
     );
 }
 
@@ -449,11 +469,7 @@ pub fn timing_epilogue(b: &mut FunctionBuilder<'_>, fom_label: &str) {
 /// Declares an outlined OpenMP-style worker `(tid, ctx)` and returns a
 /// builder positioned inside it. Call `finish()` on the returned builder
 /// when done.
-pub fn outlined_worker<'m>(
-    m: &'m mut Module,
-    name: &str,
-    src_file: &str,
-) -> FunctionBuilder<'m> {
+pub fn outlined_worker<'m>(m: &'m mut Module, name: &str, src_file: &str) -> FunctionBuilder<'m> {
     let mut b = FunctionBuilder::new(m, name, vec![Ty::I64, Ty::Ptr], None);
     b.set_outlined(true);
     b.set_src_file(src_file);

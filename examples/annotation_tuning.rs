@@ -129,9 +129,10 @@ fn main() {
     assert!(annotated_run.stats.total_insts() < plain_run.stats.total_insts());
     let gap_oraql = plain_run.stats.total_insts() - r.final_run.stats.total_insts();
     let gap_annot = plain_run.stats.total_insts() - annotated_run.stats.total_insts();
-    println!(
-        "gain: annotation recovers {gap_annot} of {gap_oraql} instructions ORAQL identified"
+    println!("gain: annotation recovers {gap_annot} of {gap_oraql} instructions ORAQL identified");
+    assert!(
+        gap_annot * 10 >= gap_oraql * 8,
+        "annotation should recover >= 80%"
     );
-    assert!(gap_annot * 10 >= gap_oraql * 8, "annotation should recover >= 80%");
     println!("annotation_tuning OK");
 }

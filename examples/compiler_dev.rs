@@ -50,7 +50,11 @@ fn main() {
             r.oraql.unique_pessimistic,
             r.baseline_run.stats.total_insts(),
             r.final_run.stats.total_insts(),
-            if changed { "(code changed)" } else { "(no effect)" }
+            if changed {
+                "(code changed)"
+            } else {
+                "(no effect)"
+            }
         );
         if r.oraql.unique_pessimistic > 0 && name == "testsnap_omp" {
             println!("--- irreducible pessimistic queries ({name}) ---");
@@ -66,12 +70,18 @@ fn main() {
         }
     }
 
-    println!("\n=== queries by issuing pass (across {} configs) ===", configs.len());
+    println!(
+        "\n=== queries by issuing pass (across {} configs) ===",
+        configs.len()
+    );
     let total: u64 = by_pass.values().sum();
     let mut entries: Vec<_> = by_pass.into_iter().collect();
-    entries.sort_by(|a, b| b.1.cmp(&a.1));
+    entries.sort_by_key(|e| std::cmp::Reverse(e.1));
     for (pass, n) in &entries {
-        println!("{pass:24} {n:>6}  ({:.1}%)", *n as f64 / total as f64 * 100.0);
+        println!(
+            "{pass:24} {n:>6}  ({:.1}%)",
+            *n as f64 / total as f64 * 100.0
+        );
     }
     println!(
         "\ntotals: {total_opt} optimistic vs {total_pess} pessimistic unique queries; \

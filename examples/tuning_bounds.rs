@@ -20,13 +20,25 @@ use oraql_suite::workloads;
 fn insts_with(case: &oraql_suite::oraql::TestCase, use_cfl: bool) -> u64 {
     let mut opts = CompileOptions::baseline();
     opts.use_cfl = use_cfl;
-    let c = compile(&case.build, &opts);
-    Interpreter::run_main(&c.module).unwrap().stats.total_insts()
+    let c = compile(&*case.build, &opts);
+    Interpreter::run_main(&c.module)
+        .unwrap()
+        .stats
+        .total_insts()
 }
 
 fn main() {
-    println!("{:16} {:>10} {:>10} {:>10} {:>9}  verdict", "config", "default", "+CFL", "bound", "gap");
-    for name in ["testsnap", "quicksilver", "minigmg_ompif", "lulesh", "xsbench"] {
+    println!(
+        "{:16} {:>10} {:>10} {:>10} {:>9}  verdict",
+        "config", "default", "+CFL", "bound", "gap"
+    );
+    for name in [
+        "testsnap",
+        "quicksilver",
+        "minigmg_ompif",
+        "lulesh",
+        "xsbench",
+    ] {
         let case = workloads::find_case(name).expect(name);
         // The ORAQL bound: (almost) perfect alias information.
         let r = Driver::run(&case, DriverOptions::default()).expect("driver");

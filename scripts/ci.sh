@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate (see README.md "CI / tier-1 gate"): offline release build,
+# full test suite, formatting, and lints with warnings denied. Run from
+# the repo root; exits non-zero on the first failure.
+set -eux
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-f35bf26b8b76b544.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-f35bf26b8b76b544: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_configs-81c2faceb1268c9c.d: tests/cli_configs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_configs-81c2faceb1268c9c.rmeta: tests/cli_configs.rs Cargo.toml
+
+tests/cli_configs.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_configs-d2366fbcde907573.d: tests/cli_configs.rs
+
+/root/repo/target/debug/deps/cli_configs-d2366fbcde907573: tests/cli_configs.rs
+
+tests/cli_configs.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

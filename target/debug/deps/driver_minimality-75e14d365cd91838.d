@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver_minimality-75e14d365cd91838.d: tests/driver_minimality.rs
+
+/root/repo/target/debug/deps/driver_minimality-75e14d365cd91838: tests/driver_minimality.rs
+
+tests/driver_minimality.rs:

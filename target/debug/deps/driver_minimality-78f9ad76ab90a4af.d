@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/driver_minimality-78f9ad76ab90a4af.d: tests/driver_minimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdriver_minimality-78f9ad76ab90a4af.rmeta: tests/driver_minimality.rs Cargo.toml
+
+tests/driver_minimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/driver_workloads-49abb980fd17b5f1.d: tests/driver_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdriver_workloads-49abb980fd17b5f1.rmeta: tests/driver_workloads.rs Cargo.toml
+
+tests/driver_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

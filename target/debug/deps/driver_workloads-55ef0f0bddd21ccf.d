@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver_workloads-55ef0f0bddd21ccf.d: tests/driver_workloads.rs
+
+/root/repo/target/debug/deps/driver_workloads-55ef0f0bddd21ccf: tests/driver_workloads.rs
+
+tests/driver_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_soundness-879151057da3b33e.d: tests/dynamic_soundness.rs
+
+/root/repo/target/debug/deps/dynamic_soundness-879151057da3b33e: tests/dynamic_soundness.rs
+
+tests/dynamic_soundness.rs:

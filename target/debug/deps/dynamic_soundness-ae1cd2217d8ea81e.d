@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_soundness-ae1cd2217d8ea81e.d: tests/dynamic_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_soundness-ae1cd2217d8ea81e.rmeta: tests/dynamic_soundness.rs Cargo.toml
+
+tests/dynamic_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a0b0df388e5d7b5f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a0b0df388e5d7b5f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-e42920994e30d284.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-e42920994e30d284.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

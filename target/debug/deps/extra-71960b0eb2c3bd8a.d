@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extra-71960b0eb2c3bd8a.d: crates/analysis/tests/extra.rs
+
+/root/repo/target/debug/deps/extra-71960b0eb2c3bd8a: crates/analysis/tests/extra.rs
+
+crates/analysis/tests/extra.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extra-fc2c852036ab32a3.d: crates/analysis/tests/extra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextra-fc2c852036ab32a3.rmeta: crates/analysis/tests/extra.rs Cargo.toml
+
+crates/analysis/tests/extra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

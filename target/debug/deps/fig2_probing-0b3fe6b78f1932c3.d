@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_probing-0b3fe6b78f1932c3.d: crates/bench/benches/fig2_probing.rs
+
+/root/repo/target/debug/deps/fig2_probing-0b3fe6b78f1932c3: crates/bench/benches/fig2_probing.rs
+
+crates/bench/benches/fig2_probing.rs:

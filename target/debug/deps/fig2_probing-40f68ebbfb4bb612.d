@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_probing-40f68ebbfb4bb612.d: crates/bench/benches/fig2_probing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_probing-40f68ebbfb4bb612.rmeta: crates/bench/benches/fig2_probing.rs Cargo.toml
+
+crates/bench/benches/fig2_probing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_report-4347b658cf142fdb.d: crates/bench/benches/fig3_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_report-4347b658cf142fdb.rmeta: crates/bench/benches/fig3_report.rs Cargo.toml
+
+crates/bench/benches/fig3_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_report-5d20f9fbf3104bec.d: crates/bench/benches/fig3_report.rs
+
+/root/repo/target/debug/deps/fig3_report-5d20f9fbf3104bec: crates/bench/benches/fig3_report.rs
+
+crates/bench/benches/fig3_report.rs:

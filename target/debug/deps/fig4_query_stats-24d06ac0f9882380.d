@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig4_query_stats-24d06ac0f9882380.d: crates/bench/benches/fig4_query_stats.rs
+
+/root/repo/target/debug/deps/fig4_query_stats-24d06ac0f9882380: crates/bench/benches/fig4_query_stats.rs
+
+crates/bench/benches/fig4_query_stats.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

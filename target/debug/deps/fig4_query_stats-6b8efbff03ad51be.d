@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4_query_stats-6b8efbff03ad51be.d: crates/bench/benches/fig4_query_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_query_stats-6b8efbff03ad51be.rmeta: crates/bench/benches/fig4_query_stats.rs Cargo.toml
+
+crates/bench/benches/fig4_query_stats.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

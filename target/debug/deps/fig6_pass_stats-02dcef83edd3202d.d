@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_pass_stats-02dcef83edd3202d.d: crates/bench/benches/fig6_pass_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_pass_stats-02dcef83edd3202d.rmeta: crates/bench/benches/fig6_pass_stats.rs Cargo.toml
+
+crates/bench/benches/fig6_pass_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

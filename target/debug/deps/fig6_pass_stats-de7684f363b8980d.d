@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_pass_stats-de7684f363b8980d.d: crates/bench/benches/fig6_pass_stats.rs
+
+/root/repo/target/debug/deps/fig6_pass_stats-de7684f363b8980d: crates/bench/benches/fig6_pass_stats.rs
+
+crates/bench/benches/fig6_pass_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_kernel_props-173d0a9aede31746.d: crates/bench/benches/fig7_kernel_props.rs
+
+/root/repo/target/debug/deps/fig7_kernel_props-173d0a9aede31746: crates/bench/benches/fig7_kernel_props.rs
+
+crates/bench/benches/fig7_kernel_props.rs:

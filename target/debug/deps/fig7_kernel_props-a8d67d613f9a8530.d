@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_kernel_props-a8d67d613f9a8530.d: crates/bench/benches/fig7_kernel_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_kernel_props-a8d67d613f9a8530.rmeta: crates/bench/benches/fig7_kernel_props.rs Cargo.toml
+
+crates/bench/benches/fig7_kernel_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

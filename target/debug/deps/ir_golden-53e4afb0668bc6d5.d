@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ir_golden-53e4afb0668bc6d5.d: tests/ir_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libir_golden-53e4afb0668bc6d5.rmeta: tests/ir_golden.rs Cargo.toml
+
+tests/ir_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_golden-baa9d3be8ba5ee9d.d: tests/ir_golden.rs
+
+/root/repo/target/debug/deps/ir_golden-baa9d3be8ba5ee9d: tests/ir_golden.rs
+
+tests/ir_golden.rs:

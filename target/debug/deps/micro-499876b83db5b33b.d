@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-499876b83db5b33b.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-499876b83db5b33b: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oraql-2aa77f04ca89442c.d: crates/workloads/src/bin/oraql.rs
+
+/root/repo/target/debug/deps/oraql-2aa77f04ca89442c: crates/workloads/src/bin/oraql.rs
+
+crates/workloads/src/bin/oraql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oraql-3bec2fc935f6cb7c.d: crates/workloads/src/bin/oraql.rs
+
+/root/repo/target/debug/deps/oraql-3bec2fc935f6cb7c: crates/workloads/src/bin/oraql.rs
+
+crates/workloads/src/bin/oraql.rs:

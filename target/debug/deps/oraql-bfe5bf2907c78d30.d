@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oraql-bfe5bf2907c78d30.d: crates/workloads/src/bin/oraql.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql-bfe5bf2907c78d30.rmeta: crates/workloads/src/bin/oraql.rs Cargo.toml
+
+crates/workloads/src/bin/oraql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

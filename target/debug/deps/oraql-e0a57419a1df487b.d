@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/oraql-e0a57419a1df487b.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/pass.rs crates/core/src/pool.rs crates/core/src/report.rs crates/core/src/sequence.rs crates/core/src/strategy.rs crates/core/src/textpat.rs crates/core/src/trace.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql-e0a57419a1df487b.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/pass.rs crates/core/src/pool.rs crates/core/src/report.rs crates/core/src/sequence.rs crates/core/src/strategy.rs crates/core/src/textpat.rs crates/core/src/trace.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/pass.rs:
+crates/core/src/pool.rs:
+crates/core/src/report.rs:
+crates/core/src/sequence.rs:
+crates/core/src/strategy.rs:
+crates/core/src/textpat.rs:
+crates/core/src/trace.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/oraql_analysis-64f7dfedc078e214.d: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql_analysis-64f7dfedc078e214.rmeta: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/aa.rs:
+crates/analysis/src/aaeval.rs:
+crates/analysis/src/andersen.rs:
+crates/analysis/src/basic.rs:
+crates/analysis/src/constraints.rs:
+crates/analysis/src/domtree.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/memssa.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/scoped.rs:
+crates/analysis/src/steens.rs:
+crates/analysis/src/tbaa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/oraql_analysis-980711f9000d9337.d: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs
+
+/root/repo/target/debug/deps/oraql_analysis-980711f9000d9337: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/aa.rs:
+crates/analysis/src/aaeval.rs:
+crates/analysis/src/andersen.rs:
+crates/analysis/src/basic.rs:
+crates/analysis/src/constraints.rs:
+crates/analysis/src/domtree.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/memssa.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/scoped.rs:
+crates/analysis/src/steens.rs:
+crates/analysis/src/tbaa.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/oraql_analysis-c56b1af8386a8b3d.d: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs
+
+/root/repo/target/debug/deps/liboraql_analysis-c56b1af8386a8b3d.rmeta: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/aa.rs:
+crates/analysis/src/aaeval.rs:
+crates/analysis/src/andersen.rs:
+crates/analysis/src/basic.rs:
+crates/analysis/src/constraints.rs:
+crates/analysis/src/domtree.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/memssa.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/scoped.rs:
+crates/analysis/src/steens.rs:
+crates/analysis/src/tbaa.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oraql_bench-782a1cbc28936e0d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboraql_bench-782a1cbc28936e0d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboraql_bench-782a1cbc28936e0d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

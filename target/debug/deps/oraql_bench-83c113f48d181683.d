@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oraql_bench-83c113f48d181683.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql_bench-83c113f48d181683.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oraql_bench-a9a582371f587151.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/oraql_bench-a9a582371f587151: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/oraql_ir-c4ba4d88ac6eba22.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/inst.rs crates/ir/src/interner.rs crates/ir/src/meta.rs crates/ir/src/module.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/oraql_ir-c4ba4d88ac6eba22: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/inst.rs crates/ir/src/interner.rs crates/ir/src/meta.rs crates/ir/src/module.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interner.rs:
+crates/ir/src/meta.rs:
+crates/ir/src/module.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/types.rs:
+crates/ir/src/value.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/oraql_ir-d545084ae2544aa2.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/inst.rs crates/ir/src/interner.rs crates/ir/src/meta.rs crates/ir/src/module.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql_ir-d545084ae2544aa2.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/inst.rs crates/ir/src/interner.rs crates/ir/src/meta.rs crates/ir/src/module.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interner.rs:
+crates/ir/src/meta.rs:
+crates/ir/src/module.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/types.rs:
+crates/ir/src/value.rs:
+crates/ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

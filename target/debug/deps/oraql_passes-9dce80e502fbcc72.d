@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/oraql_passes-9dce80e502fbcc72.d: crates/passes/src/lib.rs crates/passes/src/dce.rs crates/passes/src/dse.rs crates/passes/src/earlycse.rs crates/passes/src/gvn.rs crates/passes/src/licm.rs crates/passes/src/loopdel.rs crates/passes/src/loopvec.rs crates/passes/src/manager.rs crates/passes/src/memcpyopt.rs crates/passes/src/memssa_prime.rs crates/passes/src/sink.rs crates/passes/src/slp.rs crates/passes/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql_passes-9dce80e502fbcc72.rmeta: crates/passes/src/lib.rs crates/passes/src/dce.rs crates/passes/src/dse.rs crates/passes/src/earlycse.rs crates/passes/src/gvn.rs crates/passes/src/licm.rs crates/passes/src/loopdel.rs crates/passes/src/loopvec.rs crates/passes/src/manager.rs crates/passes/src/memcpyopt.rs crates/passes/src/memssa_prime.rs crates/passes/src/sink.rs crates/passes/src/slp.rs crates/passes/src/stats.rs Cargo.toml
+
+crates/passes/src/lib.rs:
+crates/passes/src/dce.rs:
+crates/passes/src/dse.rs:
+crates/passes/src/earlycse.rs:
+crates/passes/src/gvn.rs:
+crates/passes/src/licm.rs:
+crates/passes/src/loopdel.rs:
+crates/passes/src/loopvec.rs:
+crates/passes/src/manager.rs:
+crates/passes/src/memcpyopt.rs:
+crates/passes/src/memssa_prime.rs:
+crates/passes/src/sink.rs:
+crates/passes/src/slp.rs:
+crates/passes/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

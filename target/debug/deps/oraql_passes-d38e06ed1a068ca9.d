@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/oraql_passes-d38e06ed1a068ca9.d: crates/passes/src/lib.rs crates/passes/src/dce.rs crates/passes/src/dse.rs crates/passes/src/earlycse.rs crates/passes/src/gvn.rs crates/passes/src/licm.rs crates/passes/src/loopdel.rs crates/passes/src/loopvec.rs crates/passes/src/manager.rs crates/passes/src/memcpyopt.rs crates/passes/src/memssa_prime.rs crates/passes/src/sink.rs crates/passes/src/slp.rs crates/passes/src/stats.rs
+
+/root/repo/target/debug/deps/oraql_passes-d38e06ed1a068ca9: crates/passes/src/lib.rs crates/passes/src/dce.rs crates/passes/src/dse.rs crates/passes/src/earlycse.rs crates/passes/src/gvn.rs crates/passes/src/licm.rs crates/passes/src/loopdel.rs crates/passes/src/loopvec.rs crates/passes/src/manager.rs crates/passes/src/memcpyopt.rs crates/passes/src/memssa_prime.rs crates/passes/src/sink.rs crates/passes/src/slp.rs crates/passes/src/stats.rs
+
+crates/passes/src/lib.rs:
+crates/passes/src/dce.rs:
+crates/passes/src/dse.rs:
+crates/passes/src/earlycse.rs:
+crates/passes/src/gvn.rs:
+crates/passes/src/licm.rs:
+crates/passes/src/loopdel.rs:
+crates/passes/src/loopvec.rs:
+crates/passes/src/manager.rs:
+crates/passes/src/memcpyopt.rs:
+crates/passes/src/memssa_prime.rs:
+crates/passes/src/sink.rs:
+crates/passes/src/slp.rs:
+crates/passes/src/stats.rs:

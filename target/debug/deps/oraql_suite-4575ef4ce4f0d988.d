@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oraql_suite-4575ef4ce4f0d988.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboraql_suite-4575ef4ce4f0d988.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboraql_suite-4575ef4ce4f0d988.rmeta: src/lib.rs
+
+src/lib.rs:

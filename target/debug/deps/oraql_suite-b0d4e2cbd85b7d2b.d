@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oraql_suite-b0d4e2cbd85b7d2b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql_suite-b0d4e2cbd85b7d2b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oraql_suite-e68c85e654ce55ef.d: src/lib.rs
+
+/root/repo/target/debug/deps/oraql_suite-e68c85e654ce55ef: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oraql_vm-5d5e4deea7b3b499.d: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+
+/root/repo/target/debug/deps/liboraql_vm-5d5e4deea7b3b499.rmeta: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/memory.rs:
+crates/vm/src/rtval.rs:

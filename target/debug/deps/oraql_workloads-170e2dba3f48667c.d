@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/oraql_workloads-170e2dba3f48667c.d: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/debug/deps/liboraql_workloads-170e2dba3f48667c.rlib: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/debug/deps/liboraql_workloads-170e2dba3f48667c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gridmini.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/minife.rs:
+crates/workloads/src/minigmg.rs:
+crates/workloads/src/quicksilver.rs:
+crates/workloads/src/testsnap.rs:
+crates/workloads/src/toolkit.rs:
+crates/workloads/src/xsbench.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/oraql_workloads-3fc10cf242fe8c46.d: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboraql_workloads-3fc10cf242fe8c46.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gridmini.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/minife.rs:
+crates/workloads/src/minigmg.rs:
+crates/workloads/src/quicksilver.rs:
+crates/workloads/src/testsnap.rs:
+crates/workloads/src/toolkit.rs:
+crates/workloads/src/xsbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

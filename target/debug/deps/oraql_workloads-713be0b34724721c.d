@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oraql_workloads-713be0b34724721c.d: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/debug/deps/oraql_workloads-713be0b34724721c: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gridmini.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/minife.rs:
+crates/workloads/src/minigmg.rs:
+crates/workloads/src/quicksilver.rs:
+crates/workloads/src/testsnap.rs:
+crates/workloads/src/toolkit.rs:
+crates/workloads/src/xsbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-21031d4d54639782.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-21031d4d54639782: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

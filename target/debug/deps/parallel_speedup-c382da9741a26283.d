@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_speedup-c382da9741a26283.d: tests/parallel_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_speedup-c382da9741a26283.rmeta: tests/parallel_speedup.rs Cargo.toml
+
+tests/parallel_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_speedup-e2aadfd808f2bc8a.d: tests/parallel_speedup.rs
+
+/root/repo/target/debug/deps/parallel_speedup-e2aadfd808f2bc8a: tests/parallel_speedup.rs
+
+tests/parallel_speedup.rs:

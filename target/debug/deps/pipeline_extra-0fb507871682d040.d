@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_extra-0fb507871682d040.d: crates/passes/tests/pipeline_extra.rs
+
+/root/repo/target/debug/deps/pipeline_extra-0fb507871682d040: crates/passes/tests/pipeline_extra.rs
+
+crates/passes/tests/pipeline_extra.rs:

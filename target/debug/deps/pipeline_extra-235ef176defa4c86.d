@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_extra-235ef176defa4c86.d: crates/passes/tests/pipeline_extra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_extra-235ef176defa4c86.rmeta: crates/passes/tests/pipeline_extra.rs Cargo.toml
+
+crates/passes/tests/pipeline_extra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/prop_components-2dd2e1aea3ca0874.d: tests/prop_components.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/prop_components-2dd2e1aea3ca0874: tests/prop_components.rs tests/common/mod.rs
+
+tests/prop_components.rs:
+tests/common/mod.rs:

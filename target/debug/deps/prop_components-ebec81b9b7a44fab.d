@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop_components-ebec81b9b7a44fab.d: tests/prop_components.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_components-ebec81b9b7a44fab.rmeta: tests/prop_components.rs tests/common/mod.rs Cargo.toml
+
+tests/prop_components.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop_pipeline-775a84ad92706fe7.d: tests/prop_pipeline.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_pipeline-775a84ad92706fe7.rmeta: tests/prop_pipeline.rs tests/common/mod.rs Cargo.toml
+
+tests/prop_pipeline.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

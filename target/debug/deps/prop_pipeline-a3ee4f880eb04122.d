@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/prop_pipeline-a3ee4f880eb04122.d: tests/prop_pipeline.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/prop_pipeline-a3ee4f880eb04122: tests/prop_pipeline.rs tests/common/mod.rs
+
+tests/prop_pipeline.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_table-5c6dddcb0004766e.d: crates/bench/benches/runtime_table.rs
+
+/root/repo/target/debug/deps/runtime_table-5c6dddcb0004766e: crates/bench/benches/runtime_table.rs
+
+crates/bench/benches/runtime_table.rs:

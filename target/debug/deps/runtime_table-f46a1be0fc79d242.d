@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_table-f46a1be0fc79d242.d: crates/bench/benches/runtime_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_table-f46a1be0fc79d242.rmeta: crates/bench/benches/runtime_table.rs Cargo.toml
+
+crates/bench/benches/runtime_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-e833902b28f6ceb4.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/scaling-e833902b28f6ceb4: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-1a1f29c2c4704e54.d: crates/vm/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-1a1f29c2c4704e54.rmeta: crates/vm/tests/semantics.rs Cargo.toml
+
+crates/vm/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

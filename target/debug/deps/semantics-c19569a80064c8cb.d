@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-c19569a80064c8cb.d: crates/vm/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-c19569a80064c8cb: crates/vm/tests/semantics.rs
+
+crates/vm/tests/semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/annotation_tuning-330ac3a01f092d85.d: examples/annotation_tuning.rs
+
+/root/repo/target/debug/examples/annotation_tuning-330ac3a01f092d85: examples/annotation_tuning.rs
+
+examples/annotation_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/annotation_tuning-a4904b191e3d40b6.d: examples/annotation_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libannotation_tuning-a4904b191e3d40b6.rmeta: examples/annotation_tuning.rs Cargo.toml
+
+examples/annotation_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

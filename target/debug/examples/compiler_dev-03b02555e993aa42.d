@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compiler_dev-03b02555e993aa42.d: examples/compiler_dev.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompiler_dev-03b02555e993aa42.rmeta: examples/compiler_dev.rs Cargo.toml
+
+examples/compiler_dev.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

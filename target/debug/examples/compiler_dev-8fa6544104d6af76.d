@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_dev-8fa6544104d6af76.d: examples/compiler_dev.rs
+
+/root/repo/target/debug/examples/compiler_dev-8fa6544104d6af76: examples/compiler_dev.rs
+
+examples/compiler_dev.rs:

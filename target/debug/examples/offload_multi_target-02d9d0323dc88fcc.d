@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offload_multi_target-02d9d0323dc88fcc.d: examples/offload_multi_target.rs
+
+/root/repo/target/debug/examples/offload_multi_target-02d9d0323dc88fcc: examples/offload_multi_target.rs
+
+examples/offload_multi_target.rs:

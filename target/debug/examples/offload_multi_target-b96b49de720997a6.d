@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/offload_multi_target-b96b49de720997a6.d: examples/offload_multi_target.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboffload_multi_target-b96b49de720997a6.rmeta: examples/offload_multi_target.rs Cargo.toml
+
+examples/offload_multi_target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e57198c5afe68b2d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e57198c5afe68b2d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tuning_bounds-8253dc128883782e.d: examples/tuning_bounds.rs
+
+/root/repo/target/debug/examples/tuning_bounds-8253dc128883782e: examples/tuning_bounds.rs
+
+examples/tuning_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tuning_bounds-f446355efcfb7ae4.d: examples/tuning_bounds.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtuning_bounds-f446355efcfb7ae4.rmeta: examples/tuning_bounds.rs Cargo.toml
+
+examples/tuning_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

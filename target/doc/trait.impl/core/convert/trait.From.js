@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["oraql_vm",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"oraql_vm/memory/enum.MemError.html\" title=\"enum oraql_vm::memory::MemError\">MemError</a>&gt; for <a class=\"enum\" href=\"oraql_vm/interp/enum.RuntimeError.html\" title=\"enum oraql_vm::interp::RuntimeError\">RuntimeError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[417]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["oraql",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"oraql/driver/enum.DriverError.html\" title=\"enum oraql::driver::DriverError\">DriverError</a>",0]]],["oraql_ir",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"oraql_ir/verify/struct.VerifyError.html\" title=\"struct oraql_ir::verify::VerifyError\">VerifyError</a>",0]]],["oraql_vm",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"oraql_vm/interp/enum.RuntimeError.html\" title=\"enum oraql_vm::interp::RuntimeError\">RuntimeError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[280,296,293]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["oraql",[["impl <a class=\"trait\" href=\"oraql_analysis/aa/trait.AliasAnalysis.html\" title=\"trait oraql_analysis::aa::AliasAnalysis\">AliasAnalysis</a> for <a class=\"struct\" href=\"oraql/pass/struct.OraqlAA.html\" title=\"struct oraql::pass::OraqlAA\">OraqlAA</a>",0]]],["oraql",[["impl AliasAnalysis for <a class=\"struct\" href=\"oraql/pass/struct.OraqlAA.html\" title=\"struct oraql::pass::OraqlAA\">OraqlAA</a>",0]]],["oraql_analysis",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[275,151,22]}

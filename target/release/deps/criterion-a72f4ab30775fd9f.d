@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-a72f4ab30775fd9f.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a72f4ab30775fd9f.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a72f4ab30775fd9f.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_probing-442073c6d6f1cdf4.d: crates/bench/benches/fig2_probing.rs
+
+/root/repo/target/release/deps/fig2_probing-442073c6d6f1cdf4: crates/bench/benches/fig2_probing.rs
+
+crates/bench/benches/fig2_probing.rs:

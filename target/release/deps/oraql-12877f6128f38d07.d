@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oraql-12877f6128f38d07.d: crates/workloads/src/bin/oraql.rs
+
+/root/repo/target/release/deps/oraql-12877f6128f38d07: crates/workloads/src/bin/oraql.rs
+
+crates/workloads/src/bin/oraql.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/oraql-e8e5288d722b877c.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/pass.rs crates/core/src/pool.rs crates/core/src/report.rs crates/core/src/sequence.rs crates/core/src/strategy.rs crates/core/src/textpat.rs crates/core/src/trace.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/liboraql-e8e5288d722b877c.rlib: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/pass.rs crates/core/src/pool.rs crates/core/src/report.rs crates/core/src/sequence.rs crates/core/src/strategy.rs crates/core/src/textpat.rs crates/core/src/trace.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/liboraql-e8e5288d722b877c.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/pass.rs crates/core/src/pool.rs crates/core/src/report.rs crates/core/src/sequence.rs crates/core/src/strategy.rs crates/core/src/textpat.rs crates/core/src/trace.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/pass.rs:
+crates/core/src/pool.rs:
+crates/core/src/report.rs:
+crates/core/src/sequence.rs:
+crates/core/src/strategy.rs:
+crates/core/src/textpat.rs:
+crates/core/src/trace.rs:
+crates/core/src/verify.rs:

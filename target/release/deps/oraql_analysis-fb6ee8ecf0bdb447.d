@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/oraql_analysis-fb6ee8ecf0bdb447.d: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs
+
+/root/repo/target/release/deps/liboraql_analysis-fb6ee8ecf0bdb447.rlib: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs
+
+/root/repo/target/release/deps/liboraql_analysis-fb6ee8ecf0bdb447.rmeta: crates/analysis/src/lib.rs crates/analysis/src/aa.rs crates/analysis/src/aaeval.rs crates/analysis/src/andersen.rs crates/analysis/src/basic.rs crates/analysis/src/constraints.rs crates/analysis/src/domtree.rs crates/analysis/src/globals.rs crates/analysis/src/location.rs crates/analysis/src/loops.rs crates/analysis/src/memssa.rs crates/analysis/src/pointer.rs crates/analysis/src/scoped.rs crates/analysis/src/steens.rs crates/analysis/src/tbaa.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/aa.rs:
+crates/analysis/src/aaeval.rs:
+crates/analysis/src/andersen.rs:
+crates/analysis/src/basic.rs:
+crates/analysis/src/constraints.rs:
+crates/analysis/src/domtree.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/memssa.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/scoped.rs:
+crates/analysis/src/steens.rs:
+crates/analysis/src/tbaa.rs:

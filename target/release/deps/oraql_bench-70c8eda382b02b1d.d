@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oraql_bench-70c8eda382b02b1d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboraql_bench-70c8eda382b02b1d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboraql_bench-70c8eda382b02b1d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oraql_suite-8aa4bf444ae423d6.d: src/lib.rs
+
+/root/repo/target/release/deps/liboraql_suite-8aa4bf444ae423d6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liboraql_suite-8aa4bf444ae423d6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/oraql_workloads-cea5306f6860c224.d: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/release/deps/liboraql_workloads-cea5306f6860c224.rlib: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/release/deps/liboraql_workloads-cea5306f6860c224.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gridmini.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minigmg.rs crates/workloads/src/quicksilver.rs crates/workloads/src/testsnap.rs crates/workloads/src/toolkit.rs crates/workloads/src/xsbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gridmini.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/minife.rs:
+crates/workloads/src/minigmg.rs:
+crates/workloads/src/quicksilver.rs:
+crates/workloads/src/testsnap.rs:
+crates/workloads/src/toolkit.rs:
+crates/workloads/src/xsbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_speedup-dbcfd8ee802e4800.d: tests/parallel_speedup.rs
+
+/root/repo/target/release/deps/parallel_speedup-dbcfd8ee802e4800: tests/parallel_speedup.rs
+
+tests/parallel_speedup.rs:

@@ -11,8 +11,16 @@ fn repo_path(rel: &str) -> String {
 #[test]
 fn shipped_configs_parse() {
     for (file, benchmark, strategy) in [
-        ("configs/testsnap_omp.conf", "testsnap_omp", Strategy::Chunked),
-        ("configs/gridmini_device.conf", "gridmini", Strategy::Chunked),
+        (
+            "configs/testsnap_omp.conf",
+            "testsnap_omp",
+            Strategy::Chunked,
+        ),
+        (
+            "configs/gridmini_device.conf",
+            "gridmini",
+            Strategy::Chunked,
+        ),
         (
             "configs/lulesh_mpi_frequency.conf",
             "lulesh_mpi",

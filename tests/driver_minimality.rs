@@ -18,10 +18,7 @@ fn every_pessimistic_decision_is_necessary_for_xsbench() {
         panic!("chunked produces explicit sequences");
     };
     assert!(*tail, "tail beyond the prefix is optimistic");
-    let verifier = Verifier::new(
-        vec![r.baseline_run.stdout.clone()],
-        &case.ignore_patterns,
-    );
+    let verifier = Verifier::new(vec![r.baseline_run.stdout.clone()], &case.ignore_patterns);
 
     let pessimistic: Vec<usize> = seq
         .iter()
@@ -39,7 +36,7 @@ fn every_pessimistic_decision_is_necessary_for_xsbench() {
             tail: true,
         };
         let c = compile(
-            &case.build,
+            &*case.build,
             &CompileOptions::with_oraql(d, case.scope.clone()),
         );
         let ok = match Interpreter::run_main(&c.module) {
@@ -55,7 +52,7 @@ fn every_pessimistic_decision_is_necessary_for_xsbench() {
 
     // And the unflipped final sequence does verify.
     let c = compile(
-        &case.build,
+        &*case.build,
         &CompileOptions::with_oraql(r.decisions.clone(), case.scope.clone()),
     );
     let out = Interpreter::run_main(&c.module).unwrap();
@@ -69,10 +66,7 @@ fn testsnap_omp_final_sequence_is_minimal() {
     let Decisions::Explicit { seq, .. } = &r.decisions else {
         panic!()
     };
-    let verifier = Verifier::new(
-        vec![r.baseline_run.stdout.clone()],
-        &case.ignore_patterns,
-    );
+    let verifier = Verifier::new(vec![r.baseline_run.stdout.clone()], &case.ignore_patterns);
     let mut necessary = 0usize;
     let mut total = 0usize;
     for (i, &b) in seq.iter().enumerate() {
@@ -83,7 +77,7 @@ fn testsnap_omp_final_sequence_is_minimal() {
         let mut flipped = seq.clone();
         flipped[i] = true;
         let c = compile(
-            &case.build,
+            &*case.build,
             &CompileOptions::with_oraql(
                 Decisions::Explicit {
                     seq: flipped,

@@ -8,8 +8,7 @@ use oraql_workloads as workloads;
 
 fn run(name: &str) -> oraql::DriverResult {
     let case = workloads::find_case(name).expect(name);
-    Driver::run(&case, DriverOptions::default())
-        .unwrap_or_else(|e| panic!("{name}: {e}"))
+    Driver::run(&case, DriverOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
 #[test]

@@ -24,7 +24,9 @@ fn overlaps(a: &AccessEvent, b: &AccessEvent) -> bool {
 fn check_module(m: &Module, use_cfl: bool, label: &str) {
     let main = m.find_func("main").expect("main");
     let mut interp = Interpreter::new(m).with_access_trace();
-    interp.run(main, vec![]).unwrap_or_else(|e| panic!("{label}: {e}"));
+    interp
+        .run(main, vec![])
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
 
     // Group events by frame; bound the per-frame work.
     let mut frames: HashMap<u64, Vec<AccessEvent>> = HashMap::new();

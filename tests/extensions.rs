@@ -54,8 +54,7 @@ fn suppressing_tbaa_redirects_queries_to_oraql() {
     assert!(normal_tbaa > 0, "TBAA should answer something");
 
     // Suppressed chain: the same queries fall through to ORAQL.
-    let mut opts =
-        CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
+    let mut opts = CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
     opts.suppress = vec!["TypeBasedAA".into()];
     let blocked = compile(&tbaa_module, &opts);
     let blocked_unique = blocked.oraql.as_ref().unwrap().lock().stats.unique();
@@ -75,12 +74,11 @@ fn suppressing_tbaa_redirects_queries_to_oraql() {
 #[test]
 fn suppressing_basicaa_floods_oraql() {
     let case = oraql_workloads::find_case("testsnap").unwrap();
-    let mut opts =
-        CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
+    let mut opts = CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything());
     opts.suppress = vec!["BasicAA".into()];
-    let blocked = compile(&case.build, &opts);
+    let blocked = compile(&*case.build, &opts);
     let normal = compile(
-        &case.build,
+        &*case.build,
         &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
     );
     let bu = blocked.oraql.as_ref().unwrap().lock().stats.unique();
@@ -133,8 +131,7 @@ fn must_alias_optimism_forwards_what_no_alias_cannot() {
     // MustAlias optimism: the store is forwarded into the load — fewer
     // executed loads, same (correct!) output, because the pointers do
     // alias at run time.
-    let mut opts =
-        CompileOptions::with_oraql(Decisions::all_optimistic(), Scope::everything());
+    let mut opts = CompileOptions::with_oraql(Decisions::all_optimistic(), Scope::everything());
     opts.optimism = OptimismKind::MustAlias;
     let must_mode = compile(&build, &opts);
     let must_run = Interpreter::run_main(&must_mode.module).unwrap();

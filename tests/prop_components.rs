@@ -1,7 +1,11 @@
-//! Property-based tests of individual components: decision sequences,
+//! Property-style tests of individual components: decision sequences,
 //! text patterns, the verifier, VM memory, alias-analysis symmetry,
-//! dominators, and the bisection strategies.
+//! dominators, and the bisection strategies. Randomized via the
+//! deterministic generator in `common` (fixed seeds, reproducible).
 
+mod common;
+
+use common::Gen;
 use oraql_suite::analysis::basic::BasicAA;
 use oraql_suite::analysis::domtree::DomTree;
 use oraql_suite::analysis::{AAManager, AliasResult, MemoryLocation};
@@ -11,42 +15,53 @@ use oraql_suite::oraql::sequence::Decisions;
 use oraql_suite::oraql::strategy::{chunked, frequency_space, ProbeOutcome, Prober};
 use oraql_suite::oraql::textpat::Pattern;
 use oraql_suite::oraql::Verifier;
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 // ---------------------------------------------------------------- sequences
 
-proptest! {
-    #[test]
-    fn decisions_render_parse_roundtrip(
-        seq in proptest::collection::vec(any::<bool>(), 0..64),
-        tail in any::<bool>(),
-    ) {
-        let d = Decisions::Explicit { seq, tail };
+#[test]
+fn decisions_render_parse_roundtrip() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let d = Decisions::Explicit {
+            seq: g.bools(0, 64),
+            tail: g.bool(),
+        };
         let d2 = Decisions::parse(&d.render()).unwrap();
         for i in 0..96 {
-            prop_assert_eq!(d.decide(i), d2.decide(i));
+            assert_eq!(d.decide(i), d2.decide(i), "seed {seed}, index {i}: {d:?}");
         }
     }
+}
 
-    #[test]
-    fn class_decisions_roundtrip(
-        classes in proptest::collection::vec((1u64..16, 0u64..16), 0..6),
-    ) {
+#[test]
+fn class_decisions_roundtrip() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let n = g.range_usize(0, 6);
+        let classes: Vec<(u64, u64)> = (0..n)
+            .map(|_| (g.range_u64(1, 16), g.range_u64(0, 16)))
+            .collect();
         let d = Decisions::PessimisticClasses(classes);
         let d2 = Decisions::parse(&d.render()).unwrap();
         for i in 0..256 {
-            prop_assert_eq!(d.decide(i), d2.decide(i));
+            assert_eq!(d.decide(i), d2.decide(i), "seed {seed}, index {i}: {d:?}");
         }
     }
+}
 
-    #[test]
-    fn pessimistic_count_matches_decide(
-        seq in proptest::collection::vec(any::<bool>(), 0..64),
-        n in 0u64..96,
-    ) {
-        let d = Decisions::Explicit { seq, tail: true };
+#[test]
+fn pessimistic_count_matches_decide() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let d = Decisions::Explicit {
+            seq: g.bools(0, 64),
+            tail: true,
+        };
+        let n = g.range_u64(0, 96);
         let manual = (0..n).filter(|&i| !d.decide(i)).count() as u64;
-        prop_assert_eq!(d.pessimistic_count(n), manual);
+        assert_eq!(d.pessimistic_count(n), manual, "seed {seed}: {d:?}");
     }
 }
 
@@ -70,71 +85,90 @@ fn generalize(line: &str) -> String {
     out
 }
 
-proptest! {
-    #[test]
-    fn generalized_pattern_matches_original(
-        line in "[a-z =:]{0,12}[0-9]{1,6}[a-z =:]{0,12}",
-    ) {
+#[test]
+fn generalized_pattern_matches_original() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let line = format!(
+            "{}{}{}",
+            g.string("abcdefgz =:", 0, 12),
+            g.range_u64(0, 1_000_000),
+            g.string("abcdefgz =:", 0, 12)
+        );
         let p = Pattern::parse(&generalize(&line));
-        prop_assert!(p.matches(&line), "{line}");
+        assert!(p.matches(&line), "seed {seed}: {line}");
     }
+}
 
-    #[test]
-    fn literal_pattern_matches_only_itself(
-        line in "[a-zA-Z ]{1,20}",
-        other in "[a-zA-Z ]{1,20}",
-    ) {
+#[test]
+fn literal_pattern_matches_only_itself() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let line = g.string("abcXYZ ", 1, 20);
+        let other = g.string("abcXYZ ", 1, 20);
         let p = Pattern::parse(&line);
-        prop_assert!(p.matches(&line));
-        prop_assert_eq!(p.matches(&other), line == other);
+        assert!(p.matches(&line), "seed {seed}");
+        assert_eq!(
+            p.matches(&other),
+            line == other,
+            "seed {seed}: {line:?} vs {other:?}"
+        );
     }
 }
 
 // ---------------------------------------------------------------- verifier
 
-proptest! {
-    #[test]
-    fn verifier_accepts_identity_and_rejects_mutation(
-        lines in proptest::collection::vec("[a-z]{1,8}=[0-9]{1,4}", 1..6),
-        victim in 0usize..6,
-    ) {
+#[test]
+fn verifier_accepts_identity_and_rejects_mutation() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let n = g.range_usize(1, 6);
+        let lines: Vec<String> = (0..n)
+            .map(|_| format!("{}={}", g.string("abcdefgh", 1, 8), g.range_u64(0, 10_000)))
+            .collect();
         let reference = lines.join("\n") + "\n";
         let v = Verifier::exact(reference.clone());
-        prop_assert!(v.check(&reference).is_ok());
-        let victim = victim % lines.len();
+        assert!(v.check(&reference).is_ok(), "seed {seed}");
+        let victim = g.range_usize(0, lines.len());
         let mut mutated = lines.clone();
         mutated[victim] = format!("{}x", mutated[victim]);
         let bad = mutated.join("\n") + "\n";
-        prop_assert!(v.check(&bad).is_err());
+        assert!(v.check(&bad).is_err(), "seed {seed}: {bad:?}");
     }
+}
 
-    #[test]
-    fn ignore_patterns_excuse_only_matching_shapes(
-        cycles_a in 0u64..1_000_000,
-        cycles_b in 0u64..1_000_000,
-    ) {
+#[test]
+fn ignore_patterns_excuse_only_matching_shapes() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let cycles_a = g.range_u64(0, 1_000_000);
+        let cycles_b = g.range_u64(0, 1_000_000);
         let v = Verifier::new(
             vec![format!("ok\nRuntime: {cycles_a} cycles\n")],
             &["Runtime: <int> cycles".to_string()],
         );
         let ok_out = format!("ok\nRuntime: {cycles_b} cycles\n");
-        prop_assert!(v.check(&ok_out).is_ok());
+        assert!(v.check(&ok_out).is_ok(), "seed {seed}");
         // A shape change is not excused.
-        prop_assert!(v.check("ok\nRuntime: never cycles\n").is_err());
+        assert!(
+            v.check("ok\nRuntime: never cycles\n").is_err(),
+            "seed {seed}"
+        );
         // A change outside the volatile line is not excused.
         let bad_out = format!("no\nRuntime: {cycles_a} cycles\n");
-        prop_assert!(v.check(&bad_out).is_err());
+        assert!(v.check(&bad_out).is_err(), "seed {seed}");
     }
 }
 
 // ---------------------------------------------------------------- memory
 
-proptest! {
-    #[test]
-    fn vm_memory_roundtrips(
-        data in proptest::collection::vec(any::<u8>(), 1..64),
-        gap in 0u64..32,
-    ) {
+#[test]
+fn vm_memory_roundtrips() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let len = g.range_usize(1, 64);
+        let data: Vec<u8> = (0..len).map(|_| g.next_u64() as u8).collect();
+        let gap = g.range_u64(0, 32);
         let mut m = Module::new("t");
         m.add_global("g", 128, vec![], false);
         let mut mem = oraql_suite::vm::memory::Memory::new(&m);
@@ -143,9 +177,9 @@ proptest! {
             mem.write(base, &data).unwrap();
             let mut back = vec![0u8; data.len()];
             mem.read(base, &mut back).unwrap();
-            prop_assert_eq!(data, back);
+            assert_eq!(data, back, "seed {seed}");
         } else {
-            prop_assert!(mem.write(base, &data).is_err());
+            assert!(mem.write(base, &data).is_err(), "seed {seed}");
         }
     }
 }
@@ -179,11 +213,16 @@ fn location_zoo(offs: &[i64]) -> (Module, Vec<MemoryLocation>) {
     (m, locs)
 }
 
-proptest! {
-    #[test]
-    fn alias_queries_are_symmetric(
-        offs in proptest::collection::vec(-64i64..64, 1..10),
-    ) {
+fn random_offsets(g: &mut Gen, len_lo: usize, len_hi: usize) -> Vec<i64> {
+    let n = g.range_usize(len_lo, len_hi);
+    (0..n).map(|_| g.range_i64(-64, 64)).collect()
+}
+
+#[test]
+fn alias_queries_are_symmetric() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let offs = random_offsets(&mut g, 1, 10);
         let (m, locs) = location_zoo(&offs);
         let mut aa = AAManager::new();
         aa.add(Box::new(BasicAA::new()));
@@ -192,32 +231,42 @@ proptest! {
             for y in &locs {
                 let ab = aa.alias(&m, f, x, y);
                 let ba = aa.alias(&m, f, y, x);
-                prop_assert_eq!(ab, ba, "asymmetric for {:?} vs {:?}", x.ptr, y.ptr);
+                assert_eq!(
+                    ab, ba,
+                    "seed {seed}: asymmetric for {:?} vs {:?}",
+                    x.ptr, y.ptr
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn identity_queries_are_must_alias(
-        offs in proptest::collection::vec(-64i64..64, 1..8),
-    ) {
+#[test]
+fn identity_queries_are_must_alias() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let offs = random_offsets(&mut g, 1, 8);
         let (m, locs) = location_zoo(&offs);
         let mut aa = AAManager::new();
         aa.add(Box::new(BasicAA::new()));
         let f = oraql_suite::ir::FunctionId(0);
         for x in &locs {
-            prop_assert_eq!(aa.alias(&m, f, x, &x.clone()), AliasResult::MustAlias);
+            assert_eq!(
+                aa.alias(&m, f, x, &x.clone()),
+                AliasResult::MustAlias,
+                "seed {seed}"
+            );
         }
     }
 }
 
 // ---------------------------------------------------------------- dominators
 
-proptest! {
-    #[test]
-    fn entry_dominates_every_reachable_block(
-        splits in proptest::collection::vec(any::<bool>(), 1..8),
-    ) {
+#[test]
+fn entry_dominates_every_reachable_block() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let splits = g.bools(1, 8);
         // Build a random chain of diamonds/straight segments.
         let mut m = Module::new("t");
         let mut b = FunctionBuilder::new(&mut m, "f", vec![Ty::I1], None);
@@ -244,11 +293,14 @@ proptest! {
         let f = m.func(id);
         let dt = DomTree::build(f);
         for &bb in dt.rpo() {
-            prop_assert!(dt.dominates(oraql_suite::ir::module::Function::ENTRY, bb));
+            assert!(
+                dt.dominates(oraql_suite::ir::module::Function::ENTRY, bb),
+                "seed {seed}"
+            );
             // The idom, when present, strictly dominates.
             if let Some(d) = dt.idom(bb) {
-                prop_assert!(dt.dominates(d, bb));
-                prop_assert!(d != bb);
+                assert!(dt.dominates(d, bb), "seed {seed}");
+                assert!(d != bb, "seed {seed}");
             }
         }
     }
@@ -276,30 +328,36 @@ impl Prober for Synthetic {
     fn note_deduced(&mut self) {}
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn both_strategies_pin_all_dangerous_queries(
-        mut dangerous in proptest::collection::vec(0u64..200, 0..12),
-        extra in 0u64..56,
-    ) {
+#[test]
+fn both_strategies_pin_all_dangerous_queries() {
+    for seed in 0..48 {
+        let mut g = Gen::new(seed);
+        let k = g.range_usize(0, 12);
+        let mut dangerous: Vec<u64> = (0..k).map(|_| g.range_u64(0, 200)).collect();
         dangerous.sort_unstable();
         dangerous.dedup();
-        let n = 200 + extra;
+        let n = 200 + g.range_u64(0, 56);
         for solve in [chunked as fn(&mut dyn Prober) -> Decisions, frequency_space] {
-            let mut s = Synthetic { dangerous: dangerous.clone(), n, tests: 0 };
+            let mut s = Synthetic {
+                dangerous: dangerous.clone(),
+                n,
+                tests: 0,
+            };
             let d = solve(&mut s);
             for &i in &dangerous {
-                prop_assert!(!d.decide(i), "index {i} left optimistic: {d:?}");
+                assert!(
+                    !d.decide(i),
+                    "seed {seed}: index {i} left optimistic: {d:?}"
+                );
             }
             // Local maximality (sanity bound): the strategies should not
             // pessimize more than a small multiple of the dangerous set
             // plus bookkeeping.
             let pess = d.pessimistic_count(n);
-            prop_assert!(
+            assert!(
                 pess <= (dangerous.len() as u64) * 8 + 8,
-                "excessively pessimistic: {pess} for {} dangers", dangerous.len()
+                "seed {seed}: excessively pessimistic: {pess} for {} dangers",
+                dangerous.len()
             );
         }
     }

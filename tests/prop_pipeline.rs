@@ -1,4 +1,4 @@
-//! Property-based end-to-end soundness: for randomly generated
+//! Property-style end-to-end soundness: for randomly generated
 //! programs, compiling with the full conservative pipeline must
 //! preserve the printed output exactly — including programs that pass
 //! aliased pointers into kernels (the situation optimism gets wrong).
@@ -6,13 +6,18 @@
 //! This is the load-bearing guarantee behind the whole limit study:
 //! pessimistic answers must always be safe, so any divergence under
 //! ORAQL is attributable to the optimistic answers alone.
+//!
+//! Randomized via the deterministic generator in `common` (fixed seeds,
+//! reproducible failures).
 
+mod common;
+
+use common::Gen;
 use oraql_suite::ir::builder::FunctionBuilder;
 use oraql_suite::ir::{Module, Ty, Value};
 use oraql_suite::oraql::compile::{compile, CompileOptions, Scope};
 use oraql_suite::oraql::Decisions;
 use oraql_suite::vm::Interpreter;
-use proptest::prelude::*;
 
 /// One step of a generated kernel body.
 #[derive(Debug, Clone)]
@@ -27,16 +32,40 @@ enum Op {
     Copy { dst: usize, src: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..4usize, 0..3u8, any::<i8>()).prop_map(|(dst, off, val)| Op::StoreConst {
-            dst,
-            off,
-            val
-        }),
-        (0..4usize, 0..3u8).prop_map(|(src, off)| Op::LoadPrint { src, off }),
-        (0..4usize, 0..4usize, 0..4usize).prop_map(|(dst, a, b)| Op::Combine { dst, a, b }),
-        (0..4usize, 0..4usize).prop_map(|(dst, src)| Op::Copy { dst, src }),
+fn random_op(g: &mut Gen) -> Op {
+    match g.range_u64(0, 4) {
+        0 => Op::StoreConst {
+            dst: g.range_usize(0, 4),
+            off: g.range_u64(0, 3) as u8,
+            val: g.next_u64() as i8,
+        },
+        1 => Op::LoadPrint {
+            src: g.range_usize(0, 4),
+            off: g.range_u64(0, 3) as u8,
+        },
+        2 => Op::Combine {
+            dst: g.range_usize(0, 4),
+            a: g.range_usize(0, 4),
+            b: g.range_usize(0, 4),
+        },
+        _ => Op::Copy {
+            dst: g.range_usize(0, 4),
+            src: g.range_usize(0, 4),
+        },
+    }
+}
+
+fn random_ops(g: &mut Gen, len_lo: usize, len_hi: usize) -> Vec<Op> {
+    let n = g.range_usize(len_lo, len_hi);
+    (0..n).map(|_| random_op(g)).collect()
+}
+
+fn random_wiring(g: &mut Gen) -> [u8; 4] {
+    [
+        g.range_u64(0, 4) as u8,
+        g.range_u64(0, 4) as u8,
+        g.range_u64(0, 4) as u8,
+        g.range_u64(0, 4) as u8,
     ]
 }
 
@@ -115,64 +144,72 @@ fn build_program(ops: &[Op], wiring: [u8; 4], loop_trip: u8) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The conservative pipeline never changes program output, no
-    /// matter how the caller aliases the kernel's pointer parameters.
-    #[test]
-    fn conservative_pipeline_preserves_output(
-        ops in proptest::collection::vec(op_strategy(), 1..12),
-        wiring in prop::array::uniform4(0u8..4),
-        loop_trip in 0u8..4,
-        use_cfl in any::<bool>(),
-    ) {
+/// The conservative pipeline never changes program output, no matter
+/// how the caller aliases the kernel's pointer parameters.
+#[test]
+fn conservative_pipeline_preserves_output() {
+    for seed in 0..64 {
+        let mut g = Gen::new(seed);
+        let ops = random_ops(&mut g, 1, 12);
+        let wiring = random_wiring(&mut g);
+        let loop_trip = g.range_u64(0, 4) as u8;
+        let use_cfl = g.bool();
         let build = move || build_program(&ops, wiring, loop_trip);
         let reference = Interpreter::run_main(&build()).unwrap();
-        let compiled = compile(&build, &CompileOptions {
-            use_cfl,
-            verify_each: true,
-            ..CompileOptions::default()
-        });
+        let compiled = compile(
+            &build,
+            &CompileOptions {
+                use_cfl,
+                verify_each: true,
+                ..CompileOptions::default()
+            },
+        );
         let optimized = Interpreter::run_main(&compiled.module).unwrap();
-        prop_assert_eq!(reference.stdout, optimized.stdout);
+        assert_eq!(reference.stdout, optimized.stdout, "seed {seed}");
         // Optimization never makes the program do more work.
-        prop_assert!(optimized.stats.total_insts() <= reference.stats.total_insts());
+        assert!(
+            optimized.stats.total_insts() <= reference.stats.total_insts(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// With ORAQL fully pessimistic the output is also preserved
-    /// (pessimistic == baseline), regardless of wiring.
-    #[test]
-    fn all_pessimistic_oraql_is_baseline(
-        ops in proptest::collection::vec(op_strategy(), 1..8),
-        wiring in prop::array::uniform4(0u8..4),
-    ) {
+/// With ORAQL fully pessimistic the output is also preserved
+/// (pessimistic == baseline), regardless of wiring.
+#[test]
+fn all_pessimistic_oraql_is_baseline() {
+    for seed in 0..64 {
+        let mut g = Gen::new(seed);
+        let ops = random_ops(&mut g, 1, 8);
+        let wiring = random_wiring(&mut g);
         let build = move || build_program(&ops, wiring, 2);
         let baseline = compile(&build, &CompileOptions::baseline());
-        let pess = compile(&build, &CompileOptions::with_oraql(
-            Decisions::all_pessimistic(),
-            Scope::everything(),
-        ));
+        let pess = compile(
+            &build,
+            &CompileOptions::with_oraql(Decisions::all_pessimistic(), Scope::everything()),
+        );
         let a = Interpreter::run_main(&baseline.module).unwrap();
         let b = Interpreter::run_main(&pess.module).unwrap();
-        prop_assert_eq!(a.stdout, b.stdout);
+        assert_eq!(a.stdout, b.stdout, "seed {seed}");
     }
+}
 
-    /// When no kernel parameters alias, even FULL optimism preserves
-    /// the output: the optimistic answers happen to be true.
-    #[test]
-    fn full_optimism_is_safe_without_aliasing(
-        ops in proptest::collection::vec(op_strategy(), 1..10),
-        loop_trip in 0u8..3,
-    ) {
+/// When no kernel parameters alias, even FULL optimism preserves the
+/// output: the optimistic answers happen to be true.
+#[test]
+fn full_optimism_is_safe_without_aliasing() {
+    for seed in 0..64 {
+        let mut g = Gen::new(seed);
+        let ops = random_ops(&mut g, 1, 10);
+        let loop_trip = g.range_u64(0, 3) as u8;
         let wiring = [0u8, 1, 2, 3]; // all distinct: no aliasing
         let build = move || build_program(&ops, wiring, loop_trip);
         let reference = Interpreter::run_main(&build()).unwrap();
-        let opt = compile(&build, &CompileOptions::with_oraql(
-            Decisions::all_optimistic(),
-            Scope::everything(),
-        ));
+        let opt = compile(
+            &build,
+            &CompileOptions::with_oraql(Decisions::all_optimistic(), Scope::everything()),
+        );
         let out = Interpreter::run_main(&opt.module).unwrap();
-        prop_assert_eq!(reference.stdout, out.stdout);
+        assert_eq!(reference.stdout, out.stdout, "seed {seed}");
     }
 }
