@@ -18,8 +18,8 @@ fn print_fig7() {
     let mut total = 0;
     let mut changed = 0;
     for fid in base.module.funcs_for_target(Target::Device) {
-        let b = lower_function(&base.module, fid, None);
-        let o = lower_function(&r.final_module, fid, None);
+        let b = lower_function(&base.module, fid, None).unwrap();
+        let o = lower_function(&r.final_module, fid, None).unwrap();
         total += 1;
         if b.registers == o.registers && b.stack_bytes == o.stack_bytes {
             continue;
@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             kernels
                 .iter()
-                .map(|&fid| lower_function(&m, fid, None).machine_insts)
+                .map(|&fid| lower_function(&m, fid, None).unwrap().machine_insts)
                 .sum::<u64>()
         })
     });

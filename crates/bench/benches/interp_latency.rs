@@ -1,0 +1,133 @@
+//! Probe-latency microbenchmark for the two interpreter modes.
+//!
+//! Probing is execution-bound: every probe the driver cannot answer
+//! from a cache is one full VM run, so interpreted instructions per
+//! second bound the whole limit study's wall clock. This harness runs
+//! every registered workload configuration (baseline-compiled, the
+//! module shape probes actually execute) under both the tree-walk
+//! reference and the pre-decoded executor, and writes the measured
+//! per-run latency, instructions-per-second and speedup as JSON to
+//! `$ORAQL_BENCH_OUT` (default `BENCH_interp.json` in the working
+//! directory).
+//!
+//! Not a criterion bench: the JSON artifact is the point, and the
+//! repeat count adapts to per-case runtime.
+
+use oraql_vm::{InterpMode, Interpreter, RtVal, RuntimeError};
+use std::time::Instant;
+
+struct Measured {
+    micros: f64,
+    insts: u64,
+}
+
+fn run_once(
+    m: &oraql_ir::Module,
+    mode: InterpMode,
+    fuel: u64,
+) -> Result<(Option<RtVal>, u64), RuntimeError> {
+    let main = m.find_func("main").expect("main");
+    let mut interp = Interpreter::new(m).with_fuel(fuel).with_mode(mode);
+    let r = interp.run(main, vec![])?;
+    Ok((r, interp.stats().total_insts()))
+}
+
+/// Best-of-N wall time for both modes of one module, with tree/decoded
+/// samples interleaved pairwise. The min estimator and the pairing both
+/// guard against scheduler/frequency noise skewing one mode's samples;
+/// N adapts so slow cases run a few times and fast ones enough to be
+/// measurable. Each timed run constructs a fresh `Interpreter`, so
+/// decode time is *included* in the decoded-mode numbers, exactly as a
+/// driver probe pays it.
+fn measure_pair(m: &oraql_ir::Module, fuel: u64) -> (Measured, Measured) {
+    let (_, tree_insts) = run_once(m, InterpMode::TreeWalk, fuel).expect("workload executes");
+    let (_, dec_insts) = run_once(m, InterpMode::Decoded, fuel).expect("workload executes");
+    let probe = Instant::now();
+    let _ = run_once(m, InterpMode::TreeWalk, fuel).expect("workload executes");
+    let once = probe.elapsed().as_secs_f64();
+    let reps = (0.5 / once.max(1e-6)).clamp(5.0, 40.0) as usize;
+    let (mut tree_best, mut dec_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = run_once(m, InterpMode::TreeWalk, fuel).expect("workload executes");
+        tree_best = tree_best.min(t.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
+        let _ = run_once(m, InterpMode::Decoded, fuel).expect("workload executes");
+        dec_best = dec_best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    (
+        Measured {
+            micros: tree_best,
+            insts: tree_insts,
+        },
+        Measured {
+            micros: dec_best,
+            insts: dec_insts,
+        },
+    )
+}
+
+fn main() {
+    // `cargo bench -- --bench` etc. pass harness flags; ignore them.
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let (mut total_insts, mut total_tree_us, mut total_dec_us) = (0u64, 0.0f64, 0.0f64);
+    for info in &oraql_workloads::CASE_INFOS {
+        let case = oraql_workloads::find_case(info.name).expect("registered");
+        let compiled =
+            oraql::compile::compile(&*case.build, &oraql::compile::CompileOptions::baseline());
+        let (tree, dec) = measure_pair(&compiled.module, case.fuel);
+        assert_eq!(tree.insts, dec.insts, "{}: modes diverge", info.name);
+        let speedup = tree.micros / dec.micros;
+        let ips = |m: &Measured| m.insts as f64 / (m.micros / 1e6);
+        println!(
+            "{:22} {:>12.1} us tree  {:>12.1} us decoded  {:>5.2}x  ({} insts)",
+            info.name, tree.micros, dec.micros, speedup, tree.insts
+        );
+        rows.push(format!(
+            "    {{\"case\": \"{}\", \"insts\": {}, \"tree_us\": {:.1}, \"decoded_us\": {:.1}, \
+             \"tree_ips\": {:.0}, \"decoded_ips\": {:.0}, \"speedup\": {:.3}}}",
+            info.name,
+            tree.insts,
+            tree.micros,
+            dec.micros,
+            ips(&tree),
+            ips(&dec),
+            speedup
+        ));
+        speedups.push(speedup);
+        total_insts += tree.insts;
+        total_tree_us += tree.micros;
+        total_dec_us += dec.micros;
+    }
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    // Total ips weights each case by its instruction count, i.e. the
+    // aggregate rate at which the whole probe corpus is interpreted.
+    let total_tree_ips = total_insts as f64 / (total_tree_us / 1e6);
+    let total_dec_ips = total_insts as f64 / (total_dec_us / 1e6);
+    let total_speedup = total_tree_us / total_dec_us;
+    println!(
+        "geomean speedup: {geomean:.2}x over {} cases",
+        speedups.len()
+    );
+    println!(
+        "total: {total_insts} insts, {:.1} M insts/s tree, {:.1} M insts/s decoded, {total_speedup:.2}x",
+        total_tree_ips / 1e6,
+        total_dec_ips / 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"interp_latency\",\n  \"modes\": [\"tree\", \"decoded\"],\n  \
+         \"geomean_speedup\": {:.3},\n  \"total_insts\": {},\n  \"total_tree_ips\": {:.0},\n  \
+         \"total_decoded_ips\": {:.0},\n  \"total_speedup\": {:.3},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        geomean,
+        total_insts,
+        total_tree_ips,
+        total_dec_ips,
+        total_speedup,
+        rows.join(",\n")
+    );
+    let out = std::env::var("ORAQL_BENCH_OUT").unwrap_or_else(|_| "BENCH_interp.json".into());
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

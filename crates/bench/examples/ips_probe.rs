@@ -1,0 +1,45 @@
+//! Steady-state dispatch-rate probe: one long counted loop, so decode
+//! and memory-init costs are amortised to nothing and the printed
+//! M insts/s is the pure per-instruction dispatch rate of each mode.
+
+use oraql_ir::builder::FunctionBuilder;
+use oraql_ir::{Module, Ty, Value};
+use oraql_vm::{InterpMode, Interpreter};
+use std::time::Instant;
+
+fn long_program(trips: i64) -> Module {
+    let mut m = Module::new("ips");
+    let g = m.add_global("buf", 256, vec![], false);
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    b.counted_loop(Value::ConstInt(0), Value::ConstInt(trips), |b, i| {
+        let idx = b.rem(i, Value::ConstInt(16));
+        let p = b.gep_scaled(Value::Global(g), idx, 8, 0);
+        let v = b.load(Ty::I64, p);
+        let s = b.add(v, i);
+        b.store(Ty::I64, s, p);
+    });
+    let p = b.gep(Value::Global(g), 0);
+    let v = b.load(Ty::I64, p);
+    b.print("{}", vec![v]);
+    b.ret(None);
+    b.finish();
+    m
+}
+
+fn main() {
+    let m = long_program(300_000);
+    for mode in [InterpMode::TreeWalk, InterpMode::Decoded] {
+        let main = m.find_func("main").unwrap();
+        let mut interp = Interpreter::new(&m).with_mode(mode);
+        let t = Instant::now();
+        interp.run(main, vec![]).unwrap();
+        let el = t.elapsed().as_secs_f64();
+        let insts = interp.stats().total_insts();
+        println!(
+            "{mode:?}: {:.1} ms, {} insts, {:.1} M insts/s",
+            el * 1e3,
+            insts,
+            insts as f64 / el / 1e6
+        );
+    }
+}

@@ -18,6 +18,7 @@
 
 use crate::compile::Scope;
 use crate::strategy::Strategy;
+use oraql_vm::InterpMode;
 
 /// Parsed configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,8 @@ pub struct Config {
     pub use_cfl: bool,
     /// Dump report after the run.
     pub dump: bool,
+    /// Interpreter execution mode (`decoded` or `tree`).
+    pub interp: InterpMode,
 }
 
 impl Default for Config {
@@ -50,10 +53,11 @@ impl Default for Config {
             ignore: Vec::new(),
             references: Vec::new(),
             strategy: Strategy::Chunked,
-            fuel: 500_000_000,
+            fuel: oraql_vm::DEFAULT_FUEL,
             max_tests: 4_096,
             use_cfl: false,
             dump: false,
+            interp: InterpMode::default(),
         }
     }
 }
@@ -102,6 +106,10 @@ impl Config {
                     cfg.dump = value
                         .parse()
                         .map_err(|e| format!("line {}: bad dump: {e}", ln + 1))?
+                }
+                "interp" => {
+                    cfg.interp = InterpMode::parse(value)
+                        .ok_or_else(|| format!("line {}: bad interp: {value:?}", ln + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }

@@ -55,7 +55,7 @@ use crate::trace::{ProbeEvent, ProbeKind, TraceSink};
 use crate::verify::{Mismatch, Verifier};
 use oraql_ir::module::Module;
 use oraql_passes::Stats;
-use oraql_vm::{Interpreter, RunOutcome};
+use oraql_vm::{InterpMode, Interpreter, RunOutcome};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -97,7 +97,7 @@ impl TestCase {
             scope: Scope::everything(),
             ignore_patterns: Vec::new(),
             extra_references: Vec::new(),
-            fuel: 500_000_000,
+            fuel: oraql_vm::DEFAULT_FUEL,
             use_cfl: false,
             optimism: crate::pass::OptimismKind::NoAlias,
         }
@@ -120,6 +120,10 @@ pub struct DriverOptions {
     pub jobs: usize,
     /// Probe-trace sink; every probe answer is recorded here.
     pub trace: Option<TraceSink>,
+    /// Interpreter execution mode for every VM run the driver performs
+    /// (baseline, probes, final). Both modes are observably identical —
+    /// see `oraql_vm::decode` — so this only affects probe latency.
+    pub interp: InterpMode,
 }
 
 impl Default for DriverOptions {
@@ -130,6 +134,7 @@ impl Default for DriverOptions {
             trace_passes: false,
             jobs: 1,
             trace: None,
+            interp: InterpMode::default(),
         }
     }
 }
@@ -288,6 +293,7 @@ struct ProbeEngine {
     use_cfl: bool,
     optimism: OptimismKind,
     fuel: u64,
+    interp: InterpMode,
     verifier: Verifier,
     /// Enables the decisions-digest cache (parallel mode only, so that
     /// `jobs = 1` reproduces seed effort counters exactly).
@@ -413,7 +419,7 @@ impl ProbeEngine {
             return None;
         }
         self.effort().tests_run += 1;
-        let pass = match run_module(&compiled.module, self.fuel) {
+        let pass = match run_module(&compiled.module, self.fuel, self.interp) {
             Ok(run) => self.verifier.check(&run.stdout).is_ok(),
             Err(_) => false, // traps count as verification failures
         };
@@ -467,7 +473,7 @@ impl<'c> Driver<'c> {
     ) -> Result<DriverResult, DriverError> {
         // Step 1: baseline (ORAQL deactivated) — produces the reference.
         let baseline = compile(&*case.build, &CompileOptions::baseline());
-        let baseline_run = run_module(&baseline.module, case.fuel)
+        let baseline_run = run_module(&baseline.module, case.fuel, opts.interp)
             .map_err(|e| DriverError::BaselineBroken(Mismatch::ExecutionFailed(e)))?;
         let mut references = vec![baseline_run.stdout.clone()];
         references.extend(case.extra_references.iter().cloned());
@@ -485,6 +491,7 @@ impl<'c> Driver<'c> {
             use_cfl: case.use_cfl,
             optimism: case.optimism,
             fuel: case.fuel,
+            interp: opts.interp,
             verifier,
             use_dec_cache: opts.jobs > 1,
             caches,
@@ -521,7 +528,7 @@ impl<'c> Driver<'c> {
             ..CompileOptions::default()
         };
         let finalc = compile(&*case.build, &final_opts);
-        let final_run = run_module(&finalc.module, case.fuel)
+        let final_run = run_module(&finalc.module, case.fuel, driver.opts.interp)
             .map_err(|e| DriverError::FinalBroken(Mismatch::ExecutionFailed(e)))?;
         driver
             .engine
@@ -566,9 +573,9 @@ impl<'c> Driver<'c> {
     }
 }
 
-fn run_module(m: &Module, fuel: u64) -> Result<RunOutcome, String> {
+fn run_module(m: &Module, fuel: u64, mode: InterpMode) -> Result<RunOutcome, String> {
     let main = m.find_func("main").ok_or("no main")?;
-    let mut interp = Interpreter::new(m).with_fuel(fuel);
+    let mut interp = Interpreter::new(m).with_fuel(fuel).with_mode(mode);
     match interp.run(main, vec![]) {
         Ok(_) => Ok(RunOutcome {
             stdout: interp.stdout().to_owned(),

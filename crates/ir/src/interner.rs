@@ -37,6 +37,12 @@ impl StringInterner {
         &self.strings[id.0 as usize]
     }
 
+    /// Resolves an id, returning `None` for ids this interner never
+    /// produced (malformed IR must not panic consumers such as the VM).
+    pub fn try_resolve(&self, id: StrId) -> Option<&str> {
+        self.strings.get(id.0 as usize).map(String::as_str)
+    }
+
     /// Looks up a string without interning it.
     pub fn get(&self, s: &str) -> Option<StrId> {
         self.map.get(s).copied()

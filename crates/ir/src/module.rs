@@ -66,6 +66,13 @@ impl Function {
         &self.insts[id.0 as usize].inst
     }
 
+    /// Checked access to an instruction payload: `None` when `id` is not
+    /// a valid arena index. Consumers that may face malformed IR (the VM,
+    /// the machine lowering) use this instead of [`Function::inst`].
+    pub fn get_inst(&self, id: InstId) -> Option<&Inst> {
+        self.insts.get(id.0 as usize).map(|d| &d.inst)
+    }
+
     /// Mutable access to an instruction payload.
     pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
         &mut self.insts[id.0 as usize].inst
@@ -220,6 +227,12 @@ impl Module {
     /// Immutable access to a function.
     pub fn func(&self, id: FunctionId) -> &Function {
         &self.funcs[id.0 as usize]
+    }
+
+    /// Checked access to a function: `None` when `id` is not a valid
+    /// index (malformed IR must not panic consumers such as the VM).
+    pub fn get_func(&self, id: FunctionId) -> Option<&Function> {
+        self.funcs.get(id.0 as usize)
     }
 
     /// Mutable access to a function.

@@ -119,7 +119,7 @@ mod tests {
         b.ret(None);
         let id = b.finish();
         run_dce(&mut m);
-        let s = oraql_vm::machine::lower_function(&m, id, None);
+        let s = oraql_vm::machine::lower_function(&m, id, None).unwrap();
         assert_eq!(s.stack_bytes, 0);
     }
 

@@ -1,6 +1,7 @@
 //! The IR interpreter: deterministic execution, output capture and the
 //! cost model.
 
+use crate::decode::{decode_function, DecodedFunction, Jump, Op, Opd, NO_EDGE};
 use crate::memory::{MemError, Memory};
 use crate::rtval::RtVal;
 use oraql_ir::inst::{BinOp, CallKind, CastKind, CmpPred, FuncRef, GepOffset, Inst, InstId};
@@ -8,6 +9,48 @@ use oraql_ir::meta::Target;
 use oraql_ir::module::{Function, FunctionId, Module};
 use oraql_ir::types::Ty;
 use oraql_ir::value::{BlockId, Value};
+use std::rc::Rc;
+
+/// Default fuel budget (instructions before
+/// [`RuntimeError::FuelExhausted`]), shared by [`Interpreter::new`] and
+/// the driver's test-case configuration so `run_main` and driver probes
+/// execute under the same budget.
+pub const DEFAULT_FUEL: u64 = 500_000_000;
+
+/// Which execution engine the interpreter uses. Both engines are
+/// observationally identical (stdout, [`ExecStats`], [`RuntimeError`]
+/// classification); the pre-decoded engine is the default because every
+/// ORAQL probe pays one interpreted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpMode {
+    /// Execute pre-decoded basic blocks (see [`crate::decode`]).
+    #[default]
+    Decoded,
+    /// Walk the IR instruction payloads directly (the reference
+    /// semantics; kept for differential testing).
+    TreeWalk,
+}
+
+impl InterpMode {
+    /// Parses a mode name as accepted by `--interp` and the `interp`
+    /// config key.
+    pub fn parse(s: &str) -> Option<InterpMode> {
+        match s {
+            "decoded" => Some(InterpMode::Decoded),
+            "tree" | "treewalk" | "tree-walk" => Some(InterpMode::TreeWalk),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for InterpMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InterpMode::Decoded => "decoded",
+            InterpMode::TreeWalk => "tree",
+        })
+    }
+}
 
 /// Execution statistics — the `perf` / kernel-timer stand-in.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -147,6 +190,16 @@ pub struct Interpreter<'m> {
     in_device: bool,
     trace: Option<Vec<AccessEvent>>,
     next_frame: u64,
+    mode: InterpMode,
+    /// Lazily built pre-decoded bodies, indexed by function id.
+    decoded: Vec<Option<Rc<DecodedFunction>>>,
+    /// Retired frame value arrays, reused by later decoded-mode calls
+    /// (call-heavy programs otherwise pay an allocator round-trip per
+    /// call).
+    frame_pool: Vec<Vec<Option<RtVal>>>,
+    /// Retired argument vectors, reused across calls, external calls
+    /// and per-thread/per-item launch argument lists.
+    arg_pool: Vec<Vec<RtVal>>,
 }
 
 struct Frame {
@@ -154,19 +207,40 @@ struct Frame {
     args: Vec<RtVal>,
 }
 
+/// Control transfer produced by one decoded op.
+enum Flow {
+    /// Fall through to the next op.
+    Next,
+    /// Branch to `block`, arriving via incoming edge `edge`.
+    Jump { block: u32, edge: u32 },
+    /// Return from the function.
+    Ret(Option<RtVal>),
+}
+
 impl<'m> Interpreter<'m> {
-    /// Creates an interpreter over `m` with the default fuel budget.
+    /// Creates an interpreter over `m` with the default fuel budget and
+    /// the default (pre-decoded) execution mode.
     pub fn new(m: &'m Module) -> Self {
         Interpreter {
             mem: Memory::new(m),
             m,
             out: String::new(),
             stats: ExecStats::default(),
-            fuel: 2_000_000_000,
+            fuel: DEFAULT_FUEL,
             in_device: false,
             trace: None,
             next_frame: 0,
+            mode: InterpMode::default(),
+            decoded: vec![None; m.funcs.len()],
+            frame_pool: Vec::new(),
+            arg_pool: Vec::new(),
         }
+    }
+
+    /// Selects the execution engine (see [`InterpMode`]).
+    pub fn with_mode(mut self, mode: InterpMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Enables recording of every scalar load/store address (used by the
@@ -243,7 +317,9 @@ impl<'m> Interpreter<'m> {
     }
 
     fn call(&mut self, fid: FunctionId, args: Vec<RtVal>) -> Result<Option<RtVal>, RuntimeError> {
-        let f = self.m.func(fid);
+        let f = self.m.get_func(fid).ok_or_else(|| {
+            RuntimeError::BadProgram(format!("call to missing function f{}", fid.0))
+        })?;
         if args.len() != f.params.len() {
             return Err(RuntimeError::BadProgram(format!(
                 "call to {} with {} args, expected {}",
@@ -257,23 +333,52 @@ impl<'m> Interpreter<'m> {
             self.in_device = true;
         }
         let mark = self.mem.stack_mark();
-        let result = self.exec_function(fid, f, args);
+        let result = match self.mode {
+            InterpMode::TreeWalk => self.exec_function(fid, f, args),
+            InterpMode::Decoded => {
+                let dfn = self.decoded_fn(fid, f);
+                self.exec_function_decoded(fid, dfn, args)
+            }
+        };
         self.mem.stack_release(mark);
         self.in_device = was_device;
         result
+    }
+
+    /// The cached pre-decoded body of `fid`, building it on first use.
+    fn decoded_fn(&mut self, fid: FunctionId, f: &'m Function) -> Rc<DecodedFunction> {
+        let idx = fid.0 as usize;
+        if let Some(d) = self.decoded.get(idx).and_then(|o| o.as_ref()) {
+            return Rc::clone(d);
+        }
+        if self.decoded.len() <= idx {
+            self.decoded.resize(idx + 1, None);
+        }
+        let d = Rc::new(decode_function(self.m, f, self.mem.global_bases()));
+        self.decoded[idx] = Some(Rc::clone(&d));
+        d
     }
 
     fn eval(&self, frame: &Frame, v: Value) -> Result<RtVal, RuntimeError> {
         match v {
             Value::ConstInt(i) => Ok(RtVal::I(i)),
             Value::ConstFloat(bits) => Ok(RtVal::F(f64::from_bits(bits))),
-            Value::Global(g) => Ok(RtVal::P(self.mem.global_base(g.0 as usize))),
+            Value::Global(g) => self
+                .mem
+                .try_global_base(g.0 as usize)
+                .map(RtVal::P)
+                .ok_or_else(|| RuntimeError::BadProgram(format!("global @{} out of range", g.0))),
             Value::Arg(i) => frame
                 .args
                 .get(i as usize)
                 .cloned()
                 .ok_or_else(|| RuntimeError::BadProgram(format!("missing arg {i}"))),
-            Value::Inst(id) => frame.values[id.0 as usize]
+            Value::Inst(id) => frame
+                .values
+                .get(id.0 as usize)
+                .ok_or_else(|| {
+                    RuntimeError::BadProgram(format!("instruction id %{} out of range", id.0))
+                })?
                 .clone()
                 .ok_or_else(|| RuntimeError::UndefRead(format!("%{}", id.0))),
             Value::Undef => Err(RuntimeError::UndefRead("undef".into())),
@@ -297,11 +402,21 @@ impl<'m> Interpreter<'m> {
         loop {
             // Phase 1: evaluate all phis of this block against the
             // incoming edge (parallel-copy semantics).
-            let insts = &f.blocks[block.0 as usize].insts;
+            let insts = &f
+                .blocks
+                .get(block.0 as usize)
+                .ok_or_else(|| RuntimeError::BadProgram(format!("missing block bb{}", block.0)))?
+                .insts;
             let mut phi_vals: Vec<(InstId, RtVal)> = Vec::new();
             for &id in insts {
-                match f.inst(id) {
-                    Inst::Phi { incoming, .. } => {
+                match f.get_inst(id) {
+                    None => {
+                        return Err(RuntimeError::BadProgram(format!(
+                            "instruction id %{} out of range",
+                            id.0
+                        )))
+                    }
+                    Some(Inst::Phi { incoming, .. }) => {
                         let from = pred
                             .ok_or_else(|| RuntimeError::BadProgram("phi in entry block".into()))?;
                         let (_, v) =
@@ -313,7 +428,7 @@ impl<'m> Interpreter<'m> {
                             })?;
                         phi_vals.push((id, self.eval(&frame, *v)?));
                     }
-                    _ => break,
+                    Some(_) => break,
                 }
             }
             for (id, v) in phi_vals {
@@ -324,13 +439,21 @@ impl<'m> Interpreter<'m> {
             // Phase 2: execute the rest of the block.
             let mut next: Option<BlockId> = None;
             for &id in insts {
-                let inst = f.inst(id);
+                let inst = f.get_inst(id).ok_or_else(|| {
+                    RuntimeError::BadProgram(format!("instruction id %{} out of range", id.0))
+                })?;
                 if matches!(inst, Inst::Phi { .. }) {
                     continue;
                 }
                 self.charge(inst)?;
                 match inst {
-                    Inst::Phi { .. } | Inst::Removed => unreachable!(),
+                    Inst::Phi { .. } => unreachable!(),
+                    Inst::Removed => {
+                        return Err(RuntimeError::BadProgram(format!(
+                            "removed instruction %{} executed",
+                            id.0
+                        )))
+                    }
                     Inst::Alloca { size, .. } => {
                         let addr = self.mem.alloca(*size)?;
                         frame.values[id.0 as usize] = Some(RtVal::P(addr));
@@ -431,7 +554,17 @@ impl<'m> Interpreter<'m> {
                         frame.values[id.0 as usize] = r;
                     }
                     Inst::Print { fmt, args: pargs } => {
-                        let fmt = self.m.strings.resolve(*fmt).to_owned();
+                        let fmt = self
+                            .m
+                            .strings
+                            .try_resolve(*fmt)
+                            .ok_or_else(|| {
+                                RuntimeError::BadProgram(format!(
+                                    "string id {} out of range",
+                                    fmt.0
+                                ))
+                            })?
+                            .to_owned();
                         let mut vals = Vec::with_capacity(pargs.len());
                         for a in pargs {
                             vals.push(self.eval(&frame, *a)?);
@@ -505,19 +638,401 @@ impl<'m> Interpreter<'m> {
         }
     }
 
+    /// Executes `fid`'s pre-decoded body. Must be observationally
+    /// identical to [`Interpreter::exec_function`] — including the
+    /// point at which fuel runs out and the `ExecStats` left behind by
+    /// a failing run — which is what the batched-accounting refunds
+    /// below are for.
+    fn exec_function_decoded(
+        &mut self,
+        fid: FunctionId,
+        dfn: Rc<DecodedFunction>,
+        mut args: Vec<RtVal>,
+    ) -> Result<Option<RtVal>, RuntimeError> {
+        let frame_id = self.next_frame;
+        self.next_frame += 1;
+        let mut values: Vec<Option<RtVal>> = self.frame_pool.pop().unwrap_or_default();
+        values.clear();
+        values.resize(dfn.n_slots, None);
+        let mut block: u32 = 0;
+        let mut edge: u32 = NO_EDGE;
+        let mut phi_buf: Vec<RtVal> = Vec::new();
+        let msgs = &dfn.msgs;
+        loop {
+            let db = *dfn
+                .blocks
+                .get(block as usize)
+                .ok_or_else(|| RuntimeError::BadProgram(format!("missing block bb{block}")))?;
+
+            // Phase 1: parallel phi copies along the incoming edge.
+            // Order matters for error equivalence: copies evaluate
+            // first, then a bad id in the phi prefix faults, and only
+            // then is the batch charged.
+            let phis = &dfn.phi_slots[db.phis.0 as usize..db.phis.1 as usize];
+            if !phis.is_empty() {
+                if edge == NO_EDGE {
+                    return Err(RuntimeError::BadProgram("phi in entry block".into()));
+                }
+                let e = &dfn.edges[(db.edges.0 + edge) as usize];
+                let copies = &dfn.copies[e.copies.0 as usize..e.copies.1 as usize];
+                phi_buf.clear();
+                for (i, copy) in copies.iter().enumerate() {
+                    match copy {
+                        Some(o) => phi_buf.push(eval_opd(&values, &args, o, msgs)?),
+                        None => {
+                            return Err(RuntimeError::BadProgram(format!(
+                                "phi %{} lacks edge from bb{}",
+                                phis[i], e.pred
+                            )))
+                        }
+                    }
+                }
+            }
+            if let Some(mi) = db.scan_err {
+                return Err(RuntimeError::BadProgram(msgs[mi as usize].to_string()));
+            }
+            if !phis.is_empty() {
+                // Batched phi charge (phi cost is 0, so only fuel and
+                // the instruction counter move; on exhaustion the
+                // counter advances by the fuel actually consumed, as
+                // per-instruction charging would).
+                let n = phis.len() as u64;
+                let counted = n.min(self.fuel);
+                if self.in_device {
+                    self.stats.device_insts += counted;
+                } else {
+                    self.stats.host_insts += counted;
+                }
+                if self.fuel < n {
+                    self.fuel = 0;
+                    return Err(RuntimeError::FuelExhausted);
+                }
+                self.fuel -= n;
+                for (i, v) in phi_buf.drain(..).enumerate() {
+                    values[phis[i] as usize] = Some(v);
+                }
+            }
+
+            // Phase 2: the block body, segment by segment.
+            let mut start = db.ops.0 as usize;
+            let mut flow = Flow::Next;
+            'body: for seg in &dfn.segs[db.segs.0 as usize..db.segs.1 as usize] {
+                let end = seg.end as usize;
+                let n = (end - start) as u64;
+                if self.fuel >= n {
+                    // Fast path: charge the whole segment up front.
+                    self.fuel -= n;
+                    if self.in_device {
+                        self.stats.device_insts += n;
+                        self.stats.device_cycles += seg.cycles;
+                    } else {
+                        self.stats.host_insts += n;
+                        self.stats.host_cycles += seg.cycles;
+                    }
+                    self.stats.loads += seg.loads as u64;
+                    self.stats.stores += seg.stores as u64;
+                    for (k, op) in dfn.ops[start..end].iter().enumerate() {
+                        match self.step_op(op, &mut values, &args, fid, frame_id, msgs) {
+                            Ok(Flow::Next) => {}
+                            Ok(f) => {
+                                flow = f;
+                                break 'body;
+                            }
+                            Err(e) => {
+                                // Give back the charges for the ops
+                                // that never ran (including the
+                                // faulting op itself when the
+                                // tree-walk faults before charging).
+                                let j = start + k;
+                                let from = match op {
+                                    Op::Bad { charged: false, .. } => j,
+                                    _ => j + 1,
+                                };
+                                self.refund(&dfn, from, end);
+                                return Err(e);
+                            }
+                        }
+                    }
+                } else {
+                    // Not enough fuel for the batch: per-op accounting
+                    // so exhaustion strikes at the same instruction it
+                    // would in the tree-walk.
+                    for j in start..end {
+                        let op = &dfn.ops[j];
+                        if let Op::Bad {
+                            msg,
+                            charged: false,
+                        } = op
+                        {
+                            return Err(RuntimeError::BadProgram(msgs[*msg as usize].to_string()));
+                        }
+                        if self.fuel == 0 {
+                            return Err(RuntimeError::FuelExhausted);
+                        }
+                        self.fuel -= 1;
+                        let c = dfn.costs[j] as u64;
+                        if self.in_device {
+                            self.stats.device_insts += 1;
+                            self.stats.device_cycles += c;
+                        } else {
+                            self.stats.host_insts += 1;
+                            self.stats.host_cycles += c;
+                        }
+                        self.stats.loads += op.is_load() as u64;
+                        self.stats.stores += op.is_store() as u64;
+                        match self.step_op(op, &mut values, &args, fid, frame_id, msgs)? {
+                            Flow::Next => {}
+                            f => {
+                                flow = f;
+                                break 'body;
+                            }
+                        }
+                    }
+                }
+                start = end;
+            }
+            match flow {
+                Flow::Ret(v) => {
+                    // Failing paths drop these instead; a faulted run
+                    // is over, so pooling only the success path is fine.
+                    self.frame_pool.push(std::mem::take(&mut values));
+                    args.clear();
+                    self.arg_pool.push(std::mem::take(&mut args));
+                    return Ok(v);
+                }
+                Flow::Jump { block: b, edge: e } => {
+                    block = b;
+                    edge = e;
+                }
+                Flow::Next => {
+                    return Err(RuntimeError::BadProgram(format!(
+                        "block bb{block} of {} fell through without terminator",
+                        self.m.func(fid).name
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Reverses the pre-charged accounting for ops `from..end` (indices
+    /// into the function's op arena) of a segment whose execution
+    /// faulted partway through.
+    fn refund(&mut self, dfn: &DecodedFunction, from: usize, end: usize) {
+        let n = (end - from) as u64;
+        let mut cycles = 0u64;
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for j in from..end {
+            cycles += dfn.costs[j] as u64;
+            loads += dfn.ops[j].is_load() as u64;
+            stores += dfn.ops[j].is_store() as u64;
+        }
+        self.fuel += n;
+        if self.in_device {
+            self.stats.device_insts -= n;
+            self.stats.device_cycles -= cycles;
+        } else {
+            self.stats.host_insts -= n;
+            self.stats.host_cycles -= cycles;
+        }
+        self.stats.loads -= loads;
+        self.stats.stores -= stores;
+    }
+
+    /// Executes one decoded op. Operand evaluation order mirrors the
+    /// tree-walk arms exactly (it is observable through error
+    /// precedence).
+    ///
+    /// Inlined into both segment loops: an outlined version pays a call
+    /// plus a by-memory `Result<Flow>` return per executed op, which
+    /// measurably caps interpretation throughput.
+    #[inline(always)]
+    fn step_op(
+        &mut self,
+        op: &Op,
+        values: &mut [Option<RtVal>],
+        args: &[RtVal],
+        fid: FunctionId,
+        frame_id: u64,
+        msgs: &[Box<str>],
+    ) -> Result<Flow, RuntimeError> {
+        let jump_flow = |j: &Jump| -> Result<Flow, RuntimeError> {
+            match j {
+                Jump::To { block, edge } => Ok(Flow::Jump {
+                    block: *block,
+                    edge: *edge,
+                }),
+                Jump::Bad(mi) => Err(RuntimeError::BadProgram(msgs[*mi as usize].to_string())),
+            }
+        };
+        match op {
+            Op::Alloca { size, dst } => {
+                let addr = self.mem.alloca(*size)?;
+                values[*dst as usize] = Some(RtVal::P(addr));
+            }
+            Op::Load { ptr, ty, dst, id } => {
+                let addr = eval_opd_p(values, args, ptr, msgs)?;
+                if let Some(t) = &mut self.trace {
+                    t.push(AccessEvent {
+                        frame: frame_id,
+                        func: fid,
+                        inst: *id,
+                        addr,
+                        size: ty.size(),
+                        is_store: false,
+                    });
+                }
+                let v = self.load_typed(addr, *ty)?;
+                values[*dst as usize] = Some(v);
+            }
+            Op::Store { ptr, val, ty, id } => {
+                let addr = eval_opd_p(values, args, ptr, msgs)?;
+                if let Some(t) = &mut self.trace {
+                    t.push(AccessEvent {
+                        frame: frame_id,
+                        func: fid,
+                        inst: *id,
+                        addr,
+                        size: ty.size(),
+                        is_store: true,
+                    });
+                }
+                let mut scratch = RtVal::I(0);
+                let v = opd_ref(values, args, val, msgs, &mut scratch)?;
+                self.store_typed(addr, *ty, v)?;
+            }
+            Op::GepConst { base, off, dst } => {
+                let b = eval_opd_p(values, args, base, msgs)?;
+                values[*dst as usize] = Some(RtVal::P((b as i64).wrapping_add(*off) as u64));
+            }
+            Op::GepScaled {
+                base,
+                index,
+                scale,
+                add,
+                dst,
+            } => {
+                let b = eval_opd_p(values, args, base, msgs)?;
+                let i = eval_opd_i(values, args, index, msgs)?;
+                let off = i.wrapping_mul(*scale).wrapping_add(*add);
+                values[*dst as usize] = Some(RtVal::P((b as i64).wrapping_add(off) as u64));
+            }
+            Op::Bin {
+                op: bop,
+                ty,
+                lhs,
+                rhs,
+                dst,
+            } => {
+                let (mut sa, mut sb) = (RtVal::I(0), RtVal::I(0));
+                let a = opd_ref(values, args, lhs, msgs, &mut sa)?;
+                let b = opd_ref(values, args, rhs, msgs, &mut sb)?;
+                let r = exec_bin(*bop, *ty, a, b)?;
+                values[*dst as usize] = Some(r);
+            }
+            Op::Cmp {
+                pred,
+                lhs,
+                rhs,
+                dst,
+            } => {
+                let (mut sa, mut sb) = (RtVal::I(0), RtVal::I(0));
+                let a = opd_ref(values, args, lhs, msgs, &mut sa)?;
+                let b = opd_ref(values, args, rhs, msgs, &mut sb)?;
+                let r = RtVal::I(exec_cmp(*pred, a, b)? as i64);
+                values[*dst as usize] = Some(r);
+            }
+            Op::Select { cond, t, f, dst } => {
+                let c = eval_opd_i(values, args, cond, msgs)?;
+                let v = if c != 0 {
+                    eval_opd(values, args, t, msgs)?
+                } else {
+                    eval_opd(values, args, f, msgs)?
+                };
+                values[*dst as usize] = Some(v);
+            }
+            Op::Cast { kind, val, to, dst } => {
+                let mut scratch = RtVal::I(0);
+                let v = opd_ref(values, args, val, msgs, &mut scratch)?;
+                let r = exec_cast(*kind, v, *to)?;
+                values[*dst as usize] = Some(r);
+            }
+            Op::Call {
+                callee,
+                kind,
+                args: cargs,
+                dst,
+            } => {
+                let mut vals = self.arg_pool.pop().unwrap_or_default();
+                vals.clear();
+                vals.reserve(cargs.len());
+                for a in cargs.iter() {
+                    vals.push(eval_opd(values, args, a, msgs)?);
+                }
+                let r = self.exec_call(*callee, *kind, vals)?;
+                values[*dst as usize] = r;
+            }
+            Op::Print { fmt, args: pargs } => {
+                let mut vals = self.arg_pool.pop().unwrap_or_default();
+                vals.clear();
+                vals.reserve(pargs.len());
+                for a in pargs.iter() {
+                    vals.push(eval_opd(values, args, a, msgs)?);
+                }
+                self.exec_print(fmt, &vals);
+                vals.clear();
+                self.arg_pool.push(vals);
+            }
+            Op::Memcpy { dst, src, bytes } => {
+                let d = eval_opd_p(values, args, dst, msgs)?;
+                let s = eval_opd_p(values, args, src, msgs)?;
+                let n = eval_opd_i(values, args, bytes, msgs)?;
+                if n < 0 {
+                    return Err(RuntimeError::BadProgram("negative memcpy size".into()));
+                }
+                let extra = n as u64 / 16;
+                if self.in_device {
+                    self.stats.device_cycles += extra;
+                } else {
+                    self.stats.host_cycles += extra;
+                }
+                self.mem.copy(d, s, n as u64)?;
+            }
+            Op::Ret { val } => {
+                return Ok(Flow::Ret(match val {
+                    Some(o) => Some(eval_opd(values, args, o, msgs)?),
+                    None => None,
+                }))
+            }
+            Op::Br { jump } => return jump_flow(jump),
+            Op::CondBr { cond, then_, else_ } => {
+                let c = eval_opd_i(values, args, cond, msgs)?;
+                return jump_flow(if c != 0 { then_ } else { else_ });
+            }
+            Op::Bad { msg, .. } => {
+                return Err(RuntimeError::BadProgram(msgs[*msg as usize].to_string()));
+            }
+        }
+        Ok(Flow::Next)
+    }
+
     fn exec_call(
         &mut self,
         callee: FuncRef,
         kind: CallKind,
-        args: Vec<RtVal>,
+        mut args: Vec<RtVal>,
     ) -> Result<Option<RtVal>, RuntimeError> {
         match callee {
             FuncRef::External(sym) => {
-                let name = self.m.strings.resolve(sym).to_owned();
+                // The interner borrow lives as long as the module, so no
+                // per-call name allocation is needed.
+                let name = self.m.strings.try_resolve(sym).ok_or_else(|| {
+                    RuntimeError::BadProgram(format!("string id {} out of range", sym.0))
+                })?;
                 // Math-library routines dominate real HPC kernels;
                 // charge them realistic latencies so optimizations that
                 // remove a load here and there do not dwarf the math.
-                let extra = match name.as_str() {
+                let extra = match name {
                     "sqrt" => 20,
                     "exp" | "log" | "sin" | "cos" => 40,
                     "pow" => 60,
@@ -528,15 +1043,19 @@ impl<'m> Interpreter<'m> {
                 } else {
                     self.stats.host_cycles += extra;
                 }
-                if name == "clock" {
+                let r = if name == "clock" {
                     // Reads the simulated cycle counter of the current
                     // target — the analogue of a benchmark's timer call.
                     // Its value legitimately differs between differently
                     // optimized executables, which is exactly why the
                     // verification harness needs ignore patterns.
-                    return Ok(Some(RtVal::I(self.cur_cycles() as i64)));
-                }
-                exec_external(&name, &args)
+                    Ok(Some(RtVal::I(self.cur_cycles() as i64)))
+                } else {
+                    exec_external(name, &args)
+                };
+                args.clear();
+                self.arg_pool.push(args);
+                r
             }
             FuncRef::Internal(fid) => match kind {
                 CallKind::Plain => self.call(fid, args),
@@ -547,7 +1066,9 @@ impl<'m> Interpreter<'m> {
                     let mut running = 0u64;
                     for tid in 0..threads {
                         let before = self.cur_cycles();
-                        let mut targs = Vec::with_capacity(args.len() + 1);
+                        let mut targs = self.arg_pool.pop().unwrap_or_default();
+                        targs.clear();
+                        targs.reserve(args.len() + 1);
                         targs.push(RtVal::I(tid as i64));
                         targs.extend(args.iter().cloned());
                         self.call(fid, targs)?;
@@ -561,6 +1082,8 @@ impl<'m> Interpreter<'m> {
                     debug_assert_eq!(serial, running);
                     let parallel = max_thread + THREAD_OVERHEAD * threads as u64;
                     self.set_cur_cycles(base_cycles + parallel.min(serial.max(1)));
+                    args.clear();
+                    self.arg_pool.push(args);
                     Ok(None)
                 }
                 CallKind::KernelLaunch { items } => {
@@ -569,7 +1092,9 @@ impl<'m> Interpreter<'m> {
                     let mut max_item = 0u64;
                     for gid in 0..items {
                         let b = self.stats.device_cycles;
-                        let mut targs = Vec::with_capacity(args.len() + 1);
+                        let mut targs = self.arg_pool.pop().unwrap_or_default();
+                        targs.clear();
+                        targs.reserve(args.len() + 1);
                         targs.push(RtVal::I(gid as i64));
                         targs.extend(args.iter().cloned());
                         self.call(fid, targs)?;
@@ -582,6 +1107,8 @@ impl<'m> Interpreter<'m> {
                     let lanes = DEVICE_PARALLELISM.min(items.max(1) as u64);
                     let parallel = LAUNCH_OVERHEAD + max_item.max(serial / lanes);
                     self.stats.device_cycles = before + parallel;
+                    args.clear();
+                    self.arg_pool.push(args);
                     Ok(None)
                 }
             },
@@ -736,6 +1263,118 @@ impl<'m> Interpreter<'m> {
             },
         }
         Ok(())
+    }
+}
+
+/// Evaluates a pre-decoded operand against the current frame. Slot
+/// indices are validated at decode time, so indexing is safe; an empty
+/// slot is an undefined read exactly as in the tree-walk.
+#[inline(always)]
+fn eval_opd(
+    values: &[Option<RtVal>],
+    args: &[RtVal],
+    o: &Opd,
+    msgs: &[Box<str>],
+) -> Result<RtVal, RuntimeError> {
+    match o {
+        Opd::ImmI(x) => Ok(RtVal::I(*x)),
+        Opd::ImmF(x) => Ok(RtVal::F(*x)),
+        Opd::ImmP(x) => Ok(RtVal::P(*x)),
+        Opd::Slot(s) => values[*s as usize]
+            .clone()
+            .ok_or_else(|| RuntimeError::UndefRead(format!("%{s}"))),
+        Opd::Arg(i) => args
+            .get(*i as usize)
+            .cloned()
+            .ok_or_else(|| RuntimeError::BadProgram(format!("missing arg {i}"))),
+        Opd::Undef => Err(RuntimeError::UndefRead("undef".into())),
+        Opd::Bad(mi) => Err(RuntimeError::BadProgram(msgs[*mi as usize].to_string())),
+    }
+}
+
+/// Evaluates an operand to a reference, avoiding the clone (and the
+/// drop of the temporary) that [`eval_opd`] pays for slot and argument
+/// reads. Immediates materialize into `scratch`. Used by ops that only
+/// inspect their operands (`Bin`, `Cmp`, `Cast`, the stored value):
+/// error text and precedence are identical to [`eval_opd`].
+#[inline(always)]
+fn opd_ref<'a>(
+    values: &'a [Option<RtVal>],
+    args: &'a [RtVal],
+    o: &Opd,
+    msgs: &[Box<str>],
+    scratch: &'a mut RtVal,
+) -> Result<&'a RtVal, RuntimeError> {
+    match o {
+        Opd::ImmI(x) => {
+            *scratch = RtVal::I(*x);
+            Ok(scratch)
+        }
+        Opd::ImmF(x) => {
+            *scratch = RtVal::F(*x);
+            Ok(scratch)
+        }
+        Opd::ImmP(x) => {
+            *scratch = RtVal::P(*x);
+            Ok(scratch)
+        }
+        Opd::Slot(s) => values[*s as usize]
+            .as_ref()
+            .ok_or_else(|| RuntimeError::UndefRead(format!("%{s}"))),
+        Opd::Arg(i) => args
+            .get(*i as usize)
+            .ok_or_else(|| RuntimeError::BadProgram(format!("missing arg {i}"))),
+        Opd::Undef => Err(RuntimeError::UndefRead("undef".into())),
+        Opd::Bad(mi) => Err(RuntimeError::BadProgram(msgs[*mi as usize].to_string())),
+    }
+}
+
+/// Pointer-typed operand evaluation that skips the `RtVal` clone for
+/// the hot slot/immediate cases. Error text and precedence are
+/// identical to `eval_opd(..)?.as_p()` (undef-read first, then the type
+/// mismatch), which is what the tree-walk produces.
+#[inline(always)]
+fn eval_opd_p(
+    values: &[Option<RtVal>],
+    args: &[RtVal],
+    o: &Opd,
+    msgs: &[Box<str>],
+) -> Result<u64, RuntimeError> {
+    match o {
+        Opd::ImmP(x) => Ok(*x),
+        Opd::Slot(s) => match &values[*s as usize] {
+            Some(RtVal::P(p)) => Ok(*p),
+            Some(other) => Err(RuntimeError::UndefRead(format!(
+                "expected pointer, got {other:?}"
+            ))),
+            None => Err(RuntimeError::UndefRead(format!("%{s}"))),
+        },
+        _ => eval_opd(values, args, o, msgs)?
+            .as_p()
+            .map_err(RuntimeError::UndefRead),
+    }
+}
+
+/// Integer-typed analogue of [`eval_opd_p`].
+#[inline(always)]
+fn eval_opd_i(
+    values: &[Option<RtVal>],
+    args: &[RtVal],
+    o: &Opd,
+    msgs: &[Box<str>],
+) -> Result<i64, RuntimeError> {
+    match o {
+        Opd::ImmI(x) => Ok(*x),
+        Opd::Slot(s) => match &values[*s as usize] {
+            Some(RtVal::I(x)) => Ok(*x),
+            Some(other) => Err(RuntimeError::UndefRead(format!(
+                "expected int, got {other:?}"
+            ))),
+            None => Err(RuntimeError::UndefRead(format!("%{s}"))),
+        },
+        _ => eval_opd(values, args, o, msgs)?
+            .as_i()
+            .map_err(RuntimeError::UndefRead),
     }
 }
 

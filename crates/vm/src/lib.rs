@@ -17,11 +17,15 @@
 //! a wrong optimistic no-alias answer must change the printed output
 //! *reproducibly* so the ORAQL driver's bisection has a reliable signal.
 
+pub mod decode;
 pub mod interp;
 pub mod machine;
 pub mod memory;
 pub mod rtval;
 
-pub use interp::{AccessEvent, ExecStats, Interpreter, RunOutcome, RuntimeError};
-pub use machine::{lower_function, MachineSummary};
+pub use decode::DecodedFunction;
+pub use interp::{
+    AccessEvent, ExecStats, InterpMode, Interpreter, RunOutcome, RuntimeError, DEFAULT_FUEL,
+};
+pub use machine::{lower_function, LowerError, MachineSummary};
 pub use rtval::RtVal;

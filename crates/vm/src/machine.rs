@@ -39,6 +39,36 @@ pub struct MachineSummary {
     pub spills: u32,
 }
 
+/// Why lowering a function failed. Lowering runs on every probe
+/// variant, including adversarially miscompiled ones, so structural
+/// problems must surface as errors rather than panics that would kill
+/// the driver's worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// Structurally malformed IR (out-of-range instruction or block
+    /// ids).
+    BadIr(String),
+    /// Linear scan lost track of the farthest-end interval while
+    /// selecting a spill candidate (an allocator invariant violation).
+    SpillSelection {
+        /// Function being lowered.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::BadIr(s) => write!(f, "malformed IR: {s}"),
+            LowerError::SpillSelection { name } => {
+                write!(f, "spill selection lost the farthest interval in {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
 /// Expansion factor of one IR instruction into machine instructions.
 fn expansion(inst: &Inst) -> u64 {
     match inst {
@@ -57,12 +87,64 @@ fn expansion(inst: &Inst) -> u64 {
 ///
 /// The register budget defaults by target ([`HOST_REGS`] /
 /// [`DEVICE_REGS`]); pass `Some(k)` to override (used by tests).
-pub fn lower_function(m: &Module, fid: FunctionId, regs: Option<u32>) -> MachineSummary {
-    let f = m.func(fid);
+/// Malformed IR yields a [`LowerError`] instead of panicking.
+pub fn lower_function(
+    m: &Module,
+    fid: FunctionId,
+    regs: Option<u32>,
+) -> Result<MachineSummary, LowerError> {
+    let f = m
+        .get_func(fid)
+        .ok_or_else(|| LowerError::BadIr(format!("missing function f{}", fid.0)))?;
     let k = regs.unwrap_or(match f.target {
         Target::Host => HOST_REGS,
         Target::Device => DEVICE_REGS,
     });
+
+    // 0. Validate every id the lowering will index with, so the passes
+    //    below can use plain indexing on a known-consistent function.
+    for (b, block) in f.blocks.iter().enumerate() {
+        for &id in &block.insts {
+            let inst = f.get_inst(id).ok_or_else(|| {
+                LowerError::BadIr(format!(
+                    "instruction id %{} out of range in {} bb{}",
+                    id.0, f.name, b
+                ))
+            })?;
+            if let Inst::Phi { incoming, .. } = inst {
+                for (bb, _) in incoming {
+                    if bb.0 as usize >= f.blocks.len() {
+                        return Err(LowerError::BadIr(format!(
+                            "phi %{} of {} references missing block bb{}",
+                            id.0, f.name, bb.0
+                        )));
+                    }
+                }
+            }
+            let mut operand_err = None;
+            inst.for_each_operand(|v| {
+                if operand_err.is_some() {
+                    return;
+                }
+                match v {
+                    Value::Inst(i) if i.0 as usize >= f.insts.len() => {
+                        operand_err = Some(format!(
+                            "instruction id %{} out of range in {} bb{}",
+                            i.0, f.name, b
+                        ));
+                    }
+                    Value::Arg(a) if a as usize >= f.params.len() => {
+                        operand_err =
+                            Some(format!("argument {} out of range in {} bb{}", a, f.name, b));
+                    }
+                    _ => {}
+                }
+            });
+            if let Some(msg) = operand_err {
+                return Err(LowerError::BadIr(msg));
+            }
+        }
+    }
 
     // 1. Linearize: position of every live instruction in block order.
     let mut pos_of = vec![usize::MAX; f.insts.len()];
@@ -140,8 +222,16 @@ pub fn lower_function(m: &Module, fid: FunctionId, regs: Option<u32>) -> Machine
             let far = active.iter().copied().max().unwrap_or(e).max(e);
             spills += 1;
             if far != e {
-                // Evict the farthest and take its place.
-                let idx = active.iter().position(|&ae| ae == far).unwrap();
+                // Evict the farthest and take its place. `far` was
+                // taken from `active` (it differs from `e`, so the
+                // max() chain picked an active end); its absence means
+                // the allocator state is corrupt, which must be an
+                // error, not a panic.
+                let idx = active.iter().position(|&ae| ae == far).ok_or_else(|| {
+                    LowerError::SpillSelection {
+                        name: f.name.clone(),
+                    }
+                })?;
                 active.remove(idx);
                 active.push(e);
             }
@@ -169,20 +259,23 @@ pub fn lower_function(m: &Module, fid: FunctionId, regs: Option<u32>) -> Machine
     }
     insts += 2 * spills as u64;
 
-    MachineSummary {
+    Ok(MachineSummary {
         name: f.name.clone(),
         registers: peak.min(k),
         stack_bytes: frame,
         machine_insts: insts,
         spills,
-    }
+    })
 }
 
 /// Lowers every function of a target and sums machine instructions —
 /// the "asm printer: # machine instructions generated" statistic.
+/// Functions that fail to lower contribute nothing (their miscompile
+/// surfaces through the runtime verification channel instead).
 pub fn module_machine_insts(m: &Module, target: Target) -> u64 {
     m.funcs_for_target(target)
-        .map(|fid| lower_function(m, fid, None).machine_insts)
+        .filter_map(|fid| lower_function(m, fid, None).ok())
+        .map(|s| s.machine_insts)
         .sum()
 }
 
@@ -190,7 +283,8 @@ pub fn module_machine_insts(m: &Module, target: Target) -> u64 {
 /// allocation: # register spills inserted" statistic.
 pub fn module_spills(m: &Module, target: Target) -> u64 {
     m.funcs_for_target(target)
-        .map(|fid| lower_function(m, fid, None).spills as u64)
+        .filter_map(|fid| lower_function(m, fid, None).ok())
+        .map(|s| s.spills as u64)
         .sum()
 }
 
@@ -210,7 +304,7 @@ mod tests {
         b.store(Ty::F64, y, p);
         b.ret(None);
         let id = b.finish();
-        let s = lower_function(&m, id, None);
+        let s = lower_function(&m, id, None).unwrap();
         assert!(s.registers <= 4, "{s:?}");
         assert_eq!(s.spills, 0);
         assert_eq!(s.stack_bytes, 0);
@@ -236,7 +330,7 @@ mod tests {
         }
         b.ret(Some(acc));
         let id = b.finish();
-        let s = lower_function(&m, id, Some(8));
+        let s = lower_function(&m, id, Some(8)).unwrap();
         assert!(s.spills > 0, "{s:?}");
         assert_eq!(s.registers, 8);
         assert!(s.stack_bytes >= 8 * s.spills as u64);
@@ -249,7 +343,7 @@ mod tests {
         b.alloca(100, "buf"); // rounds to 112
         b.ret(None);
         let id = b.finish();
-        let s = lower_function(&m, id, None);
+        let s = lower_function(&m, id, None).unwrap();
         assert_eq!(s.stack_bytes, 112);
     }
 
@@ -263,13 +357,13 @@ mod tests {
         let s = b.add(l1, l2);
         b.ret(Some(s));
         let id = b.finish();
-        let before = lower_function(&m, id, None).machine_insts;
+        let before = lower_function(&m, id, None).unwrap().machine_insts;
         // Simulate GVN: replace l2 with l1 and delete the second load.
         let f = m.func_mut(id);
         let l2_id = f.blocks[0].insts[1];
         f.replace_all_uses(Value::Inst(l2_id), l1);
         f.remove_inst(l2_id);
-        let after = lower_function(&m, id, None).machine_insts;
+        let after = lower_function(&m, id, None).unwrap().machine_insts;
         assert_eq!(after, before - 1);
     }
 
@@ -281,7 +375,7 @@ mod tests {
         b.ret(None);
         let id = b.finish();
         // Just exercises the device path.
-        let s = lower_function(&m, id, None);
+        let s = lower_function(&m, id, None).unwrap();
         assert_eq!(s.spills, 0);
     }
 }

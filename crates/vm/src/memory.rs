@@ -35,6 +35,22 @@ impl std::fmt::Display for MemError {
     }
 }
 
+/// Base address of each global of `m`, parallel to `Module::globals`
+/// (each global 16-byte aligned). This layout is a pure function of the
+/// module, which is what lets the pre-decoding stage resolve
+/// `Value::Global` operands to immediate addresses once instead of per
+/// execution.
+pub fn global_layout(m: &Module) -> Vec<u64> {
+    let mut bases = Vec::with_capacity(m.globals.len());
+    let mut off = 0u64;
+    for g in &m.globals {
+        off = (off + 15) & !15;
+        bases.push(GLOBAL_BASE + off);
+        off += g.size;
+    }
+    bases
+}
+
 /// The VM's address space.
 pub struct Memory {
     globals: Vec<u8>,
@@ -47,15 +63,10 @@ pub struct Memory {
 impl Memory {
     /// Lays out all globals of `m` and initializes them.
     pub fn new(m: &Module) -> Self {
+        let global_bases = global_layout(m);
         let mut globals = Vec::new();
-        let mut global_bases = Vec::with_capacity(m.globals.len());
-        for g in &m.globals {
-            // 16-byte align each global.
-            while globals.len() % 16 != 0 {
-                globals.push(0);
-            }
-            global_bases.push(GLOBAL_BASE + globals.len() as u64);
-            let start = globals.len();
+        for (g, &base) in m.globals.iter().zip(&global_bases) {
+            let start = (base - GLOBAL_BASE) as usize;
             globals.resize(start + g.size as usize, 0);
             let n = g.init.len().min(g.size as usize);
             globals[start..start + n].copy_from_slice(&g.init[..n]);
@@ -69,8 +80,22 @@ impl Memory {
     }
 
     /// Base address of global `i`.
+    ///
+    /// Panics on out-of-range indices; the interpreter goes through
+    /// [`Memory::try_global_base`] so malformed IR traps instead.
     pub fn global_base(&self, i: usize) -> u64 {
         self.global_bases[i]
+    }
+
+    /// Checked variant of [`Memory::global_base`].
+    pub fn try_global_base(&self, i: usize) -> Option<u64> {
+        self.global_bases.get(i).copied()
+    }
+
+    /// All global base addresses, parallel to `Module::globals` (used
+    /// by the pre-decoding stage to fold globals into immediates).
+    pub fn global_bases(&self) -> &[u64] {
+        &self.global_bases
     }
 
     /// Current stack pointer (save before a call, restore after).

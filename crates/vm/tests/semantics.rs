@@ -132,7 +132,7 @@ fn machine_lowering_handles_loops_and_phis() {
     });
     b.ret(None);
     let id = b.finish();
-    let s = lower_function(&m, id, None);
+    let s = lower_function(&m, id, None).unwrap();
     assert!(s.machine_insts > 6);
     assert!(s.registers >= 2);
     assert_eq!(s.spills, 0);

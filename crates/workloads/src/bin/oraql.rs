@@ -3,7 +3,7 @@
 //! ```text
 //! oraql --list
 //! oraql --benchmark <name> [--strategy chunked|frequency] [--dump]
-//!       [--jobs N] [--trace <file.jsonl>]
+//!       [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]
 //!       [--emit-sequence <file>]            # save the final decisions
 //! oraql --benchmark <name> --replay <seq>   # compile+run a saved
 //!                                           # sequence (or @file)
@@ -33,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: oraql --list\n       \
          oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n                \
-         [--jobs N] [--trace <file.jsonl>]\n       \
+         [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]\n       \
          oraql --config <file>\n       \
          oraql --all [--jobs N]"
     );
@@ -42,7 +42,7 @@ fn usage() -> ! {
 
 /// Compiles and runs one benchmark with a fixed decision sequence (the
 /// paper's "program compiled with (almost) perfect alias information").
-fn replay(name: &str, seq_arg: &str) -> i32 {
+fn replay(name: &str, seq_arg: &str, interp: oraql_vm::InterpMode) -> i32 {
     let Some(case) = workloads::find_case(name) else {
         eprintln!("unknown benchmark {name:?}; try --list");
         return 2;
@@ -59,7 +59,9 @@ fn replay(name: &str, seq_arg: &str) -> i32 {
         &oraql::compile::CompileOptions::with_oraql(decisions, case.scope.clone()),
     );
     let main = compiled.module.find_func("main").expect("main");
-    let mut interp = oraql_vm::Interpreter::new(&compiled.module).with_fuel(case.fuel);
+    let mut interp = oraql_vm::Interpreter::new(&compiled.module)
+        .with_fuel(case.fuel)
+        .with_mode(interp);
     match interp.run(main, vec![]) {
         Ok(_) => {
             print!("{}", interp.stdout());
@@ -289,6 +291,14 @@ fn main() {
                 i += 1;
                 trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--interp" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                opts.interp = oraql_vm::InterpMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("bad --interp {v:?}: expected decoded|tree");
+                    std::process::exit(2)
+                });
+            }
             "--config" | "-c" => {
                 i += 1;
                 let path = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -298,6 +308,7 @@ fn main() {
                 });
                 opts.strategy = cfg.strategy;
                 opts.max_tests = cfg.max_tests;
+                opts.interp = cfg.interp;
                 benchmark = Some(cfg.benchmark.clone());
                 dump |= cfg.dump;
                 config = Some(cfg);
@@ -316,7 +327,7 @@ fn main() {
     opts.trace = sink.clone();
 
     let code = if let (Some(name), Some(seq)) = (&benchmark, &replay_seq) {
-        replay(name, seq)
+        replay(name, seq, opts.interp)
     } else if all {
         run_all(&opts, dump, config.as_ref())
     } else if let Some(name) = benchmark {

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Probe-latency microbenchmark for the two interpreter modes.
+#
+# Runs every registered workload configuration under both the tree-walk
+# reference and the pre-decoded executor and writes per-case latency,
+# instructions-per-second, the per-case speedup geomean, and the
+# instruction-weighted total speedup as JSON. Output path defaults to
+# BENCH_interp.json in the repo root; override with ORAQL_BENCH_OUT.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Cargo runs benches with the package directory as cwd, so anchor the
+# default output at the repo root via an absolute path.
+ORAQL_BENCH_OUT="${ORAQL_BENCH_OUT:-$(pwd)/BENCH_interp.json}" \
+    cargo bench --offline -p oraql-bench --bench interp_latency

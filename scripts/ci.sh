@@ -6,5 +6,9 @@ set -eux
 
 cargo build --release --offline
 cargo test -q --offline
+# The differential suite is the equivalence gate for the two interpreter
+# modes (tree-walk reference vs. pre-decoded executor); run it by name so
+# a filtered `cargo test` invocation can never silently skip it.
+cargo test -q --offline --test differential_interp
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings

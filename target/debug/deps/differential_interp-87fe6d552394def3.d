@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/differential_interp-87fe6d552394def3.d: tests/differential_interp.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_interp-87fe6d552394def3.rmeta: tests/differential_interp.rs tests/common/mod.rs Cargo.toml
+
+tests/differential_interp.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/differential_interp-9419b8af717a6efa.d: tests/differential_interp.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/differential_interp-9419b8af717a6efa: tests/differential_interp.rs tests/common/mod.rs
+
+tests/differential_interp.rs:
+tests/common/mod.rs:

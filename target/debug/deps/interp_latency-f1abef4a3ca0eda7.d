@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp_latency-f1abef4a3ca0eda7.d: crates/bench/benches/interp_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp_latency-f1abef4a3ca0eda7.rmeta: crates/bench/benches/interp_latency.rs Cargo.toml
+
+crates/bench/benches/interp_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

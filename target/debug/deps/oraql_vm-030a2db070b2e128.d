@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/oraql_vm-030a2db070b2e128.d: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/debug/deps/oraql_vm-030a2db070b2e128.d: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
-/root/repo/target/debug/deps/oraql_vm-030a2db070b2e128: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/debug/deps/oraql_vm-030a2db070b2e128: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
 crates/vm/src/lib.rs:
+crates/vm/src/decode.rs:
 crates/vm/src/interp.rs:
 crates/vm/src/machine.rs:
 crates/vm/src/memory.rs:

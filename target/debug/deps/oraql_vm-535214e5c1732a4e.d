@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/oraql_vm-535214e5c1732a4e.d: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/debug/deps/oraql_vm-535214e5c1732a4e.d: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
-/root/repo/target/debug/deps/liboraql_vm-535214e5c1732a4e.rlib: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/debug/deps/liboraql_vm-535214e5c1732a4e.rlib: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
-/root/repo/target/debug/deps/liboraql_vm-535214e5c1732a4e.rmeta: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/debug/deps/liboraql_vm-535214e5c1732a4e.rmeta: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
 crates/vm/src/lib.rs:
+crates/vm/src/decode.rs:
 crates/vm/src/interp.rs:
 crates/vm/src/machine.rs:
 crates/vm/src/memory.rs:

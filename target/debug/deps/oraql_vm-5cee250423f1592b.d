@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/oraql_vm-5cee250423f1592b.d: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
+/root/repo/target/debug/deps/oraql_vm-5cee250423f1592b.d: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
 
-/root/repo/target/debug/deps/liboraql_vm-5cee250423f1592b.rmeta: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
+/root/repo/target/debug/deps/liboraql_vm-5cee250423f1592b.rmeta: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
 
 crates/vm/src/lib.rs:
+crates/vm/src/decode.rs:
 crates/vm/src/interp.rs:
 crates/vm/src/machine.rs:
 crates/vm/src/memory.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/oraql_vm-cfc9c14041004593.d: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
+/root/repo/target/debug/deps/oraql_vm-cfc9c14041004593.d: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
 
-/root/repo/target/debug/deps/liboraql_vm-cfc9c14041004593.rmeta: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
+/root/repo/target/debug/deps/liboraql_vm-cfc9c14041004593.rmeta: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs Cargo.toml
 
 crates/vm/src/lib.rs:
+crates/vm/src/decode.rs:
 crates/vm/src/interp.rs:
 crates/vm/src/machine.rs:
 crates/vm/src/memory.rs:

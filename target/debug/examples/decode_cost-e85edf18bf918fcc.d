@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/decode_cost-e85edf18bf918fcc.d: crates/bench/examples/decode_cost.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdecode_cost-e85edf18bf918fcc.rmeta: crates/bench/examples/decode_cost.rs Cargo.toml
+
+crates/bench/examples/decode_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ips_probe-f1bc3142ea737f39.d: crates/bench/examples/ips_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libips_probe-f1bc3142ea737f39.rmeta: crates/bench/examples/ips_probe.rs Cargo.toml
+
+crates/bench/examples/ips_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

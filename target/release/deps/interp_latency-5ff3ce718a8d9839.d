@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interp_latency-5ff3ce718a8d9839.d: crates/bench/benches/interp_latency.rs
+
+/root/repo/target/release/deps/interp_latency-5ff3ce718a8d9839: crates/bench/benches/interp_latency.rs
+
+crates/bench/benches/interp_latency.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/oraql_vm-a4d07aa0c9311583.d: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/release/deps/oraql_vm-a4d07aa0c9311583.d: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
-/root/repo/target/release/deps/liboraql_vm-a4d07aa0c9311583.rlib: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/release/deps/liboraql_vm-a4d07aa0c9311583.rlib: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
-/root/repo/target/release/deps/liboraql_vm-a4d07aa0c9311583.rmeta: crates/vm/src/lib.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
+/root/repo/target/release/deps/liboraql_vm-a4d07aa0c9311583.rmeta: crates/vm/src/lib.rs crates/vm/src/decode.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/rtval.rs
 
 crates/vm/src/lib.rs:
+crates/vm/src/decode.rs:
 crates/vm/src/interp.rs:
 crates/vm/src/machine.rs:
 crates/vm/src/memory.rs:

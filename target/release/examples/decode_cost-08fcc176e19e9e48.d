@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/decode_cost-08fcc176e19e9e48.d: crates/bench/examples/decode_cost.rs
+
+/root/repo/target/release/examples/decode_cost-08fcc176e19e9e48: crates/bench/examples/decode_cost.rs
+
+crates/bench/examples/decode_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fcount-e3229743839aabe4.d: crates/bench/examples/fcount.rs
+
+/root/repo/target/release/examples/fcount-e3229743839aabe4: crates/bench/examples/fcount.rs
+
+crates/bench/examples/fcount.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ips_probe-5f22d919354185f8.d: crates/bench/examples/ips_probe.rs
+
+/root/repo/target/release/examples/ips_probe-5f22d919354185f8: crates/bench/examples/ips_probe.rs
+
+crates/bench/examples/ips_probe.rs:
