@@ -5,7 +5,9 @@
 //! vector instructions, machine instructions, register spills).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use oraql_bench::{print_table, run_all_configs};
+use oraql::report::render_trace_summary;
+use oraql::trace::read_trace;
+use oraql_bench::{print_table, run_all_configs, trace_artifact};
 
 /// The statistics the paper's Fig. 6 selects (pass, stat, short label).
 const SELECTED: &[(&str, &str)] = &[
@@ -56,6 +58,13 @@ fn print_fig6() {
         &["Benchmark", "Pass", "Property", "Original", "ORAQL", "Δ"],
         &rows,
     );
+
+    // The probing effort behind those numbers, recomputed from the
+    // same JSONL probe-trace artifact the Fig. 4 target consumes.
+    let path = trace_artifact();
+    let trace = read_trace(&path).expect("read trace artifact");
+    println!("\n### Probe trace summary (from {})\n", path.display());
+    print!("{}", render_trace_summary(&trace));
 }
 
 fn bench(c: &mut Criterion) {

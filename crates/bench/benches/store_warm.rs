@@ -1,0 +1,105 @@
+//! Cold-vs-warm suite benchmark for the persistent verdict store.
+//!
+//! Runs every registered workload configuration twice against one
+//! `oraql-store` journal: a *cold* pass over an empty store (every
+//! probe compiles and executes, populating the journal) and a *warm*
+//! pass over the reopened journal (every probe answered from the
+//! persistent decisions-digest tier without compiling). Per-case and
+//! total wall clock, the warm/cold ratio, and the store's own stats
+//! are written as JSON to `$ORAQL_BENCH_OUT` (default
+//! `BENCH_store.json` in the working directory).
+//!
+//! Not a criterion bench: the JSON artifact is the point, and each
+//! pass is a full driver run, not a microbenchmark.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oraql::{Driver, DriverOptions, Store};
+
+fn run_pass(store: &Arc<Store>, label: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for info in &oraql_workloads::CASE_INFOS {
+        let case = oraql_workloads::find_case(info.name).expect("registered");
+        let t = Instant::now();
+        let r = Driver::run(
+            &case,
+            DriverOptions {
+                store: Some(Arc::clone(store)),
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if label == "warm" {
+            assert_eq!(
+                r.effort.tests_run, 0,
+                "{}: warm pass compiled probes: {:?}",
+                info.name, r.effort
+            );
+        }
+        rows.push((info.name.to_owned(), ms));
+    }
+    rows
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("oraql_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let journal = dir.join("verdicts.journal");
+
+    let store = Arc::new(Store::open(&journal).expect("open cold store"));
+    let cold = run_pass(&store, "cold");
+    store.sync().expect("sync journal");
+    let cold_stats = store.stats();
+    let journal_bytes = std::fs::metadata(&journal).expect("journal").len();
+    drop(store);
+
+    let store = Arc::new(Store::open(&journal).expect("reopen store"));
+    let warm = run_pass(&store, "warm");
+    let warm_stats = store.stats();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut rows = Vec::new();
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    for ((name, cold_ms), (_, warm_ms)) in cold.iter().zip(&warm) {
+        let ratio = warm_ms / cold_ms;
+        println!("{name:22} {cold_ms:>10.1} ms cold  {warm_ms:>10.1} ms warm  ({ratio:>5.3}x)");
+        rows.push(format!(
+            "    {{\"case\": \"{name}\", \"cold_ms\": {cold_ms:.2}, \"warm_ms\": {warm_ms:.2}, \
+             \"ratio\": {ratio:.4}}}"
+        ));
+        cold_total += cold_ms;
+        warm_total += warm_ms;
+    }
+    let ratio = warm_total / cold_total;
+    println!(
+        "total: {cold_total:.1} ms cold, {warm_total:.1} ms warm, warm/cold = {ratio:.3} \
+         ({} cases, {journal_bytes} journal bytes)",
+        cold.len()
+    );
+    println!("cold store: {cold_stats}");
+    println!("warm store: {warm_stats}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"store_warm\",\n  \"cases_total\": {},\n  \
+         \"cold_total_ms\": {:.2},\n  \"warm_total_ms\": {:.2},\n  \
+         \"warm_cold_ratio\": {:.4},\n  \"journal_bytes\": {},\n  \
+         \"cold_appends\": {},\n  \"warm_hits\": {},\n  \"warm_misses\": {},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        cold.len(),
+        cold_total,
+        warm_total,
+        ratio,
+        journal_bytes,
+        cold_stats.appends,
+        warm_stats.hits(),
+        warm_stats.misses,
+        rows.join(",\n")
+    );
+    let out = std::env::var("ORAQL_BENCH_OUT").unwrap_or_else(|_| "BENCH_store.json".into());
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -43,6 +43,9 @@ pub struct Config {
     pub dump: bool,
     /// Interpreter execution mode (`decoded` or `tree`).
     pub interp: InterpMode,
+    /// Persistent verdict-store journal path (`store = <path>`; the
+    /// CLI's `--no-store` overrides it).
+    pub store: Option<String>,
 }
 
 impl Default for Config {
@@ -58,6 +61,7 @@ impl Default for Config {
             use_cfl: false,
             dump: false,
             interp: InterpMode::default(),
+            store: None,
         }
     }
 }
@@ -110,6 +114,12 @@ impl Config {
                 "interp" => {
                     cfg.interp = InterpMode::parse(value)
                         .ok_or_else(|| format!("line {}: bad interp: {value:?}", ln + 1))?
+                }
+                "store" => {
+                    if value.is_empty() {
+                        return Err(format!("line {}: store needs a path", ln + 1));
+                    }
+                    cfg.store = Some(value.to_owned());
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }
@@ -175,5 +185,13 @@ mod tests {
         assert!(Config::parse("benchmark = x\nwhat = y\n").is_err());
         assert!(Config::parse("benchmark = x\nfuel = lots\n").is_err());
         assert!(Config::parse("benchmark = x\nnonsense line\n").is_err());
+        assert!(Config::parse("benchmark = x\nstore =\n").is_err());
+    }
+
+    #[test]
+    fn parses_store_path() {
+        let cfg = Config::parse("benchmark = x\nstore = .oraql/verdicts.journal\n").unwrap();
+        assert_eq!(cfg.store.as_deref(), Some(".oraql/verdicts.journal"));
+        assert_eq!(Config::parse("benchmark = x\n").unwrap().store, None);
     }
 }

@@ -23,7 +23,12 @@
 //!   sequential driver byte-for-byte.
 //! * [`trace`] — probe-trace observability: a JSONL event stream
 //!   recording how every probe was answered (executed / cached /
-//!   deduced), consumed by [`report`] summaries.
+//!   store / deduced), consumed by [`report`] summaries.
+//! * [`store`] (the `oraql-store` crate) — the crash-safe persistent
+//!   verdict store: an append-only, checksummed, content-addressed
+//!   journal that makes warm re-runs answer probes without compiling.
+//!   Attached via [`DriverOptions`]'s `store` field (`--store` in the
+//!   CLI) as a write-through tier behind [`driver::VerdictCaches`].
 //! * [`verify::Verifier`] — the verification script (§IV-C): compares
 //!   program output against one or more references, ignoring volatile
 //!   lines via [`textpat`] patterns.
@@ -46,10 +51,13 @@ pub mod textpat;
 pub mod trace;
 pub mod verify;
 
+pub use oraql_store as store;
+
 pub use compile::{compile, CompileOptions, Compiled, Scope};
 pub use driver::{
     run_many, run_suite, Driver, DriverOptions, DriverResult, TestCase, VerdictCaches,
 };
+pub use oraql_store::{StatsSnapshot, Store, StoreError, StoreStats};
 pub use pass::{OraqlAA, OraqlShared, OraqlStats};
 pub use pool::{CancelToken, WorkerPool};
 pub use sequence::Decisions;

@@ -158,6 +158,8 @@ pub struct TraceSummary {
     pub exe_cache_hits: u64,
     /// Probes answered from the decisions-digest cache.
     pub dec_cache_hits: u64,
+    /// Probes answered from the persistent verdict store.
+    pub store_hits: u64,
     /// Probes answered by the Fig. 2 deduction rule.
     pub deduced: u64,
     /// Probes launched speculatively for a bisection sibling.
@@ -177,6 +179,7 @@ impl TraceSummary {
             ProbeKind::Executed => self.executed += 1,
             ProbeKind::ExeCacheHit => self.exe_cache_hits += 1,
             ProbeKind::DecisionCacheHit => self.dec_cache_hits += 1,
+            ProbeKind::StoreHit => self.store_hits += 1,
             ProbeKind::Deduced => self.deduced += 1,
         }
         if e.speculative {
@@ -214,19 +217,28 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>10}",
-        "case", "probes", "executed", "exe-cache", "dec-cache", "deduced", "spec", "wall(ms)"
+        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>6} {:>10}",
+        "case",
+        "probes",
+        "executed",
+        "exe-cache",
+        "dec-cache",
+        "store",
+        "deduced",
+        "spec",
+        "wall(ms)"
     );
     let per_case = summarize_trace_by_case(events);
     for (name, t) in &per_case {
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>6} {:>10.1}",
             name,
             t.probes,
             t.executed,
             t.exe_cache_hits,
             t.dec_cache_hits,
+            t.store_hits,
             t.deduced,
             t.speculative,
             t.wall_micros as f64 / 1000.0
@@ -236,12 +248,13 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
         let t = summarize_trace(events);
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>6} {:>10.1}",
             "TOTAL",
             t.probes,
             t.executed,
             t.exe_cache_hits,
             t.dec_cache_hits,
+            t.store_hits,
             t.deduced,
             t.speculative,
             t.wall_micros as f64 / 1000.0
@@ -380,15 +393,17 @@ mod tests {
             trace_event("a", ProbeKind::ExeCacheHit, false),
             trace_event("a", ProbeKind::Deduced, false),
             trace_event("b", ProbeKind::DecisionCacheHit, true),
+            trace_event("b", ProbeKind::StoreHit, true),
         ];
         let t = summarize_trace(&events);
-        assert_eq!(t.probes, 4);
+        assert_eq!(t.probes, 5);
         assert_eq!(t.executed, 1);
         assert_eq!(t.exe_cache_hits, 1);
         assert_eq!(t.dec_cache_hits, 1);
+        assert_eq!(t.store_hits, 1);
         assert_eq!(t.deduced, 1);
         assert_eq!(t.speculative, 1);
-        assert_eq!(t.passes, 2);
+        assert_eq!(t.passes, 3);
         assert_eq!(t.max_unique, 9);
         let per_case = summarize_trace_by_case(&events);
         assert_eq!(per_case.len(), 2);

@@ -12,6 +12,8 @@
 //!   (the seed driver's executable-hash cache);
 //! * `dec-cache` — an identical decision vector skipped even the
 //!   recompile (the decisions-digest cache, parallel driver only);
+//! * `store` — the persistent verdict store (`oraql-store`, enabled
+//!   with `--store`) answered from a previous process's work;
 //! * `deduced` — the Fig. 2 deduction rule answered without a test.
 //!
 //! # Determinism contract
@@ -43,6 +45,9 @@ pub enum ProbeKind {
     ExeCacheHit,
     /// Identical decision vector: verdict reused without recompiling.
     DecisionCacheHit,
+    /// Answered from the persistent verdict store (`oraql-store`): a
+    /// prior *process* already knew this key.
+    StoreHit,
     /// Answered by the Fig. 2 deduction rule (known-fail, no test).
     Deduced,
 }
@@ -54,6 +59,7 @@ impl ProbeKind {
             ProbeKind::Executed => "executed",
             ProbeKind::ExeCacheHit => "exe-cache",
             ProbeKind::DecisionCacheHit => "dec-cache",
+            ProbeKind::StoreHit => "store",
             ProbeKind::Deduced => "deduced",
         }
     }
@@ -63,6 +69,7 @@ impl ProbeKind {
             "executed" => ProbeKind::Executed,
             "exe-cache" => ProbeKind::ExeCacheHit,
             "dec-cache" => ProbeKind::DecisionCacheHit,
+            "store" => ProbeKind::StoreHit,
             "deduced" => ProbeKind::Deduced,
             _ => return None,
         })
@@ -286,6 +293,7 @@ mod tests {
             ProbeKind::Executed,
             ProbeKind::ExeCacheHit,
             ProbeKind::DecisionCacheHit,
+            ProbeKind::StoreHit,
             ProbeKind::Deduced,
         ]
         .into_iter()

@@ -4,6 +4,7 @@
 //! oraql --list
 //! oraql --benchmark <name> [--strategy chunked|frequency] [--dump]
 //!       [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]
+//!       [--store <journal>] [--no-store]
 //!       [--emit-sequence <file>]            # save the final decisions
 //! oraql --benchmark <name> --replay <seq>   # compile+run a saved
 //!                                           # sequence (or @file)
@@ -22,6 +23,11 @@
 //! `N` benchmarks at once sharing one verdict cache. `--trace` writes
 //! one JSONL event per probe answer and prints a per-case summary
 //! table.
+//!
+//! `--store <journal>` attaches the crash-safe persistent verdict store
+//! (`oraql-store`): probe verdicts are journaled across runs, so a warm
+//! re-run answers probes without compiling. A `store = <path>` config
+//! key does the same; `--no-store` overrides both.
 
 use oraql::config::Config;
 use oraql::report::{render_report, render_trace_summary, DumpFlags};
@@ -33,7 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: oraql --list\n       \
          oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n                \
-         [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]\n       \
+         [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]\n                \
+         [--store <journal>] [--no-store]\n       \
          oraql --config <file>\n       \
          oraql --all [--jobs N]"
     );
@@ -241,6 +248,8 @@ fn main() {
     let mut emit_sequence: Option<String> = None;
     let mut replay_seq: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut store_path: Option<String> = None;
+    let mut no_store = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -291,6 +300,11 @@ fn main() {
                 i += 1;
                 trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--store" => {
+                i += 1;
+                store_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-store" => no_store = true,
             "--interp" => {
                 i += 1;
                 let v = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -326,6 +340,22 @@ fn main() {
     });
     opts.trace = sink.clone();
 
+    // CLI --store wins over the config's `store =` key; --no-store
+    // disables both.
+    let store_path = if no_store {
+        None
+    } else {
+        store_path.or_else(|| config.as_ref().and_then(|c| c.store.clone()))
+    };
+    let store = store_path.as_deref().map(|p| match oraql::Store::open(p) {
+        Ok(s) => std::sync::Arc::new(s),
+        Err(e) => {
+            eprintln!("cannot open verdict store {p}: {e}");
+            std::process::exit(2)
+        }
+    });
+    opts.store = store.clone();
+
     let code = if let (Some(name), Some(seq)) = (&benchmark, &replay_seq) {
         replay(name, seq, opts.interp)
     } else if all {
@@ -346,6 +376,11 @@ fn main() {
         sink.flush();
         println!("--- probe trace summary ({path}) ---");
         print!("{}", render_trace_summary(&sink.events()));
+    }
+    if let (Some(store), Some(path)) = (&store, &store_path) {
+        let _ = store.sync();
+        println!("--- verdict store ({path}) ---");
+        println!("store: {}", store.stats());
     }
     std::process::exit(code);
 }

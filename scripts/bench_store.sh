@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Cold-vs-warm suite benchmark for the persistent verdict store.
+#
+# Runs every registered workload configuration twice against one
+# oraql-store journal — a cold pass populating it and a warm pass
+# answering every probe from it — and writes per-case and total wall
+# clock plus the warm/cold ratio as JSON. Output path defaults to
+# BENCH_store.json in the repo root; override with ORAQL_BENCH_OUT.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Cargo runs benches with the package directory as cwd, so anchor the
+# default output at the repo root via an absolute path.
+ORAQL_BENCH_OUT="${ORAQL_BENCH_OUT:-$(pwd)/BENCH_store.json}" \
+    cargo bench --offline -p oraql-bench --bench store_warm

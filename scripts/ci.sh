@@ -10,5 +10,17 @@ cargo test -q --offline
 # modes (tree-walk reference vs. pre-decoded executor); run it by name so
 # a filtered `cargo test` invocation can never silently skip it.
 cargo test -q --offline --test differential_interp
+# The persistent verdict store's robustness gates (journal recovery,
+# warm-run determinism), likewise by name.
+cargo test -q --offline -p oraql-store
+cargo test -q --offline --test store_persistence
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Warm-cache smoke: the same case twice against one journal — the
+# second run must answer at least one probe from the store.
+STORE_TMP="$(mktemp -d)"
+trap 'rm -rf "$STORE_TMP"' EXIT
+target/release/oraql -b testsnap --store "$STORE_TMP/verdicts.journal" > /dev/null
+target/release/oraql -b testsnap --store "$STORE_TMP/verdicts.journal" \
+    | grep -E 'store: [1-9][0-9]* hits'
