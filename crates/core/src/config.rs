@@ -46,6 +46,12 @@ pub struct Config {
     /// Persistent verdict-store journal path (`store = <path>`; the
     /// CLI's `--no-store` overrides it).
     pub store: Option<String>,
+    /// Fault-injection plan spec (`fault_plan = seed=42,vm-trap=1/16`;
+    /// see `oraql_faults::FaultPlan::parse`). Validated at parse time.
+    pub fault_plan: Option<String>,
+    /// Wall-clock watchdog per probe attempt, in milliseconds
+    /// (`probe_deadline_ms = 2000`; 0 disables).
+    pub probe_deadline_ms: u64,
 }
 
 impl Default for Config {
@@ -62,6 +68,8 @@ impl Default for Config {
             dump: false,
             interp: InterpMode::default(),
             store: None,
+            fault_plan: None,
+            probe_deadline_ms: 0,
         }
     }
 }
@@ -120,6 +128,16 @@ impl Config {
                         return Err(format!("line {}: store needs a path", ln + 1));
                     }
                     cfg.store = Some(value.to_owned());
+                }
+                "fault_plan" => {
+                    oraql_faults::FaultPlan::parse(value)
+                        .map_err(|e| format!("line {}: {e}", ln + 1))?;
+                    cfg.fault_plan = Some(value.to_owned());
+                }
+                "probe_deadline_ms" => {
+                    cfg.probe_deadline_ms = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad probe_deadline_ms: {e}", ln + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }
@@ -193,5 +211,26 @@ mod tests {
         let cfg = Config::parse("benchmark = x\nstore = .oraql/verdicts.journal\n").unwrap();
         assert_eq!(cfg.store.as_deref(), Some(".oraql/verdicts.journal"));
         assert_eq!(Config::parse("benchmark = x\n").unwrap().store, None);
+    }
+
+    #[test]
+    fn parses_fault_plan_and_deadline() {
+        let cfg = Config::parse(
+            "benchmark = x\n\
+             fault_plan = seed=9,vm-trap=1/8,compile-panic=1/16\n\
+             probe_deadline_ms = 1500\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.fault_plan.as_deref(),
+            Some("seed=9,vm-trap=1/8,compile-panic=1/16")
+        );
+        assert_eq!(cfg.probe_deadline_ms, 1500);
+        let d = Config::parse("benchmark = x\n").unwrap();
+        assert_eq!(d.fault_plan, None);
+        assert_eq!(d.probe_deadline_ms, 0);
+        // A malformed plan is rejected at parse time, not at run time.
+        assert!(Config::parse("benchmark = x\nfault_plan = bogus-site=1/2\n").is_err());
+        assert!(Config::parse("benchmark = x\nprobe_deadline_ms = soon\n").is_err());
     }
 }

@@ -60,6 +60,27 @@
 //! * The test budget (`max_tests`) is accounted in executed tests; with
 //!   speculation those include wasted probes, so budget-truncated runs
 //!   are only guaranteed reproducible at `jobs = 1`.
+//!
+//! # The probe sandbox (failure model)
+//!
+//! Every probe attempt — compile, VM run, verification — executes under
+//! `catch_unwind`, optionally under a wall-clock watchdog
+//! ([`DriverOptions::probe_deadline`]), and optionally under a
+//! deterministic fault-injection plan ([`DriverOptions::faults`], see
+//! the `oraql-faults` crate). An attempt that panics, times out, traps
+//! with an injected VM error, or produces garbled output is classified
+//! as a [`ProbeFailure`] and retried with a short backoff
+//! ([`DriverOptions::probe_retries`] times). A probe whose attempts are
+//! all exhausted is **quarantined**: it answers with the pessimistic
+//! may-alias verdict (`pass = false`, the always-safe direction — the
+//! bisection strategies only ever *add* pessimism for failing probes,
+//! and the final verification gate still backstops the result),
+//! nothing is written to any cache or the persistent store, and the
+//! answer is traced as [`ProbeKind::Faulted`]. Counts surface in
+//! [`DriverResult::failures`]. A panic in the *baseline or final*
+//! compile is not a probe failure — it fails the whole case with
+//! [`DriverError::CasePanicked`] instead of unwinding through
+//! [`run_suite`].
 
 use crate::compile::{compile, CompileOptions, Compiled, Scope};
 use crate::pass::{OptimismKind, OraqlStats, UniqueQuery};
@@ -68,17 +89,19 @@ use crate::sequence::Decisions;
 use crate::strategy::{ProbeOutcome, Prober, SpeculativeProbe, Strategy};
 use crate::trace::{ProbeEvent, ProbeKind, TraceSink};
 use crate::verify::{Mismatch, Verifier};
+use oraql_faults::{FaultInjector, FaultSite, InjectedPanic};
 use oraql_ir::module::Module;
 use oraql_passes::Stats;
 use oraql_store::Store;
-use oraql_vm::{InterpMode, Interpreter, RunOutcome};
+use oraql_vm::{InterpMode, Interpreter, RunOutcome, VmFault};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A benchmark handed to the driver: how to build the program, where
 /// ORAQL may answer, and how to verify output.
@@ -149,6 +172,20 @@ pub struct DriverOptions {
     /// function of the answered outcomes and therefore replays
     /// identically from stored (pass, unique) pairs.
     pub store: Option<Arc<Store>>,
+    /// Deterministic fault-injection plan applied to the probe path
+    /// (CLI: `--fault-plan <spec>`). `None` (the default) injects
+    /// nothing; the sandbox around each probe is active either way.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Wall-clock deadline per probe attempt (CLI:
+    /// `--probe-deadline-ms`). When set, each attempt runs on a
+    /// watchdog thread and a timeout classifies as
+    /// [`ProbeFailure::Deadline`]; when `None` (the default) attempts
+    /// run inline with no extra thread, so the fault-free fast path
+    /// pays nothing beyond a `catch_unwind`.
+    pub probe_deadline: Option<Duration>,
+    /// How many times a failed probe attempt is retried (with a short
+    /// backoff) before the probe is quarantined to may-alias.
+    pub probe_retries: u32,
 }
 
 impl Default for DriverOptions {
@@ -161,6 +198,9 @@ impl Default for DriverOptions {
             trace: None,
             interp: InterpMode::default(),
             store: None,
+            faults: None,
+            probe_deadline: None,
+            probe_retries: 2,
         }
     }
 }
@@ -211,6 +251,8 @@ pub struct DriverResult {
     pub final_run: RunOutcome,
     /// Probing effort.
     pub effort: ProbeEffort,
+    /// Sandbox failure counters (all zero on a healthy, fault-free run).
+    pub failures: FailureStats,
     /// Unique queries of the final compilation (report input).
     pub queries: Vec<UniqueQuery>,
     /// The final optimized module.
@@ -237,6 +279,12 @@ pub enum DriverError {
     BaselineBroken(Mismatch),
     /// The final sequence failed verification (driver bug).
     FinalBroken(Mismatch),
+    /// The case's build closure (or a pass) panicked outside the probe
+    /// sandbox — in the baseline or final compile, where no verdict can
+    /// soak up the failure. The case fails; the suite keeps going.
+    CasePanicked(String),
+    /// An internal invariant broke but was caught instead of panicking.
+    Internal(String),
 }
 
 impl std::fmt::Display for DriverError {
@@ -244,11 +292,80 @@ impl std::fmt::Display for DriverError {
         match self {
             DriverError::BaselineBroken(m) => write!(f, "baseline failed verification: {m}"),
             DriverError::FinalBroken(m) => write!(f, "final sequence failed verification: {m}"),
+            DriverError::CasePanicked(m) => write!(f, "case panicked outside probing: {m}"),
+            DriverError::Internal(m) => write!(f, "internal driver error: {m}"),
         }
     }
 }
 
 impl std::error::Error for DriverError {}
+
+/// Why one probe attempt failed inside the sandbox. Failures are
+/// *attempt*-level: each one consumes a retry, and only a probe whose
+/// attempts are all exhausted is quarantined to may-alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeFailure {
+    /// The attempt panicked (injected `compile-panic`, or a genuine bug
+    /// in the build closure / pass pipeline).
+    Panic(String),
+    /// The watchdog deadline expired before the attempt finished.
+    Deadline,
+    /// The VM refused the run with an injected error (`vm-trap`,
+    /// `vm-fuel-lie`); a *genuine* trap is a failing verdict, not a
+    /// probe failure.
+    VmError(String),
+    /// The probe ran but its observed output was garbled before
+    /// verification (`output-garble` — corrupted probe I/O).
+    OutputMismatch,
+    /// A persistent-store hit was treated as checksum-corrupt and
+    /// discarded (`store-read-corrupt`). Never consumes a retry: the
+    /// attempt falls through to a real compile instead.
+    StoreCorrupt,
+}
+
+impl std::fmt::Display for ProbeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeFailure::Panic(m) => write!(f, "probe panicked: {m}"),
+            ProbeFailure::Deadline => write!(f, "probe deadline exceeded"),
+            ProbeFailure::VmError(m) => write!(f, "injected VM error: {m}"),
+            ProbeFailure::OutputMismatch => write!(f, "probe output garbled"),
+            ProbeFailure::StoreCorrupt => write!(f, "store record corrupt"),
+        }
+    }
+}
+
+/// Aggregated sandbox-failure counters for one driver run, surfaced in
+/// [`DriverResult::failures`] and the CLI summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureStats {
+    /// Attempts that panicked.
+    pub panics: u64,
+    /// Attempts that exceeded the probe deadline.
+    pub deadlines: u64,
+    /// Attempts killed by an injected VM error.
+    pub vm_errors: u64,
+    /// Attempts whose output was garbled before verification.
+    pub output_mismatches: u64,
+    /// Store hits discarded as corrupt (the attempt then recomputed).
+    pub store_corrupt: u64,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// Probes that exhausted every retry and degraded to may-alias.
+    pub quarantined: u64,
+}
+
+impl FailureStats {
+    /// Total attempt-level failures (excluding the retry tally).
+    pub fn total(&self) -> u64 {
+        self.panics + self.deadlines + self.vm_errors + self.output_mismatches + self.store_corrupt
+    }
+
+    /// Did this run complete without a single sandbox event?
+    pub fn is_quiet(&self) -> bool {
+        *self == FailureStats::default()
+    }
+}
 
 /// Thread-shared probe verdict caches. One instance may back a whole
 /// suite run: the executable-hash key and the decisions digest are both
@@ -333,6 +450,52 @@ struct ProbeEngine {
     effort: Mutex<ProbeEffort>,
     trace: Option<TraceSink>,
     trace_seq: AtomicU64,
+    /// Optional deterministic fault plan (chaos testing).
+    faults: Option<Arc<FaultInjector>>,
+    /// Optional wall-clock watchdog per attempt.
+    deadline: Option<Duration>,
+    /// Retries before a failing probe is quarantined.
+    retries: u32,
+    failures: Mutex<FailureStats>,
+    /// Decisions digests whose probes exhausted every retry: answered
+    /// may-alias immediately, never re-attempted, never persisted.
+    quarantine: Mutex<HashSet<u64>>,
+}
+
+/// Faults pre-sampled for one probe attempt. Sampling happens on the
+/// calling thread *before* any watchdog thread is spawned, so thread
+/// timing can never perturb the deterministic fault stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct AttemptFaults {
+    compile_panic: bool,
+    vm_fault: Option<VmFault>,
+    delay: bool,
+    hang: bool,
+    garble: bool,
+    store_read_corrupt: bool,
+}
+
+/// Fuel cap injected by `vm-fuel-lie`: big enough for the interpreter
+/// to make a little progress, far too small for any real probe run.
+const FUEL_LIE_CAP: u64 = 24;
+
+/// The safe degradation verdict: may-alias, no unique-count claim.
+const MAY_ALIAS: ProbeOutcome = ProbeOutcome {
+    pass: false,
+    unique: 0,
+};
+
+/// Best-effort human-readable panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(ip) = p.downcast_ref::<InjectedPanic>() {
+        ip.to_string()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
 }
 
 impl ProbeEngine {
@@ -363,24 +526,154 @@ impl ProbeEngine {
         }
     }
 
-    /// Answers one probe: decisions cache, compile, executable cache,
-    /// then an actual execution. Safe to call from any thread.
-    fn execute(&self, d: &Decisions, speculative: bool) -> ProbeOutcome {
-        self.execute_inner(d, speculative, None)
-            .expect("non-cancellable probe always completes")
+    fn failures(&self) -> MutexGuard<'_, FailureStats> {
+        lock_ignore_poison(&self.failures)
     }
 
-    /// [`ProbeEngine::execute`] with an advisory abort point: a
-    /// cancelled speculative probe stops between the compile and the
-    /// (usually much more expensive) test execution and returns `None`
-    /// without recording a probe answer. The waiter recomputes inline
-    /// in that case, so verdicts are never lost — only wasted work is.
-    fn execute_inner(
-        &self,
+    /// Draws this attempt's fault decisions from the plan (all quiet
+    /// when no plan is configured).
+    fn sample_attempt(&self) -> AttemptFaults {
+        let Some(inj) = &self.faults else {
+            return AttemptFaults::default();
+        };
+        AttemptFaults {
+            compile_panic: inj.fire(FaultSite::CompilePanic),
+            vm_fault: if inj.fire(FaultSite::VmTrap) {
+                Some(VmFault::Trap)
+            } else if inj.fire(FaultSite::VmFuelLie) {
+                Some(VmFault::FuelLie(FUEL_LIE_CAP))
+            } else {
+                None
+            },
+            delay: inj.fire(FaultSite::ProbeDelay),
+            hang: inj.fire(FaultSite::ProbeHang),
+            garble: inj.fire(FaultSite::OutputGarble),
+            store_read_corrupt: inj.fire(FaultSite::StoreReadCorrupt),
+        }
+    }
+
+    fn note_failure(&self, f: &ProbeFailure) {
+        let mut fs = self.failures();
+        match f {
+            ProbeFailure::Panic(_) => fs.panics += 1,
+            ProbeFailure::Deadline => fs.deadlines += 1,
+            ProbeFailure::VmError(_) => fs.vm_errors += 1,
+            ProbeFailure::OutputMismatch => fs.output_mismatches += 1,
+            ProbeFailure::StoreCorrupt => fs.store_corrupt += 1,
+        }
+    }
+
+    /// Answers one probe through the sandbox. Safe to call from any
+    /// thread; never panics and never blocks past the configured
+    /// deadline-per-attempt times the retry budget.
+    fn execute(self: &Arc<Self>, d: &Decisions, speculative: bool) -> ProbeOutcome {
+        // `None` can only mean "cancelled", which cannot happen without
+        // a token — but degrade to may-alias rather than trust that.
+        self.execute_sandboxed(d, speculative, None)
+            .unwrap_or(MAY_ALIAS)
+    }
+
+    /// The sandboxed probe path: quarantine short-circuit, then up to
+    /// `1 + retries` attempts, each under `catch_unwind` (plus a
+    /// watchdog thread when a deadline is configured). Returns `None`
+    /// only for a cancelled speculative probe.
+    fn execute_sandboxed(
+        self: &Arc<Self>,
         d: &Decisions,
         speculative: bool,
         cancel: Option<&CancelToken>,
     ) -> Option<ProbeOutcome> {
+        let started = Instant::now();
+        let digest = decisions_digest(self.salt, d);
+        if lock_ignore_poison(&self.quarantine).contains(&digest) {
+            self.trace_event(digest, ProbeKind::Faulted, false, 0, speculative, started);
+            return Some(MAY_ALIAS);
+        }
+        let attempts = 1 + self.retries as u64;
+        for attempt_no in 0..attempts {
+            let fx = self.sample_attempt();
+            let outcome = match self.deadline {
+                Some(deadline) => self.attempt_with_deadline(d, speculative, cancel, fx, deadline),
+                None => {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        self.attempt(d, speculative, cancel, fx)
+                    })) {
+                        Ok(r) => r,
+                        Err(p) => Err(ProbeFailure::Panic(panic_message(&*p))),
+                    }
+                }
+            };
+            match outcome {
+                Ok(answer) => return answer, // Some(verdict) or cancelled
+                Err(failure) => {
+                    self.note_failure(&failure);
+                    if attempt_no + 1 < attempts {
+                        self.failures().retries += 1;
+                        // Tiny exponential backoff: transient scheduling
+                        // or I/O hiccups clear, injected faults draw a
+                        // fresh decision from the plan.
+                        std::thread::sleep(Duration::from_millis(1 << attempt_no.min(4)));
+                    }
+                }
+            }
+        }
+        // Every attempt failed: quarantine this decision vector and
+        // degrade to the pessimistic verdict. Never cached, never
+        // persisted — a later healthy run recomputes it for real.
+        lock_ignore_poison(&self.quarantine).insert(digest);
+        self.failures().quarantined += 1;
+        self.trace_event(digest, ProbeKind::Faulted, false, 0, speculative, started);
+        Some(MAY_ALIAS)
+    }
+
+    /// Runs one attempt on a watchdog thread and gives up after
+    /// `deadline`. An orphaned attempt keeps running in the background;
+    /// if it eventually completes, any verdict it wrote to the shared
+    /// caches is genuine and safely reusable.
+    fn attempt_with_deadline(
+        self: &Arc<Self>,
+        d: &Decisions,
+        speculative: bool,
+        cancel: Option<&CancelToken>,
+        fx: AttemptFaults,
+        deadline: Duration,
+    ) -> Result<Option<ProbeOutcome>, ProbeFailure> {
+        let (tx, rx) = channel();
+        let engine = Arc::clone(self);
+        let d = d.clone();
+        let token = cancel.cloned();
+        let spawned = std::thread::Builder::new()
+            .name("oraql-probe-attempt".into())
+            .spawn(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    engine.attempt(&d, speculative, token.as_ref(), fx)
+                }));
+                let _ = tx.send(r);
+            });
+        if spawned.is_err() {
+            return Err(ProbeFailure::Panic("probe thread spawn failed".into()));
+        }
+        match rx.recv_timeout(deadline) {
+            Ok(Ok(r)) => r,
+            Ok(Err(p)) => Err(ProbeFailure::Panic(panic_message(&*p))),
+            Err(_) => Err(ProbeFailure::Deadline),
+        }
+    }
+
+    /// One raw probe attempt: decisions cache, store tier, compile,
+    /// executable cache, then an actual execution — with `fx`'s faults
+    /// injected at their sites. `Ok(None)` means the advisory cancel
+    /// token fired: a cancelled speculative probe stops between the
+    /// compile and the (usually much more expensive) test execution
+    /// without recording a probe answer. The waiter recomputes inline
+    /// in that case, so verdicts are never lost — only wasted work is.
+    fn attempt(
+        &self,
+        d: &Decisions,
+        speculative: bool,
+        cancel: Option<&CancelToken>,
+        fx: AttemptFaults,
+    ) -> Result<Option<ProbeOutcome>, ProbeFailure> {
         let started = Instant::now();
         let digest = decisions_digest(self.salt, d);
         if self.use_dec_cache {
@@ -394,7 +687,7 @@ impl ProbeEngine {
                     speculative,
                     started,
                 );
-                return Some(ProbeOutcome { pass, unique });
+                return Ok(Some(ProbeOutcome { pass, unique }));
             }
         }
         if let Some(store) = &self.store {
@@ -402,23 +695,34 @@ impl ProbeEngine {
             // an earlier case of this run) already answered this exact
             // decision vector — skip even the compile.
             if let Some((pass, unique)) = store.dec_verdict(digest) {
-                self.effort().tests_dec_cached += 1;
-                if self.use_dec_cache {
-                    lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+                if fx.store_read_corrupt {
+                    // Injected read-side rot: the hit fails its
+                    // checksum, is discarded, and the attempt falls
+                    // through to a real compile. No retry consumed —
+                    // the recompute below is already the recovery.
+                    self.note_failure(&ProbeFailure::StoreCorrupt);
+                } else {
+                    self.effort().tests_dec_cached += 1;
+                    if self.use_dec_cache {
+                        lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+                    }
+                    self.trace_event(
+                        digest,
+                        ProbeKind::StoreHit,
+                        pass,
+                        unique,
+                        speculative,
+                        started,
+                    );
+                    return Ok(Some(ProbeOutcome { pass, unique }));
                 }
-                self.trace_event(
-                    digest,
-                    ProbeKind::StoreHit,
-                    pass,
-                    unique,
-                    speculative,
-                    started,
-                );
-                return Some(ProbeOutcome { pass, unique });
             }
         }
         if cancel.is_some_and(|t| t.is_cancelled()) {
-            return None;
+            return Ok(None);
+        }
+        if fx.compile_panic {
+            std::panic::panic_any(InjectedPanic("probe pass-pipeline compile"));
         }
         self.effort().compiles += 1;
         let compiled = compile(
@@ -465,43 +769,85 @@ impl ProbeEngine {
                 speculative,
                 started,
             );
-            return Some(ProbeOutcome { pass, unique });
+            return Ok(Some(ProbeOutcome { pass, unique }));
         }
         if let Some(store) = &self.store {
             // Persistent executable-hash tier: a previous process ran
             // this exact executable — reuse its verdict, skip the run.
             if let Some((pass, stored_unique)) = store.exe_verdict(h) {
-                self.effort().tests_cached += 1;
-                lock_ignore_poison(&self.caches.exe).insert(h, (pass, stored_unique));
-                // Same reporting rule as the in-memory hit above: the
-                // stored unique count *is* the first inserter's count.
-                let unique = if self.use_dec_cache {
-                    unique
+                if fx.store_read_corrupt {
+                    // Same injected rot as the decisions tier above.
+                    self.note_failure(&ProbeFailure::StoreCorrupt);
                 } else {
-                    stored_unique
-                };
-                if self.use_dec_cache {
-                    lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+                    self.effort().tests_cached += 1;
+                    lock_ignore_poison(&self.caches.exe).insert(h, (pass, stored_unique));
+                    // Same reporting rule as the in-memory hit above:
+                    // the stored unique count *is* the first inserter's
+                    // count.
+                    let unique = if self.use_dec_cache {
+                        unique
+                    } else {
+                        stored_unique
+                    };
+                    if self.use_dec_cache {
+                        lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+                    }
+                    self.store_dec(digest, pass, unique);
+                    self.trace_event(
+                        digest,
+                        ProbeKind::StoreHit,
+                        pass,
+                        unique,
+                        speculative,
+                        started,
+                    );
+                    return Ok(Some(ProbeOutcome { pass, unique }));
                 }
-                self.store_dec(digest, pass, unique);
-                self.trace_event(
-                    digest,
-                    ProbeKind::StoreHit,
-                    pass,
-                    unique,
-                    speculative,
-                    started,
-                );
-                return Some(ProbeOutcome { pass, unique });
             }
         }
         if cancel.is_some_and(|t| t.is_cancelled()) {
-            return None;
+            return Ok(None);
+        }
+        if fx.delay || fx.hang {
+            // `probe-delay` stays well under any reasonable deadline;
+            // `probe-hang` overshoots the configured deadline so only
+            // the watchdog can reclaim the slot (bounded regardless, so
+            // a hang without a watchdog cannot stall the driver
+            // forever).
+            let dur = match (fx.hang, self.deadline) {
+                (false, _) => Duration::from_millis(1),
+                (true, Some(dl)) => dl.saturating_mul(4).min(Duration::from_secs(2)),
+                (true, None) => Duration::from_millis(25),
+            };
+            std::thread::sleep(dur);
         }
         self.effort().tests_run += 1;
-        let pass = match run_module(&compiled.module, self.fuel, self.interp) {
-            Ok(run) => self.verifier.check(&run.stdout).is_ok(),
-            Err(_) => false, // traps count as verification failures
+        let run = run_module_with(&compiled.module, self.fuel, self.interp, fx.vm_fault);
+        if fx.vm_fault.is_some() {
+            if let Err(e) = &run {
+                // The injected trap / lying fuel budget killed the run:
+                // a transient probe failure, not a verdict. (A program
+                // that completes even under the lie produced genuine,
+                // trustworthy output and is judged normally below.)
+                return Err(ProbeFailure::VmError(e.clone()));
+            }
+        }
+        let pass = match run {
+            Ok(run) => {
+                let mut stdout = run.stdout;
+                if fx.garble {
+                    stdout.push_str("\u{7f}garbled probe output\n");
+                }
+                let ok = self.verifier.check(&stdout).is_ok();
+                if fx.garble && !ok {
+                    // We know the mismatch is our own corruption: a
+                    // transient I/O failure, not a verdict. Nothing is
+                    // cached.
+                    return Err(ProbeFailure::OutputMismatch);
+                }
+                ok
+            }
+            Err(_) => false, // genuine traps count as verification failures
         };
         lock_ignore_poison(&self.caches.exe).insert(h, (pass, unique));
         if self.use_dec_cache {
@@ -519,7 +865,7 @@ impl ProbeEngine {
             speculative,
             started,
         );
-        Some(ProbeOutcome { pass, unique })
+        Ok(Some(ProbeOutcome { pass, unique }))
     }
 
     /// Write-through of the probe's *answered outcome* under its
@@ -568,7 +914,11 @@ impl<'c> Driver<'c> {
         pool: Option<Arc<WorkerPool>>,
     ) -> Result<DriverResult, DriverError> {
         // Step 1: baseline (ORAQL deactivated) — produces the reference.
-        let baseline = compile(&*case.build, &CompileOptions::baseline());
+        // A panicking build closure fails this case, not the suite.
+        let baseline = catch_unwind(AssertUnwindSafe(|| {
+            compile(&*case.build, &CompileOptions::baseline())
+        }))
+        .map_err(|p| DriverError::CasePanicked(panic_message(&*p)))?;
         let baseline_run = run_module(&baseline.module, case.fuel, opts.interp)
             .map_err(|e| DriverError::BaselineBroken(Mismatch::ExecutionFailed(e)))?;
         let mut references = vec![baseline_run.stdout.clone()];
@@ -602,6 +952,11 @@ impl<'c> Driver<'c> {
             effort: Mutex::new(ProbeEffort::default()),
             trace: opts.trace.clone(),
             trace_seq: AtomicU64::new(0),
+            faults: opts.faults.clone(),
+            deadline: opts.probe_deadline,
+            retries: opts.probe_retries,
+            failures: Mutex::new(FailureStats::default()),
+            quarantine: Mutex::new(HashSet::new()),
         });
         let mut driver = Driver {
             case,
@@ -631,7 +986,8 @@ impl<'c> Driver<'c> {
             optimism: case.optimism,
             ..CompileOptions::default()
         };
-        let finalc = compile(&*case.build, &final_opts);
+        let finalc = catch_unwind(AssertUnwindSafe(|| compile(&*case.build, &final_opts)))
+            .map_err(|p| DriverError::CasePanicked(panic_message(&*p)))?;
         let final_run = run_module(&finalc.module, case.fuel, driver.opts.interp)
             .map_err(|e| DriverError::FinalBroken(Mismatch::ExecutionFailed(e)))?;
         driver
@@ -646,7 +1002,11 @@ impl<'c> Driver<'c> {
             let _ = store.sync();
         }
         let effort = *driver.engine.effort();
-        let shared = finalc.oraql.as_ref().expect("oraql installed");
+        let failures = *driver.engine.failures();
+        let shared = finalc
+            .oraql
+            .as_ref()
+            .ok_or_else(|| DriverError::Internal("final compile lost its oraql pass".into()))?;
         let st = shared.lock();
         Ok(DriverResult {
             name: case.name.clone(),
@@ -660,6 +1020,7 @@ impl<'c> Driver<'c> {
             baseline_run,
             final_run,
             effort,
+            failures,
             queries: st.queries.clone(),
             final_module: finalc.module.clone(),
             pass_trace: finalc.pass_trace.clone(),
@@ -683,8 +1044,20 @@ impl<'c> Driver<'c> {
 }
 
 fn run_module(m: &Module, fuel: u64, mode: InterpMode) -> Result<RunOutcome, String> {
+    run_module_with(m, fuel, mode, None)
+}
+
+fn run_module_with(
+    m: &Module,
+    fuel: u64,
+    mode: InterpMode,
+    fault: Option<VmFault>,
+) -> Result<RunOutcome, String> {
     let main = m.find_func("main").ok_or("no main")?;
-    let mut interp = Interpreter::new(m).with_fuel(fuel).with_mode(mode);
+    let mut interp = Interpreter::new(m)
+        .with_fuel(fuel)
+        .with_mode(mode)
+        .with_fault(fault);
     match interp.run(main, vec![]) {
         Ok(_) => Ok(RunOutcome {
             stdout: interp.stdout().to_owned(),
@@ -700,7 +1073,16 @@ impl Prober for Driver<'_> {
     }
 
     fn budget_exceeded(&self) -> bool {
-        self.engine.effort().tests_run >= self.opts.max_tests
+        // Panicked and timed-out attempts abort *before* the run-site
+        // `tests_run` increment, so they must consume budget here —
+        // otherwise a persistently failing probe environment (every
+        // compile panicking, say) would let the bisection walk forever.
+        // VM-error and output-mismatch failures already counted.
+        let failed = {
+            let f = self.engine.failures();
+            f.panics + f.deadlines
+        };
+        self.engine.effort().tests_run + failed >= self.opts.max_tests
     }
 
     fn note_deduced(&mut self) {
@@ -726,11 +1108,24 @@ impl Prober for Driver<'_> {
         let decisions = d.clone();
         let job_token = token.clone();
         self.engine.effort().spec_launched += 1;
+        // Pre-sample the poison decision on the submitting thread so the
+        // deterministic fault stream is independent of worker timing.
+        let poison = self
+            .opts
+            .faults
+            .as_ref()
+            .is_some_and(|inj| inj.fire(FaultSite::WorkerPoison));
         pool.submit(move || {
+            if poison {
+                // The worker dies before touching the probe; the pool
+                // respawns a replacement, and the waiter observes the
+                // dropped channel and recomputes inline.
+                std::panic::panic_any(InjectedPanic("poisoned pool worker"));
+            }
             if job_token.is_cancelled() {
                 return;
             }
-            if let Some(o) = engine.execute_inner(&decisions, true, Some(&job_token)) {
+            if let Some(o) = engine.execute_sandboxed(&decisions, true, Some(&job_token)) {
                 let _ = tx.send(o);
             }
         });
@@ -787,17 +1182,29 @@ pub fn run_many(
             let shared = shared.clone();
             handles.push((
                 i,
-                s.spawn(move || match shared {
-                    Some((caches, pool)) => Driver::run_shared(case, opts, caches, Some(pool)),
-                    None => Driver::run(case, opts),
+                // The catch_unwind keeps a panicking driver thread from
+                // propagating through scope() and aborting its siblings:
+                // one broken case yields one Err, the rest still run.
+                s.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| match shared {
+                        Some((caches, pool)) => Driver::run_shared(case, opts, caches, Some(pool)),
+                        None => Driver::run(case, opts),
+                    }))
+                    .unwrap_or_else(|p| Err(DriverError::CasePanicked(panic_message(&*p))))
                 }),
             ));
         }
         for (i, h) in handles {
-            results[i] = Some(h.join().expect("driver thread panicked"));
+            results[i] = Some(
+                h.join()
+                    .unwrap_or_else(|p| Err(DriverError::CasePanicked(panic_message(&*p)))),
+            );
         }
     });
-    results.into_iter().map(|r| r.expect("filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| Err(DriverError::Internal("case result missing".into()))))
+        .collect()
 }
 
 /// Runs a suite under a global probe-concurrency budget: at most
@@ -810,7 +1217,13 @@ pub fn run_suite(
     opts: &DriverOptions,
 ) -> Vec<Result<DriverResult, DriverError>> {
     if opts.jobs <= 1 {
-        return cases.iter().map(|c| Driver::run(c, opts.clone())).collect();
+        return cases
+            .iter()
+            .map(|c| {
+                catch_unwind(AssertUnwindSafe(|| Driver::run(c, opts.clone())))
+                    .unwrap_or_else(|p| Err(DriverError::CasePanicked(panic_message(&*p))))
+            })
+            .collect();
     }
     let caches = Arc::new(VerdictCaches::default());
     let pool = Arc::new(WorkerPool::new(opts.jobs));
@@ -824,12 +1237,17 @@ pub fn run_suite(
                 if i >= cases.len() {
                     break;
                 }
-                let r = Driver::run_shared(
-                    &cases[i],
-                    opts.clone(),
-                    Arc::clone(&caches),
-                    Some(Arc::clone(&pool)),
-                );
+                // One panicking case must not take its worker (and the
+                // cases it would have claimed next) with it.
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    Driver::run_shared(
+                        &cases[i],
+                        opts.clone(),
+                        Arc::clone(&caches),
+                        Some(Arc::clone(&pool)),
+                    )
+                }))
+                .unwrap_or_else(|p| Err(DriverError::CasePanicked(panic_message(&*p))));
                 *lock_ignore_poison(&results[i]) = Some(r);
             });
         }
@@ -839,7 +1257,7 @@ pub fn run_suite(
         .map(|m| {
             m.into_inner()
                 .unwrap_or_else(|p| p.into_inner())
-                .expect("filled")
+                .unwrap_or_else(|| Err(DriverError::Internal("case result missing".into())))
         })
         .collect()
 }
@@ -1143,5 +1561,134 @@ mod tests {
         let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..events.len() as u64).collect::<Vec<_>>());
+    }
+
+    // --- probe-sandbox chaos tests -----------------------------------
+
+    use oraql_faults::{FaultPlan, Rate};
+
+    fn chaos_opts(plan: FaultPlan) -> DriverOptions {
+        oraql_faults::quiet_injected_panics();
+        DriverOptions {
+            faults: Some(Arc::new(FaultInjector::new(plan))),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_at_jobs_1() {
+        let case = mixed_case(4, 2, 2);
+        let run = || {
+            Driver::run(&case, chaos_opts(FaultPlan::uniform(7, 1, 5)))
+                .expect("chaos run completes")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.effort.tests_run, b.effort.tests_run);
+        assert_eq!(a.final_run.stdout, b.final_run.stdout);
+        assert!(
+            !a.failures.is_quiet(),
+            "a uniform 1/5 plan should actually fire: {:?}",
+            a.failures
+        );
+    }
+
+    #[test]
+    fn always_failing_probes_quarantine_to_may_alias() {
+        for strategy in [Strategy::Chunked, Strategy::FrequencySpace] {
+            let plan = FaultPlan::quiet(3).with_rate(FaultSite::CompilePanic, Rate::always());
+            let sink = TraceSink::in_memory();
+            let mut opts = chaos_opts(plan);
+            opts.strategy = strategy;
+            opts.max_tests = 12; // attempts consume budget: keep the walk short
+            opts.probe_retries = 1;
+            opts.trace = Some(sink.clone());
+            let case = mixed_case(3, 1, 0);
+            let r = Driver::run(&case, opts).expect("sandbox must contain every panic");
+            // With every probe compile panicking nothing can be *proven*
+            // safe, so the driver degrades to pessimism — never to a
+            // silently-wrong no-alias. Output correctness is untouched.
+            assert!(!r.fully_optimistic, "{strategy:?}");
+            assert!(r.failures.panics > 0, "{strategy:?}: {:?}", r.failures);
+            assert!(r.failures.quarantined > 0, "{strategy:?}: {:?}", r.failures);
+            assert_eq!(r.baseline_run.stdout, r.final_run.stdout);
+            assert!(
+                sink.events().iter().any(|e| e.kind == ProbeKind::Faulted),
+                "{strategy:?}: quarantined probes must be visible in the trace"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_build_closure_is_contained() {
+        oraql_faults::quiet_injected_panics();
+        let bad = TestCase::new("explodes", || -> Module {
+            std::panic::panic_any(InjectedPanic("build closure"))
+        });
+        let cases = vec![bad, mixed_case(2, 0, 0)];
+        for jobs in [1, 2] {
+            let rs = run_suite(
+                &cases,
+                &DriverOptions {
+                    jobs,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                matches!(rs[0], Err(DriverError::CasePanicked(_))),
+                "jobs={jobs}: {:?}",
+                rs[0].as_ref().err()
+            );
+            // The sibling case is unaffected by the panicking one.
+            assert!(rs[1].as_ref().unwrap().fully_optimistic, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn corrupt_store_hits_are_discarded_and_recomputed() {
+        let dir = std::env::temp_dir().join(format!("oraql_chaos_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verdicts.journal");
+        let case = mixed_case(3, 1, 1);
+
+        let store = Arc::new(Store::open(&path).unwrap());
+        let cold = Driver::run(
+            &case,
+            DriverOptions {
+                store: Some(Arc::clone(&store)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        drop(store);
+
+        // Warm run, but every store hit is reported corrupt: the driver
+        // must fall back to recomputing instead of trusting rotten data.
+        let store = Arc::new(Store::open(&path).unwrap());
+        let plan = FaultPlan::quiet(5).with_rate(FaultSite::StoreReadCorrupt, Rate::always());
+        let mut opts = chaos_opts(plan);
+        opts.store = Some(Arc::clone(&store));
+        let warm = Driver::run(&case, opts).unwrap();
+        assert!(warm.failures.store_corrupt > 0, "{:?}", warm.failures);
+        assert!(warm.effort.tests_run > 0, "{:?}", warm.effort);
+        assert_eq!(cold.decisions, warm.decisions);
+        assert_eq!(cold.final_run.stdout, warm.final_run.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_workers_do_not_lose_verdicts() {
+        let case = mixed_case(4, 2, 2);
+        let seq = Driver::run(&case, DriverOptions::default()).unwrap();
+        let plan = FaultPlan::quiet(11).with_rate(FaultSite::WorkerPoison, Rate::new(1, 3));
+        let mut opts = chaos_opts(plan);
+        opts.jobs = 4;
+        let chaotic = Driver::run(&case, opts).unwrap();
+        // A poisoned worker drops its result channel; the waiter
+        // recomputes inline, so decisions and output are unchanged.
+        assert_eq!(seq.decisions, chaotic.decisions);
+        assert_eq!(seq.final_run.stdout, chaotic.final_run.stdout);
     }
 }

@@ -51,12 +51,15 @@ pub mod textpat;
 pub mod trace;
 pub mod verify;
 
+pub use oraql_faults as faults;
 pub use oraql_store as store;
 
 pub use compile::{compile, CompileOptions, Compiled, Scope};
 pub use driver::{
-    run_many, run_suite, Driver, DriverOptions, DriverResult, TestCase, VerdictCaches,
+    run_many, run_suite, Driver, DriverError, DriverOptions, DriverResult, FailureStats,
+    ProbeFailure, TestCase, VerdictCaches,
 };
+pub use oraql_faults::{FaultInjector, FaultPlan, FaultSite, InjectedPanic};
 pub use oraql_store::{StatsSnapshot, Store, StoreError, StoreStats};
 pub use pass::{OraqlAA, OraqlShared, OraqlStats};
 pub use pool::{CancelToken, WorkerPool};

@@ -22,18 +22,28 @@
 //!   expensive work. A job already past that check runs to completion;
 //!   cancellation then merely means nobody consumes its result (the
 //!   shared verdict cache still keeps the work from being wasted).
-//! * Dropping the pool closes the queue and joins every worker, so all
-//!   borrowed-free (`'static`) state captured by pending jobs is
-//!   released deterministically.
+//! * A job that panics takes down only its own worker thread: the pool
+//!   detects the unwind and spawns a replacement, so the configured
+//!   `--jobs` width survives any number of misbehaving probes. The
+//!   panicked job's result channel is dropped, which its consumer
+//!   observes as a disconnect (see `Driver::wait_probe`). Counted in
+//!   [`WorkerPool::panics`] / [`WorkerPool::respawns`].
+//! * Dropping the pool closes the queue and joins every worker
+//!   (replacements included), so all borrowed-free (`'static`) state
+//!   captured by pending jobs is released deterministically.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{
-    atomic::{AtomicBool, Ordering},
-    Arc, Mutex,
+    atomic::{AtomicBool, AtomicU64, Ordering},
+    Arc, Mutex, MutexGuard,
 };
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Advisory cancellation flag shared between a submitter and a queued
 /// job. See the module docs for the exact semantics.
@@ -52,18 +62,68 @@ impl CancelToken {
     }
 }
 
+/// State shared between the pool handle and every worker thread.
+struct Shared {
+    rx: Mutex<Receiver<Job>>,
+    /// Live worker handles. Respawned workers push here, so `Drop` must
+    /// keep popping until empty rather than iterate a snapshot.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
 /// A fixed-size pool of worker threads draining one job queue.
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    width: usize,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.width)
+            .field("panics", &self.panics())
             .finish()
     }
+}
+
+/// Armed for the lifetime of a worker thread; if the thread unwinds
+/// out of a panicking job, `Drop` spawns a replacement so the pool
+/// keeps its configured width.
+struct RespawnGuard(Arc<Shared>);
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return; // clean exit: the queue was closed
+        }
+        self.0.panics.fetch_add(1, Ordering::Relaxed);
+        if self.0.shutdown.load(Ordering::Acquire) {
+            return; // pool is being dropped; no point replacing
+        }
+        // This runs during unwind, so it must not panic (that would
+        // abort the process). A failed spawn just leaves the pool one
+        // worker short — still functional as long as one survives.
+        if spawn_worker(&self.0).is_ok() {
+            self.0.respawns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>) -> std::io::Result<()> {
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let s = Arc::clone(shared);
+    let h = std::thread::Builder::new()
+        .name(format!("oraql-probe-{id}"))
+        .spawn(move || {
+            let _guard = RespawnGuard(Arc::clone(&s));
+            worker_loop(&s.rx);
+        })?;
+    lock_ignore_poison(&shared.handles).push(h);
+    Ok(())
 }
 
 impl WorkerPool {
@@ -71,46 +131,61 @@ impl WorkerPool {
     pub fn new(jobs: usize) -> Self {
         let jobs = jobs.max(1);
         let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..jobs)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("oraql-probe-{i}"))
-                    .spawn(move || worker_loop(&rx))
-                    .expect("spawn pool worker")
-            })
-            .collect();
+        let shared = Arc::new(Shared {
+            rx: Mutex::new(rx),
+            handles: Mutex::new(Vec::with_capacity(jobs)),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        for _ in 0..jobs {
+            spawn_worker(&shared).expect("spawn pool worker");
+        }
         WorkerPool {
             tx: Some(tx),
-            workers,
+            shared,
+            width: jobs,
         }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool maintains.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.width
+    }
+
+    /// How many jobs have panicked (and unwound a worker) so far.
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// How many replacement workers were spawned after panics. Normally
+    /// equals [`WorkerPool::panics`]; lags it only if a respawn itself
+    /// failed (thread exhaustion) or the panic raced pool shutdown.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job. Panics if called after the pool was shut down
     /// (impossible through the public API — shutdown happens in `Drop`).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        // The receiver lives in `shared`, which we hold, so the channel
+        // outlives any worker crash: send cannot fail while the pool
+        // itself is alive.
         self.tx
             .as_ref()
             .expect("pool alive")
             .send(Box::new(job))
-            .expect("pool workers alive");
+            .expect("pool queue alive");
     }
 }
 
 fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
         // Hold the receiver lock only while dequeuing, never while
-        // running a job.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
+        // running a job. A panicked sibling may have poisoned the
+        // mutex; the receiver state is still sound, so keep draining.
+        let job = lock_ignore_poison(rx).recv();
         match job {
             Ok(job) => job(),
             Err(_) => return, // queue closed: pool is shutting down
@@ -120,9 +195,19 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
         drop(self.tx.take()); // close the queue
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+                              // Joining a panicked worker returns only after its unwind — and
+                              // thus its respawn push — completes, so popping until empty
+                              // also collects every replacement worker.
+        loop {
+            let h = lock_ignore_poison(&self.shared.handles).pop();
+            match h {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -130,7 +215,19 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+
+    /// The panic/respawn counters are bumped during the dying thread's
+    /// unwind, which can lag the replacement worker picking up the next
+    /// job — so tests await them instead of asserting immediately.
+    fn await_counts(pool: &WorkerPool, panics: u64, respawns: u64) {
+        for _ in 0..5_000 {
+            if pool.panics() == panics && pool.respawns() == respawns {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!((pool.panics(), pool.respawns()), (panics, respawns));
+    }
 
     #[test]
     fn runs_all_jobs_bounded() {
@@ -195,5 +292,53 @@ mod tests {
             let _ = tx.send(7u8);
         });
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn panicking_job_respawns_worker() {
+        oraql_faults::quiet_injected_panics();
+        // Width 1: if the panicked worker were not replaced, the second
+        // job could never run and recv() below would hang forever.
+        let pool = WorkerPool::new(1);
+        let (ptx, prx) = channel();
+        pool.submit(move || {
+            let _ = ptx.send(());
+            std::panic::panic_any(oraql_faults::InjectedPanic("pool test"));
+        });
+        prx.recv().unwrap();
+        let (tx, rx) = channel();
+        pool.submit(move || {
+            let _ = tx.send(42u8);
+        });
+        assert_eq!(rx.recv().unwrap(), 42);
+        await_counts(&pool, 1, 1);
+    }
+
+    #[test]
+    fn pool_survives_repeated_panics() {
+        oraql_faults::quiet_injected_panics();
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = channel();
+        for i in 0..16u64 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                let _ = tx.send(i);
+                if i % 3 == 0 {
+                    std::panic::panic_any(oraql_faults::InjectedPanic("chaos"));
+                }
+            });
+        }
+        let mut got: Vec<u64> = (0..16).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        await_counts(&pool, 6, 6); // panics at i = 0, 3, 6, 9, 12, 15
+    }
+
+    #[test]
+    fn drop_after_panic_does_not_hang() {
+        oraql_faults::quiet_injected_panics();
+        let pool = WorkerPool::new(2);
+        pool.submit(|| std::panic::panic_any(oraql_faults::InjectedPanic("late")));
+        drop(pool); // must join the replacement worker too
     }
 }

@@ -162,6 +162,8 @@ pub struct TraceSummary {
     pub store_hits: u64,
     /// Probes answered by the Fig. 2 deduction rule.
     pub deduced: u64,
+    /// Probes that failed in the sandbox and degraded to may-alias.
+    pub faulted: u64,
     /// Probes launched speculatively for a bisection sibling.
     pub speculative: u64,
     /// Passing verdicts.
@@ -181,6 +183,7 @@ impl TraceSummary {
             ProbeKind::DecisionCacheHit => self.dec_cache_hits += 1,
             ProbeKind::StoreHit => self.store_hits += 1,
             ProbeKind::Deduced => self.deduced += 1,
+            ProbeKind::Faulted => self.faulted += 1,
         }
         if e.speculative {
             self.speculative += 1;
@@ -217,7 +220,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>6} {:>10}",
+        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>6} {:>10}",
         "case",
         "probes",
         "executed",
@@ -225,6 +228,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
         "dec-cache",
         "store",
         "deduced",
+        "faulted",
         "spec",
         "wall(ms)"
     );
@@ -232,7 +236,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
     for (name, t) in &per_case {
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
             name,
             t.probes,
             t.executed,
@@ -240,6 +244,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
             t.dec_cache_hits,
             t.store_hits,
             t.deduced,
+            t.faulted,
             t.speculative,
             t.wall_micros as f64 / 1000.0
         );
@@ -248,7 +253,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
         let t = summarize_trace(events);
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
             "TOTAL",
             t.probes,
             t.executed,
@@ -256,6 +261,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
             t.dec_cache_hits,
             t.store_hits,
             t.deduced,
+            t.faulted,
             t.speculative,
             t.wall_micros as f64 / 1000.0
         );
@@ -394,14 +400,16 @@ mod tests {
             trace_event("a", ProbeKind::Deduced, false),
             trace_event("b", ProbeKind::DecisionCacheHit, true),
             trace_event("b", ProbeKind::StoreHit, true),
+            trace_event("b", ProbeKind::Faulted, false),
         ];
         let t = summarize_trace(&events);
-        assert_eq!(t.probes, 5);
+        assert_eq!(t.probes, 6);
         assert_eq!(t.executed, 1);
         assert_eq!(t.exe_cache_hits, 1);
         assert_eq!(t.dec_cache_hits, 1);
         assert_eq!(t.store_hits, 1);
         assert_eq!(t.deduced, 1);
+        assert_eq!(t.faulted, 1);
         assert_eq!(t.speculative, 1);
         assert_eq!(t.passes, 3);
         assert_eq!(t.max_unique, 9);

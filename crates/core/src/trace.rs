@@ -50,6 +50,10 @@ pub enum ProbeKind {
     StoreHit,
     /// Answered by the Fig. 2 deduction rule (known-fail, no test).
     Deduced,
+    /// An injected or genuine probe failure consumed this answer: the
+    /// sandbox exhausted its retries (or hit corruption) and degraded
+    /// to the pessimistic may-alias verdict (`pass = false`).
+    Faulted,
 }
 
 impl ProbeKind {
@@ -61,6 +65,7 @@ impl ProbeKind {
             ProbeKind::DecisionCacheHit => "dec-cache",
             ProbeKind::StoreHit => "store",
             ProbeKind::Deduced => "deduced",
+            ProbeKind::Faulted => "faulted",
         }
     }
 
@@ -71,6 +76,7 @@ impl ProbeKind {
             "dec-cache" => ProbeKind::DecisionCacheHit,
             "store" => ProbeKind::StoreHit,
             "deduced" => ProbeKind::Deduced,
+            "faulted" => ProbeKind::Faulted,
             _ => return None,
         })
     }
@@ -295,6 +301,7 @@ mod tests {
             ProbeKind::DecisionCacheHit,
             ProbeKind::StoreHit,
             ProbeKind::Deduced,
+            ProbeKind::Faulted,
         ]
         .into_iter()
         .enumerate()

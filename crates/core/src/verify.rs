@@ -172,4 +172,70 @@ mod tests {
             _ => panic!(),
         }
     }
+
+    #[test]
+    fn truncated_output_pinpoints_first_missing_line() {
+        // A probe killed mid-run (trap, fuel, injected hang) leaves a
+        // truncated stdout; the mismatch must point at the first line
+        // the reference still expected.
+        let v = Verifier::exact("header\nrow 1\nrow 2\nchecksum=9\n".into());
+        let e = v.check("header\nrow 1\n").unwrap_err();
+        assert_eq!(
+            e,
+            Mismatch::OutputDiffers {
+                line: 3,
+                expected: "row 2".into(),
+                actual: "<missing>".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn extra_trailing_output_is_a_mismatch() {
+        // Garbage appended after a correct transcript (e.g. a corrupted
+        // write) is classified at the first extra line, with the
+        // reference side reported missing.
+        let v = Verifier::exact("a\nb\n".into());
+        let e = v.check("a\nb\n\u{7f}garbled probe output\n").unwrap_err();
+        assert_eq!(
+            e,
+            Mismatch::OutputDiffers {
+                line: 3,
+                expected: "<missing>".into(),
+                actual: "\u{7f}garbled probe output".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn ignore_patterns_do_not_excuse_truncation_or_extras() {
+        // An ignore pattern excuses value drift on a line both sides
+        // *have* — it must not excuse a line that exists on only one
+        // side, even if the present side matches the pattern.
+        let v = Verifier::new(
+            vec!["checksum=42\nRuntime: 100 cycles\n".into()],
+            &["Runtime: <int> cycles".into()],
+        );
+        // Truncated: the volatile line is missing entirely.
+        let e = v.check("checksum=42\n").unwrap_err();
+        assert_eq!(
+            e,
+            Mismatch::OutputDiffers {
+                line: 2,
+                expected: "Runtime: 100 cycles".into(),
+                actual: "<missing>".into(),
+            }
+        );
+        // Extra: a second volatile-shaped line the reference never had.
+        let extra = "checksum=42\nRuntime: 97 cycles\nRuntime: 3 cycles\n";
+        let e = v.check(extra).unwrap_err();
+        assert_eq!(
+            e,
+            Mismatch::OutputDiffers {
+                line: 3,
+                expected: "<missing>".into(),
+                actual: "Runtime: 3 cycles".into(),
+            }
+        );
+    }
 }

@@ -54,7 +54,13 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Chaos-testing hook: may mutate (bit-flip) or truncate (tear) an
+/// encoded record frame just before it is written to the journal.
+/// Returns `true` when it corrupted the frame. See
+/// [`Store::set_write_corruptor`].
+pub type WriteCorruptor = Arc<dyn Fn(&mut Vec<u8>) -> bool + Send + Sync>;
 
 /// Errors opening or maintaining a store.
 #[derive(Debug)]
@@ -134,11 +140,23 @@ struct Inner {
 
 /// A handle to one on-disk verdict store. Cheap to share via `Arc`;
 /// every operation is safe from any thread.
-#[derive(Debug)]
 pub struct Store {
     path: PathBuf,
     stats: StoreStats,
     inner: Mutex<Inner>,
+    /// Fault-injection hook applied to encoded frames before append.
+    corruptor: Mutex<Option<WriteCorruptor>>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("path", &self.path)
+            .field("stats", &self.stats)
+            .field("inner", &self.inner)
+            .field("corruptor", &lock_ignore_poison(&self.corruptor).is_some())
+            .finish()
+    }
 }
 
 /// Separator between the joined reference outputs of one record
@@ -239,7 +257,18 @@ impl Store {
                 lock,
                 scanned,
             }),
+            corruptor: Mutex::new(None),
         })
+    }
+
+    /// Installs (or clears) a chaos-testing [`WriteCorruptor`]. While
+    /// set, every appended frame is offered to the hook first; a frame
+    /// the hook corrupts still lands in this handle's in-memory maps —
+    /// exactly like real silent disk rot, the damage is only discovered
+    /// (checksum-skipped and counted) by the next process that scans
+    /// the journal. Counted in [`StatsSnapshot::injected_corrupt`].
+    pub fn set_write_corruptor(&self, c: Option<WriteCorruptor>) {
+        *lock_ignore_poison(&self.corruptor) = c;
     }
 
     fn note_scan(stats: &StoreStats, scan: &Scan) {
@@ -340,7 +369,12 @@ impl Store {
         if live {
             return Ok(());
         }
-        let frame = r.encode();
+        let mut frame = r.encode();
+        if let Some(c) = lock_ignore_poison(&self.corruptor).as_ref() {
+            if c(&mut frame) {
+                StoreStats::bump(&self.stats.injected_corrupt, 1);
+            }
+        }
         inner.lock.lock_shared()?;
         let res = (|| {
             if !same_file(&inner.writer, &self.path) {
@@ -746,6 +780,63 @@ mod tests {
         let text = s.stats().to_string();
         assert!(text.contains("1 hits (1 exe / 0 dec)"), "{text}");
         assert!(text.contains("1 appends"), "{text}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn write_corruptor_bitflip_is_dropped_on_reopen() {
+        let path = tmp("corruptor_flip");
+        {
+            let s = Store::open(&path).unwrap();
+            s.record_exe(1, true, 10).unwrap();
+            // Flip one payload bit of every frame appended from here on.
+            s.set_write_corruptor(Some(Arc::new(|frame: &mut Vec<u8>| {
+                let last = frame.len() - 1;
+                frame[last] ^= 0x01;
+                true
+            })));
+            s.record_exe(2, true, 20).unwrap();
+            s.sync().unwrap();
+            // The writing handle still sees the record in memory —
+            // silent disk rot is invisible to the writer by design.
+            assert_eq!(s.exe_verdict(2), Some((true, 20)));
+            assert_eq!(s.stats().injected_corrupt, 1);
+        }
+        let s2 = Store::open(&path).unwrap();
+        assert_eq!(s2.exe_verdict(1), Some((true, 10)), "clean record kept");
+        assert_eq!(s2.exe_verdict(2), None, "corrupt record dropped");
+        assert_eq!(s2.stats().dropped_corrupt, 1);
+        assert_eq!(s2.stats().recovered, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn write_corruptor_torn_tail_is_truncated_on_reopen() {
+        let path = tmp("corruptor_torn");
+        {
+            let s = Store::open(&path).unwrap();
+            s.record_exe(1, true, 10).unwrap();
+            // Tear the frame in half, as if the process died mid-write.
+            s.set_write_corruptor(Some(Arc::new(|frame: &mut Vec<u8>| {
+                frame.truncate(frame.len() / 2);
+                true
+            })));
+            s.record_exe(2, false, 0).unwrap();
+            s.sync().unwrap();
+        }
+        let s2 = Store::open(&path).unwrap();
+        assert_eq!(s2.exe_verdict(1), Some((true, 10)));
+        assert_eq!(s2.exe_verdict(2), None, "torn record truncated away");
+        assert_eq!(s2.stats().dropped_torn, 1);
+        // Clearing the hook restores normal appends.
+        {
+            let s = Store::open(&path).unwrap();
+            s.set_write_corruptor(None);
+            s.record_exe(3, true, 30).unwrap();
+            s.sync().unwrap();
+        }
+        let s3 = Store::open(&path).unwrap();
+        assert_eq!(s3.exe_verdict(3), Some((true, 30)));
         cleanup(&path);
     }
 }

@@ -96,6 +96,10 @@ pub enum RuntimeError {
     FuelExhausted,
     /// Structural problem (should not happen on verified IR).
     BadProgram(String),
+    /// A chaos-testing fault injected via [`Interpreter::with_fault`].
+    /// Never produced by real execution; the probing driver classifies
+    /// it as a transient probe failure, not a verification verdict.
+    Injected(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -106,6 +110,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::DivByZero => write!(f, "division by zero"),
             RuntimeError::FuelExhausted => write!(f, "fuel exhausted"),
             RuntimeError::BadProgram(s) => write!(f, "bad program: {s}"),
+            RuntimeError::Injected(s) => write!(f, "injected fault: {s}"),
         }
     }
 }
@@ -116,6 +121,20 @@ impl From<MemError> for RuntimeError {
     fn from(e: MemError) -> Self {
         RuntimeError::Mem(e)
     }
+}
+
+/// A fault injected into one interpreter run (chaos testing; see the
+/// `oraql-faults` crate). Both execution engines honor it identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmFault {
+    /// [`Interpreter::run`] returns [`RuntimeError::Injected`] without
+    /// executing anything.
+    Trap,
+    /// The fuel budget is capped at this value, so healthy long-running
+    /// programs report [`RuntimeError::FuelExhausted`]. A program that
+    /// completes anyway produced its genuine (trustworthy) output: fuel
+    /// only bounds execution, it never changes semantics.
+    FuelLie(u64),
 }
 
 /// Result of a complete program run.
@@ -191,6 +210,9 @@ pub struct Interpreter<'m> {
     trace: Option<Vec<AccessEvent>>,
     next_frame: u64,
     mode: InterpMode,
+    /// Pending injected trap (chaos testing): checked once, at the next
+    /// top-level [`Interpreter::run`].
+    injected_trap: bool,
     /// Lazily built pre-decoded bodies, indexed by function id.
     decoded: Vec<Option<Rc<DecodedFunction>>>,
     /// Retired frame value arrays, reused by later decoded-mode calls
@@ -231,6 +253,7 @@ impl<'m> Interpreter<'m> {
             trace: None,
             next_frame: 0,
             mode: InterpMode::default(),
+            injected_trap: false,
             decoded: vec![None; m.funcs.len()],
             frame_pool: Vec::new(),
             arg_pool: Vec::new(),
@@ -262,6 +285,18 @@ impl<'m> Interpreter<'m> {
         self
     }
 
+    /// Arms an injected fault for the next [`Interpreter::run`] (chaos
+    /// testing; `None` is a no-op so call sites can thread an optional
+    /// plan through unconditionally).
+    pub fn with_fault(mut self, fault: Option<VmFault>) -> Self {
+        match fault {
+            Some(VmFault::Trap) => self.injected_trap = true,
+            Some(VmFault::FuelLie(cap)) => self.fuel = self.fuel.min(cap),
+            None => {}
+        }
+        self
+    }
+
     /// Runs the module's `main` function (no arguments) and returns the
     /// captured output and statistics.
     pub fn run_main(m: &'m Module) -> Result<RunOutcome, RuntimeError> {
@@ -282,6 +317,10 @@ impl<'m> Interpreter<'m> {
         entry: FunctionId,
         args: Vec<RtVal>,
     ) -> Result<Option<RtVal>, RuntimeError> {
+        if self.injected_trap {
+            self.injected_trap = false;
+            return Err(RuntimeError::Injected("trap before execution".into()));
+        }
         self.call(entry, args)
     }
 

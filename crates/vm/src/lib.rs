@@ -25,7 +25,8 @@ pub mod rtval;
 
 pub use decode::DecodedFunction;
 pub use interp::{
-    AccessEvent, ExecStats, InterpMode, Interpreter, RunOutcome, RuntimeError, DEFAULT_FUEL,
+    AccessEvent, ExecStats, InterpMode, Interpreter, RunOutcome, RuntimeError, VmFault,
+    DEFAULT_FUEL,
 };
 pub use machine::{lower_function, LowerError, MachineSummary};
 pub use rtval::RtVal;

@@ -5,6 +5,7 @@
 //! oraql --benchmark <name> [--strategy chunked|frequency] [--dump]
 //!       [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]
 //!       [--store <journal>] [--no-store]
+//!       [--fault-plan <spec>] [--probe-deadline-ms N]
 //!       [--emit-sequence <file>]            # save the final decisions
 //! oraql --benchmark <name> --replay <seq>   # compile+run a saved
 //!                                           # sequence (or @file)
@@ -28,6 +29,14 @@
 //! (`oraql-store`): probe verdicts are journaled across runs, so a warm
 //! re-run answers probes without compiling. A `store = <path>` config
 //! key does the same; `--no-store` overrides both.
+//!
+//! `--fault-plan <spec>` (e.g. `seed=42,vm-trap=1/16,compile-panic=1/32`)
+//! arms the deterministic fault injector on the probe path — chaos
+//! testing for the probe sandbox. Failed probes retry and then degrade
+//! to pessimistic may-alias; counters are reported per run and a fault
+//! summary is printed at exit. `--probe-deadline-ms N` puts each probe
+//! attempt under a wall-clock watchdog (0 disables). Config keys
+//! `fault_plan =` / `probe_deadline_ms =` do the same; the CLI wins.
 
 use oraql::config::Config;
 use oraql::report::{render_report, render_trace_summary, DumpFlags};
@@ -40,7 +49,8 @@ fn usage() -> ! {
         "usage: oraql --list\n       \
          oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n                \
          [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]\n                \
-         [--store <journal>] [--no-store]\n       \
+         [--store <journal>] [--no-store]\n                \
+         [--fault-plan <spec>] [--probe-deadline-ms N]\n       \
          oraql --config <file>\n       \
          oraql --all [--jobs N]"
     );
@@ -152,6 +162,23 @@ fn print_result(
             r.effort.tests_dec_cached, r.effort.spec_launched, r.effort.spec_cancelled
         );
     }
+    if !r.failures.is_quiet() {
+        // Sandbox events only happen under injected faults or genuine
+        // probe crashes; the line is omitted on healthy runs so their
+        // output stays byte-identical to earlier versions.
+        let f = &r.failures;
+        println!(
+            "sandbox: {} panics, {} deadlines, {} vm errors, {} mismatches, \
+             {} store-corrupt | {} retries, {} quarantined to may-alias",
+            f.panics,
+            f.deadlines,
+            f.vm_errors,
+            f.output_mismatches,
+            f.store_corrupt,
+            f.retries,
+            f.quarantined
+        );
+    }
     println!(
         "executed instructions: {} -> {} | host cycles: {} -> {} | device cycles: {} -> {}",
         r.baseline_run.stats.total_insts(),
@@ -250,6 +277,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut store_path: Option<String> = None;
     let mut no_store = false;
+    let mut fault_plan: Option<String> = None;
+    let mut probe_deadline_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -305,6 +334,18 @@ fn main() {
                 store_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--no-store" => no_store = true,
+            "--fault-plan" => {
+                i += 1;
+                fault_plan = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--probe-deadline-ms" => {
+                i += 1;
+                probe_deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--interp" => {
                 i += 1;
                 let v = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -356,6 +397,24 @@ fn main() {
     });
     opts.store = store.clone();
 
+    // CLI --fault-plan / --probe-deadline-ms win over the config keys.
+    let fault_plan = fault_plan.or_else(|| config.as_ref().and_then(|c| c.fault_plan.clone()));
+    let injector = fault_plan.as_deref().map(|spec| {
+        let plan = oraql::FaultPlan::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bad --fault-plan: {e}");
+            std::process::exit(2)
+        });
+        // Injected panics are expected noise under a fault plan; keep
+        // their backtrace banners off stderr.
+        oraql::faults::quiet_injected_panics();
+        std::sync::Arc::new(oraql::FaultInjector::new(plan))
+    });
+    opts.faults = injector.clone();
+    opts.probe_deadline = probe_deadline_ms
+        .or_else(|| config.as_ref().map(|c| c.probe_deadline_ms))
+        .filter(|&ms| ms > 0)
+        .map(std::time::Duration::from_millis);
+
     let code = if let (Some(name), Some(seq)) = (&benchmark, &replay_seq) {
         replay(name, seq, opts.interp)
     } else if all {
@@ -381,6 +440,16 @@ fn main() {
         let _ = store.sync();
         println!("--- verdict store ({path}) ---");
         println!("store: {}", store.stats());
+    }
+    if let (Some(inj), Some(spec)) = (&injector, &fault_plan) {
+        println!("--- fault injection ({spec}) ---");
+        for (site, occurrences, fired) in inj.summary() {
+            println!(
+                "{:20} {occurrences:>8} drawn {fired:>8} fired",
+                site.as_str()
+            );
+        }
+        println!("total faults fired: {}", inj.total_fired());
     }
     std::process::exit(code);
 }

@@ -14,6 +14,10 @@ cargo test -q --offline --test differential_interp
 # warm-run determinism), likewise by name.
 cargo test -q --offline -p oraql-store
 cargo test -q --offline --test store_persistence
+# The probe sandbox's robustness gates: the fault-injection harness
+# itself and the chaos suite over real workloads, likewise by name.
+cargo test -q --offline -p oraql-faults
+cargo test -q --offline --test chaos_faults
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -24,3 +28,7 @@ trap 'rm -rf "$STORE_TMP"' EXIT
 target/release/oraql -b testsnap --store "$STORE_TMP/verdicts.journal" > /dev/null
 target/release/oraql -b testsnap --store "$STORE_TMP/verdicts.journal" \
     | grep -E 'store: [1-9][0-9]* hits'
+
+# Chaos smoke: the whole suite under a fixed fault-plan seed matrix,
+# byte-identical across two runs, plus a parallel poisoning pass.
+sh scripts/chaos.sh

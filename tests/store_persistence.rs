@@ -138,6 +138,57 @@ fn one_store_serves_a_suite_of_cases() {
     assert_eq!(store.stats().misses, 0, "{:?}", store.stats());
 }
 
+/// Silent disk rot under a live suite: mid-suite, every frame starts
+/// hitting the journal with one payload bit flipped. The writing
+/// process never notices (in-memory maps are fine); the *next* open
+/// must checksum-skip exactly the rotten records without panicking,
+/// keep the clean ones, and a healing re-run converges.
+#[test]
+fn bitflipped_journal_mid_suite_heals_on_rerun() {
+    let scratch = Scratch::new("bitflip");
+    let store = Arc::new(Store::open(scratch.journal()).unwrap());
+    let clean = run_with_store("testsnap", &store);
+
+    let corruptor: oraql::store::WriteCorruptor = Arc::new(|frame: &mut Vec<u8>| {
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10; // one payload bit: checksum must catch it
+        true
+    });
+    store.set_write_corruptor(Some(corruptor));
+    let rotten = run_with_store("gridmini", &store);
+    let flipped = store.stats().injected_corrupt;
+    assert!(flipped > 0, "{:?}", store.stats());
+    store.set_write_corruptor(None);
+    store.sync().unwrap();
+    drop(store);
+
+    let store = Arc::new(Store::open(scratch.journal()).unwrap());
+    let stats = store.stats();
+    assert_eq!(stats.dropped_corrupt, flipped, "{stats:?}");
+    assert!(stats.recovered > 0, "{stats:?}");
+
+    // The case recorded before the rot is still fully store-served…
+    let warm = run_with_store("testsnap", &store);
+    assert_same_result("testsnap", &clean, &warm);
+    assert_eq!(warm.effort.tests_run, 0, "{:?}", warm.effort);
+
+    // …and the rotten case recomputes its lost verdicts and converges.
+    let healed = run_with_store("gridmini", &store);
+    assert_same_result("gridmini", &rotten, &healed);
+    // The rotten frames stay in the append-only journal until a
+    // compaction scrubs them.
+    store.compact().unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    // After healing + compaction everything is clean and warm.
+    let store = Arc::new(Store::open(scratch.journal()).unwrap());
+    assert_eq!(store.stats().dropped_corrupt, 0, "{:?}", store.stats());
+    let warm = run_with_store("gridmini", &store);
+    assert_same_result("gridmini", &rotten, &warm);
+    assert_eq!(warm.effort.tests_run, 0, "{:?}", warm.effort);
+}
+
 /// Compaction over a driver-populated journal preserves every verdict:
 /// the warm run over the compacted store is still compile-free and
 /// byte-identical.
