@@ -46,6 +46,10 @@ pub struct Config {
     /// Persistent verdict-store journal path (`store = <path>`; the
     /// CLI's `--no-store` overrides it).
     pub store: Option<String>,
+    /// Verdict-server address (`server = host:port` or `server =
+    /// unix:<path>`; the CLI's `--no-server` overrides it). Attaches
+    /// `oraql-served` as a third cache tier behind the local store.
+    pub server: Option<String>,
     /// Fault-injection plan spec (`fault_plan = seed=42,vm-trap=1/16`;
     /// see `oraql_faults::FaultPlan::parse`). Validated at parse time.
     pub fault_plan: Option<String>,
@@ -68,6 +72,7 @@ impl Default for Config {
             dump: false,
             interp: InterpMode::default(),
             store: None,
+            server: None,
             fault_plan: None,
             probe_deadline_ms: 0,
         }
@@ -128,6 +133,12 @@ impl Config {
                         return Err(format!("line {}: store needs a path", ln + 1));
                     }
                     cfg.store = Some(value.to_owned());
+                }
+                "server" => {
+                    if value.is_empty() {
+                        return Err(format!("line {}: server needs an address", ln + 1));
+                    }
+                    cfg.server = Some(value.to_owned());
                 }
                 "fault_plan" => {
                     oraql_faults::FaultPlan::parse(value)
@@ -204,6 +215,7 @@ mod tests {
         assert!(Config::parse("benchmark = x\nfuel = lots\n").is_err());
         assert!(Config::parse("benchmark = x\nnonsense line\n").is_err());
         assert!(Config::parse("benchmark = x\nstore =\n").is_err());
+        assert!(Config::parse("benchmark = x\nserver =\n").is_err());
     }
 
     #[test]
@@ -211,6 +223,15 @@ mod tests {
         let cfg = Config::parse("benchmark = x\nstore = .oraql/verdicts.journal\n").unwrap();
         assert_eq!(cfg.store.as_deref(), Some(".oraql/verdicts.journal"));
         assert_eq!(Config::parse("benchmark = x\n").unwrap().store, None);
+    }
+
+    #[test]
+    fn parses_server_address() {
+        let cfg = Config::parse("benchmark = x\nserver = 127.0.0.1:7437\n").unwrap();
+        assert_eq!(cfg.server.as_deref(), Some("127.0.0.1:7437"));
+        let cfg = Config::parse("benchmark = x\nserver = unix:/run/oraql.sock\n").unwrap();
+        assert_eq!(cfg.server.as_deref(), Some("unix:/run/oraql.sock"));
+        assert_eq!(Config::parse("benchmark = x\n").unwrap().server, None);
     }
 
     #[test]

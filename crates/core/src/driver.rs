@@ -22,7 +22,14 @@
 //! 3. the **executable-hash cache** — bit-identical recompilations
 //!    reuse the previous test verdict (the seed driver's cache, now a
 //!    `Mutex<HashMap>` shared across all probing threads of a suite);
-//! 4. an actual VM execution plus output verification.
+//! 4. the **verdict server** ([`oraql_served::Client`], when
+//!    [`DriverOptions::server`] is set) — the shared remote tier:
+//!    consulted in each key space only after the local tiers missed,
+//!    hits are written back locally, computed verdicts are written
+//!    through, and *any* failure degrades to the local tiers (counted
+//!    in [`FailureStats::server_down`], kept cheap by the client's
+//!    circuit breaker — see `docs/ARCHITECTURE.md` §7);
+//! 5. an actual VM execution plus output verification.
 //!
 //! Every verdict that reaches the in-memory caches is also appended to
 //! the store, and the accepted references are recorded under the case
@@ -32,7 +39,10 @@
 //! [`ProbeKind::StoreHit`] and counted into the existing effort
 //! counters (`tests_dec_cached` for compile-free answers, `tests_cached`
 //! for run-free answers); the store's own [`oraql_store::StoreStats`]
-//! record the persistent-tier economics.
+//! record the persistent-tier economics. Server hits are traced as
+//! [`ProbeKind::ServerHit`] and counted in [`ProbeEffort::tests_server`];
+//! the client's [`oraql_served::ClientStats`] record the remote-tier
+//! economics.
 //!
 //! # Concurrency and determinism contract
 //!
@@ -172,6 +182,14 @@ pub struct DriverOptions {
     /// function of the answered outcomes and therefore replays
     /// identically from stored (pass, unique) pairs.
     pub store: Option<Arc<Store>>,
+    /// Shared verdict-server client (CLI: `--server <addr>`), the
+    /// third cache tier behind the in-memory caches and the local
+    /// store. Lookups that miss locally are answered by the server and
+    /// written back; computed verdicts are written through. Every
+    /// server error degrades to the local tiers — the client's circuit
+    /// breaker makes an unreachable server cost nothing after the
+    /// first failed call, counted in [`FailureStats::server_down`].
+    pub server: Option<Arc<oraql_served::Client>>,
     /// Deterministic fault-injection plan applied to the probe path
     /// (CLI: `--fault-plan <spec>`). `None` (the default) injects
     /// nothing; the sandbox around each probe is active either way.
@@ -198,6 +216,7 @@ impl Default for DriverOptions {
             trace: None,
             interp: InterpMode::default(),
             store: None,
+            server: None,
             faults: None,
             probe_deadline: None,
             probe_retries: 2,
@@ -219,6 +238,9 @@ pub struct ProbeEffort {
     /// Probes answered from the decisions-digest cache without even
     /// recompiling (parallel driver only).
     pub tests_dec_cached: u64,
+    /// Probes answered by the verdict server (either key space) after
+    /// every local tier missed.
+    pub tests_server: u64,
     /// Speculative sibling probes launched on the worker pool.
     pub spec_launched: u64,
     /// Speculative probes cancelled before their verdict was consumed
@@ -321,6 +343,10 @@ pub enum ProbeFailure {
     /// discarded (`store-read-corrupt`). Never consumes a retry: the
     /// attempt falls through to a real compile instead.
     StoreCorrupt,
+    /// A verdict-server lookup failed (unreachable, timed out, or
+    /// answered garbage). Never consumes a retry: the attempt falls
+    /// back to the local tiers, exactly like [`ProbeFailure::StoreCorrupt`].
+    ServerDown,
 }
 
 impl std::fmt::Display for ProbeFailure {
@@ -331,6 +357,7 @@ impl std::fmt::Display for ProbeFailure {
             ProbeFailure::VmError(m) => write!(f, "injected VM error: {m}"),
             ProbeFailure::OutputMismatch => write!(f, "probe output garbled"),
             ProbeFailure::StoreCorrupt => write!(f, "store record corrupt"),
+            ProbeFailure::ServerDown => write!(f, "verdict server unreachable"),
         }
     }
 }
@@ -349,6 +376,9 @@ pub struct FailureStats {
     pub output_mismatches: u64,
     /// Store hits discarded as corrupt (the attempt then recomputed).
     pub store_corrupt: u64,
+    /// Verdict-server lookups that failed and fell back to the local
+    /// tiers (the circuit breaker keeps these cheap).
+    pub server_down: u64,
     /// Failed attempts that were retried.
     pub retries: u64,
     /// Probes that exhausted every retry and degraded to may-alias.
@@ -358,7 +388,12 @@ pub struct FailureStats {
 impl FailureStats {
     /// Total attempt-level failures (excluding the retry tally).
     pub fn total(&self) -> u64 {
-        self.panics + self.deadlines + self.vm_errors + self.output_mismatches + self.store_corrupt
+        self.panics
+            + self.deadlines
+            + self.vm_errors
+            + self.output_mismatches
+            + self.store_corrupt
+            + self.server_down
     }
 
     /// Did this run complete without a single sandbox event?
@@ -447,6 +482,10 @@ struct ProbeEngine {
     /// of the probed decision vector, so replaying them cannot perturb
     /// the bisection path.
     store: Option<Arc<Store>>,
+    /// Remote read/write tier behind the local store: the shared
+    /// verdict server. Consulted only after every local tier missed;
+    /// hits are written back locally so the next miss stays local.
+    server: Option<Arc<oraql_served::Client>>,
     effort: Mutex<ProbeEffort>,
     trace: Option<TraceSink>,
     trace_seq: AtomicU64,
@@ -560,6 +599,7 @@ impl ProbeEngine {
             ProbeFailure::VmError(_) => fs.vm_errors += 1,
             ProbeFailure::OutputMismatch => fs.output_mismatches += 1,
             ProbeFailure::StoreCorrupt => fs.store_corrupt += 1,
+            ProbeFailure::ServerDown => fs.server_down += 1,
         }
     }
 
@@ -718,6 +758,26 @@ impl ProbeEngine {
                 }
             }
         }
+        if let Some((pass, unique)) = self.server_get(digest, false) {
+            // Server decisions-digest tier: another tenant (or an
+            // earlier run of this machine) already answered this exact
+            // decision vector. Write the verdict back through the
+            // local tiers so the next miss never leaves the process.
+            self.effort().tests_server += 1;
+            if self.use_dec_cache {
+                lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+            }
+            self.store_dec(digest, pass, unique);
+            self.trace_event(
+                digest,
+                ProbeKind::ServerHit,
+                pass,
+                unique,
+                speculative,
+                started,
+            );
+            return Ok(Some(ProbeOutcome { pass, unique }));
+        }
         if cancel.is_some_and(|t| t.is_cancelled()) {
             return Ok(None);
         }
@@ -761,6 +821,7 @@ impl ProbeEngine {
                 lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
             }
             self.store_dec(digest, pass, unique);
+            self.server_put_dec(digest, pass, unique);
             self.trace_event(
                 digest,
                 ProbeKind::ExeCacheHit,
@@ -793,6 +854,11 @@ impl ProbeEngine {
                         lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
                     }
                     self.store_dec(digest, pass, unique);
+                    // Propagate the locally stored verdict to the
+                    // shared server under both keys: local corpora
+                    // seed the farm, not just the other way around.
+                    self.server_put_exe(h, pass, stored_unique);
+                    self.server_put_dec(digest, pass, unique);
                     self.trace_event(
                         digest,
                         ProbeKind::StoreHit,
@@ -804,6 +870,38 @@ impl ProbeEngine {
                     return Ok(Some(ProbeOutcome { pass, unique }));
                 }
             }
+        }
+        if let Some((pass, stored_unique)) = self.server_get(h, true) {
+            // Server executable-hash tier: some tenant ran this exact
+            // executable. Reuse its verdict, skip the run, and write it
+            // back through every local tier; the decisions-digest key
+            // is pushed to the server too, so the *next* tenant skips
+            // even the compile.
+            self.effort().tests_server += 1;
+            lock_ignore_poison(&self.caches.exe).insert(h, (pass, stored_unique));
+            if let Some(store) = &self.store {
+                let _ = store.record_exe(h, pass, stored_unique);
+            }
+            // Same unique-count reporting rule as the local exe tiers.
+            let unique = if self.use_dec_cache {
+                unique
+            } else {
+                stored_unique
+            };
+            if self.use_dec_cache {
+                lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+            }
+            self.store_dec(digest, pass, unique);
+            self.server_put_dec(digest, pass, unique);
+            self.trace_event(
+                digest,
+                ProbeKind::ServerHit,
+                pass,
+                unique,
+                speculative,
+                started,
+            );
+            return Ok(Some(ProbeOutcome { pass, unique }));
         }
         if cancel.is_some_and(|t| t.is_cancelled()) {
             return Ok(None);
@@ -857,6 +955,11 @@ impl ProbeEngine {
             let _ = store.record_exe(h, pass, unique);
         }
         self.store_dec(digest, pass, unique);
+        // Write the freshly computed verdict through to the shared
+        // server under both key spaces: this is how one tenant's probe
+        // bill becomes every tenant's warm cache.
+        self.server_put_exe(h, pass, unique);
+        self.server_put_dec(digest, pass, unique);
         self.trace_event(
             digest,
             ProbeKind::Executed,
@@ -877,6 +980,43 @@ impl ProbeEngine {
     fn store_dec(&self, digest: u64, pass: bool, unique: u64) {
         if let Some(store) = &self.store {
             let _ = store.record_dec(digest, pass, unique);
+        }
+    }
+
+    /// Remote lookup in the requested key space. A failed call counts
+    /// one [`ProbeFailure::ServerDown`] and reads as a miss — the
+    /// attempt falls back to the local tiers, and the client's circuit
+    /// breaker makes every call during the cooldown window free.
+    fn server_get(&self, key: u64, exe: bool) -> Option<(bool, u64)> {
+        let client = self.server.as_ref()?;
+        let res = if exe {
+            client.get_exe(key)
+        } else {
+            client.get_dec(key)
+        };
+        match res {
+            Ok(found) => found,
+            Err(_) => {
+                self.note_failure(&ProbeFailure::ServerDown);
+                None
+            }
+        }
+    }
+
+    /// Remote write-through of a decisions-digest verdict. Errors are
+    /// swallowed (the server is an accelerator, never a dependency);
+    /// the client's own counters record them.
+    fn server_put_dec(&self, digest: u64, pass: bool, unique: u64) {
+        if let Some(client) = &self.server {
+            let _ = client.put_dec(digest, pass, unique);
+        }
+    }
+
+    /// Remote write-through of an executable-hash verdict (same error
+    /// policy as [`ProbeEngine::server_put_dec`]).
+    fn server_put_exe(&self, h: u64, pass: bool, unique: u64) {
+        if let Some(client) = &self.server {
+            let _ = client.put_exe(h, pass, unique);
         }
     }
 }
@@ -931,6 +1071,11 @@ impl<'c> Driver<'c> {
             // anchor (same salt ⇒ same references, by construction).
             let _ = store.record_references(salt, &references);
         }
+        if let Some(server) = &opts.server {
+            // Same anchor record, shared tier. Errors are swallowed:
+            // an unreachable server degrades to the local store.
+            let _ = server.put_refs(salt, &references);
+        }
         let verifier = Verifier::new(references, &case.ignore_patterns);
         verifier
             .check(&baseline_run.stdout)
@@ -949,6 +1094,7 @@ impl<'c> Driver<'c> {
             use_dec_cache: opts.jobs > 1,
             caches,
             store: opts.store.clone(),
+            server: opts.server.clone(),
             effort: Mutex::new(ProbeEffort::default()),
             trace: opts.trace.clone(),
             trace_seq: AtomicU64::new(0),
@@ -1000,6 +1146,11 @@ impl<'c> Driver<'c> {
             // Checkpoint the journal once per case: bounds the loss
             // window on power failure without paying a sync per probe.
             let _ = store.sync();
+        }
+        if let Some(server) = &driver.opts.server {
+            // Same checkpoint for the shared tier: ask the server to
+            // group-fsync whatever this case appended.
+            let _ = server.sync();
         }
         let effort = *driver.engine.effort();
         let failures = *driver.engine.failures();

@@ -29,6 +29,13 @@
 //!   journal that makes warm re-runs answer probes without compiling.
 //!   Attached via [`DriverOptions`]'s `store` field (`--store` in the
 //!   CLI) as a write-through tier behind [`driver::VerdictCaches`].
+//! * [`served`] (the `oraql-served` crate) — the shared verdict
+//!   *server*: a daemon owning sharded journals, answering lookups from
+//!   an in-memory index and batching appends with group fsync, so many
+//!   concurrent drivers share one probe corpus. Attached via
+//!   [`DriverOptions`]'s `server` field (`--server ADDR` in the CLI) as
+//!   a third cache tier behind the local store, with circuit-breaker
+//!   fallback when the daemon is unreachable.
 //! * [`verify::Verifier`] — the verification script (§IV-C): compares
 //!   program output against one or more references, ignoring volatile
 //!   lines via [`textpat`] patterns.
@@ -52,6 +59,7 @@ pub mod trace;
 pub mod verify;
 
 pub use oraql_faults as faults;
+pub use oraql_served as served;
 pub use oraql_store as store;
 
 pub use compile::{compile, CompileOptions, Compiled, Scope};

@@ -160,6 +160,8 @@ pub struct TraceSummary {
     pub dec_cache_hits: u64,
     /// Probes answered from the persistent verdict store.
     pub store_hits: u64,
+    /// Probes answered by the shared verdict server.
+    pub server_hits: u64,
     /// Probes answered by the Fig. 2 deduction rule.
     pub deduced: u64,
     /// Probes that failed in the sandbox and degraded to may-alias.
@@ -182,6 +184,7 @@ impl TraceSummary {
             ProbeKind::ExeCacheHit => self.exe_cache_hits += 1,
             ProbeKind::DecisionCacheHit => self.dec_cache_hits += 1,
             ProbeKind::StoreHit => self.store_hits += 1,
+            ProbeKind::ServerHit => self.server_hits += 1,
             ProbeKind::Deduced => self.deduced += 1,
             ProbeKind::Faulted => self.faulted += 1,
         }
@@ -220,13 +223,14 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>6} {:>10}",
+        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>6} {:>10}",
         "case",
         "probes",
         "executed",
         "exe-cache",
         "dec-cache",
         "store",
+        "server",
         "deduced",
         "faulted",
         "spec",
@@ -236,13 +240,14 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
     for (name, t) in &per_case {
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
             name,
             t.probes,
             t.executed,
             t.exe_cache_hits,
             t.dec_cache_hits,
             t.store_hits,
+            t.server_hits,
             t.deduced,
             t.faulted,
             t.speculative,
@@ -253,13 +258,14 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
         let t = summarize_trace(events);
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
             "TOTAL",
             t.probes,
             t.executed,
             t.exe_cache_hits,
             t.dec_cache_hits,
             t.store_hits,
+            t.server_hits,
             t.deduced,
             t.faulted,
             t.speculative,
@@ -400,23 +406,26 @@ mod tests {
             trace_event("a", ProbeKind::Deduced, false),
             trace_event("b", ProbeKind::DecisionCacheHit, true),
             trace_event("b", ProbeKind::StoreHit, true),
+            trace_event("b", ProbeKind::ServerHit, true),
             trace_event("b", ProbeKind::Faulted, false),
         ];
         let t = summarize_trace(&events);
-        assert_eq!(t.probes, 6);
+        assert_eq!(t.probes, 7);
         assert_eq!(t.executed, 1);
         assert_eq!(t.exe_cache_hits, 1);
         assert_eq!(t.dec_cache_hits, 1);
         assert_eq!(t.store_hits, 1);
+        assert_eq!(t.server_hits, 1);
         assert_eq!(t.deduced, 1);
         assert_eq!(t.faulted, 1);
         assert_eq!(t.speculative, 1);
-        assert_eq!(t.passes, 3);
+        assert_eq!(t.passes, 4);
         assert_eq!(t.max_unique, 9);
         let per_case = summarize_trace_by_case(&events);
         assert_eq!(per_case.len(), 2);
         assert_eq!(per_case[0].0, "a");
         assert_eq!(per_case[0].1.probes, 3);
+        assert_eq!(per_case[1].1.server_hits, 1);
         let text = render_trace_summary(&events);
         assert!(text.contains("TOTAL"), "{text}");
         assert!(text.starts_with("case"), "{text}");

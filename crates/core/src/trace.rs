@@ -14,6 +14,8 @@
 //!   recompile (the decisions-digest cache, parallel driver only);
 //! * `store` — the persistent verdict store (`oraql-store`, enabled
 //!   with `--store`) answered from a previous process's work;
+//! * `server` — the shared verdict server (`oraql-served`, enabled
+//!   with `--server`) answered after every local tier missed;
 //! * `deduced` — the Fig. 2 deduction rule answered without a test.
 //!
 //! # Determinism contract
@@ -48,6 +50,9 @@ pub enum ProbeKind {
     /// Answered from the persistent verdict store (`oraql-store`): a
     /// prior *process* already knew this key.
     StoreHit,
+    /// Answered by the shared verdict server (`oraql-served`): another
+    /// *tenant* already paid for this probe.
+    ServerHit,
     /// Answered by the Fig. 2 deduction rule (known-fail, no test).
     Deduced,
     /// An injected or genuine probe failure consumed this answer: the
@@ -64,6 +69,7 @@ impl ProbeKind {
             ProbeKind::ExeCacheHit => "exe-cache",
             ProbeKind::DecisionCacheHit => "dec-cache",
             ProbeKind::StoreHit => "store",
+            ProbeKind::ServerHit => "server",
             ProbeKind::Deduced => "deduced",
             ProbeKind::Faulted => "faulted",
         }
@@ -75,6 +81,7 @@ impl ProbeKind {
             "exe-cache" => ProbeKind::ExeCacheHit,
             "dec-cache" => ProbeKind::DecisionCacheHit,
             "store" => ProbeKind::StoreHit,
+            "server" => ProbeKind::ServerHit,
             "deduced" => ProbeKind::Deduced,
             "faulted" => ProbeKind::Faulted,
             _ => return None,
@@ -300,6 +307,7 @@ mod tests {
             ProbeKind::ExeCacheHit,
             ProbeKind::DecisionCacheHit,
             ProbeKind::StoreHit,
+            ProbeKind::ServerHit,
             ProbeKind::Deduced,
             ProbeKind::Faulted,
         ]

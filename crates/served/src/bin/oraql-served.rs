@@ -1,0 +1,136 @@
+//! The `oraql-served` daemon and its operator CLI.
+//!
+//! ```text
+//! oraql-served serve --dir DIR [--listen ADDR] [--shards N]
+//!                    [--acceptors N] [--fsync-ms N]
+//! oraql-served ping|stats|sync|compact ADDR
+//! ```
+//!
+//! `serve` runs until killed; the journals are crash-safe, so SIGKILL
+//! at any point loses at most one fsync interval of acked writes and
+//! never corrupts recovery (see `docs/OPERATIONS.md`). The other
+//! subcommands are thin client wrappers for operators and scripts.
+
+use oraql_served::{Client, Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  oraql-served serve --dir DIR [--listen ADDR] [--shards N] [--acceptors N] [--fsync-ms N]
+  oraql-served ping ADDR
+  oraql-served stats ADDR
+  oraql-served sync ADDR
+  oraql-served compact ADDR
+
+ADDR is host:port for TCP or unix:<path> (or any string containing '/')
+for a Unix-domain socket. Default listen address: 127.0.0.1:7437.";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("oraql-served: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "serve" => serve(&args[1..]),
+        "ping" | "stats" | "sync" | "compact" => {
+            let Some(addr) = args.get(1) else {
+                return fail("missing ADDR (see --help)");
+            };
+            client_op(cmd, addr)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command `{other}` (see --help)")),
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut dir = None;
+    let mut listen = "127.0.0.1:7437".to_string();
+    let mut shards = 4usize;
+    let mut acceptors = 2usize;
+    let mut fsync_ms = 5u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match a.as_str() {
+            "--dir" => val("--dir").map(|v| dir = Some(v)),
+            "--listen" => val("--listen").map(|v| listen = v),
+            "--shards" => val("--shards").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad --shards `{v}`"))
+                    .map(|n| shards = n)
+            }),
+            "--acceptors" => val("--acceptors").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad --acceptors `{v}`"))
+                    .map(|n| acceptors = n)
+            }),
+            "--fsync-ms" => val("--fsync-ms").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad --fsync-ms `{v}`"))
+                    .map(|n| fsync_ms = n)
+            }),
+            other => Err(format!("unknown flag `{other}` (see --help)")),
+        };
+        if let Err(msg) = parsed {
+            return fail(&msg);
+        }
+    }
+    let Some(dir) = dir else {
+        return fail("serve requires --dir DIR");
+    };
+    let config = ServerConfig {
+        dir: dir.into(),
+        shards,
+        acceptors,
+        fsync_interval: Duration::from_millis(fsync_ms),
+    };
+    let server = match Server::start(&config, &listen) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot start: {e}")),
+    };
+    println!(
+        "oraql-served: listening on {}, {} shards in {}, {} records indexed",
+        server.addr(),
+        config.shards.max(1),
+        config.dir.display(),
+        server.indexed_records()
+    );
+    // Run until killed. The journals tolerate SIGKILL at any point;
+    // a clean `kill` (SIGTERM) also just drops the process — recovery
+    // on next start truncates at most one torn tail per shard.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn client_op(cmd: &str, addr: &str) -> ExitCode {
+    let client = Client::new(addr);
+    let res = match cmd {
+        "ping" => client.ping().map(|()| "pong".to_string()),
+        "stats" => client.server_stats(),
+        "sync" => client.sync().map(|()| "synced".to_string()),
+        "compact" => client.server_compact(),
+        _ => unreachable!("dispatched in main"),
+    };
+    match res {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}

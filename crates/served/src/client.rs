@@ -1,0 +1,447 @@
+//! The blocking client the driver embeds as its third cache tier.
+//!
+//! Design goals, in order:
+//!
+//! 1. **A dead server must not slow a probe down.** Connects and reads
+//!    are bounded by short timeouts, and after a failure the client
+//!    trips a circuit breaker: every call inside the cooldown window
+//!    fails instantly with [`ClientError::Unavailable`] without
+//!    touching the socket, so the driver's fallback to the local store
+//!    costs nothing.
+//! 2. **A restarted server heals transparently.** Every operation here
+//!    is idempotent (`GET`s are pure, `PUT`s are deduplicated by the
+//!    server's store), so a request that fails on a previously-healthy
+//!    connection is retried exactly once on a fresh connection before
+//!    the breaker trips.
+//!
+//! # Concurrency contract
+//!
+//! A [`Client`] is `Send + Sync`; share one per process in an `Arc`.
+//! The single underlying connection is behind a mutex — requests from
+//! many threads serialize, which is the correct protocol behavior
+//! (frames interleaved by two writers are garbage) and fine for the
+//! driver, whose probe loop talks to the server at most a few times
+//! per probe. Counters are atomics, readable at any time via
+//! [`Client::stats`].
+
+use crate::net::{Addr, Conn};
+use crate::protocol::{read_frame, write_frame, Request, Response, Status};
+use oraql_store::REF_SEP;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server is (or was recently) unreachable; the circuit
+    /// breaker is open. Callers should fall back to their local tier.
+    Unavailable(String),
+    /// The server answered with an error status.
+    Remote(Status, String),
+    /// The server answered bytes that do not decode as a response.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Unavailable(m) => write!(f, "verdict server unavailable: {m}"),
+            ClientError::Remote(s, m) if m.is_empty() => {
+                write!(f, "verdict server error: {}", s.as_str())
+            }
+            ClientError::Remote(s, m) => write!(f, "verdict server error: {} ({m})", s.as_str()),
+            ClientError::Protocol(m) => write!(f, "verdict server protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Live client counters (all monotone; relaxed loads/stores — they
+/// feed the CLI summary, not synchronization).
+#[derive(Debug, Default)]
+struct Counters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    appends: AtomicU64,
+    io_errors: AtomicU64,
+    fast_fails: AtomicU64,
+    connects: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+/// A plain-value copy of a client's counters at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// `GET` requests issued (dec + exe + refs).
+    pub lookups: u64,
+    /// `GET`s the server answered with a record.
+    pub hits: u64,
+    /// `PUT` requests issued.
+    pub appends: u64,
+    /// Requests that died on a real socket/protocol error.
+    pub io_errors: u64,
+    /// Requests refused instantly by the open circuit breaker.
+    pub fast_fails: u64,
+    /// Successful (re)connects.
+    pub connects: u64,
+    /// Request bytes written.
+    pub bytes_out: u64,
+    /// Response bytes read.
+    pub bytes_in: u64,
+}
+
+impl std::fmt::Display for ClientStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} lookups, {} appends, {} errors, {} fast-fails, {} connects",
+            self.hits, self.lookups, self.appends, self.io_errors, self.fast_fails, self.connects
+        )
+    }
+}
+
+/// Connection state behind the client's mutex.
+#[derive(Default)]
+struct Link {
+    conn: Option<Conn>,
+    /// While `Some` and in the future, the breaker is open: fail fast.
+    down_until: Option<Instant>,
+}
+
+/// A blocking verdict-server client with timeouts and a circuit
+/// breaker. See the module docs for the full contract.
+pub struct Client {
+    addr: Addr,
+    addr_str: String,
+    timeout: Duration,
+    cooldown: Duration,
+    link: Mutex<Link>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr_str)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Client {
+    /// Default per-request socket timeout.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(2);
+    /// Default circuit-breaker cooldown after a failure.
+    pub const DEFAULT_COOLDOWN: Duration = Duration::from_millis(250);
+
+    /// Builds a client for `addr` (see [`Addr::parse`] for the
+    /// grammar). No I/O happens here — the first request dials.
+    pub fn new(addr: &str) -> Client {
+        Client::with_timeouts(addr, Self::DEFAULT_TIMEOUT, Self::DEFAULT_COOLDOWN)
+    }
+
+    /// [`Client::new`] with explicit socket timeout and breaker
+    /// cooldown (tests use tiny cooldowns to exercise recovery).
+    pub fn with_timeouts(addr: &str, timeout: Duration, cooldown: Duration) -> Client {
+        Client {
+            addr: Addr::parse(addr),
+            addr_str: addr.to_string(),
+            timeout,
+            cooldown,
+            link: Mutex::new(Link::default()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The address string this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr_str
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ClientStats {
+        let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ClientStats {
+            lookups: r(&self.counters.lookups),
+            hits: r(&self.counters.hits),
+            appends: r(&self.counters.appends),
+            io_errors: r(&self.counters.io_errors),
+            fast_fails: r(&self.counters.fast_fails),
+            connects: r(&self.counters.connects),
+            bytes_out: r(&self.counters.bytes_out),
+            bytes_in: r(&self.counters.bytes_in),
+        }
+    }
+
+    /// One request/response exchange, with the breaker and the
+    /// retry-once-on-stale-connection policy described in the module
+    /// docs. Holds the connection mutex for the whole exchange.
+    fn request(&self, req: &Request) -> Result<Response, ClientError> {
+        let mut link = lock_ignore_poison(&self.link);
+        if let Some(until) = link.down_until {
+            if Instant::now() < until {
+                self.counters.fast_fails.fetch_add(1, Ordering::Relaxed);
+                return Err(ClientError::Unavailable("in cooldown".into()));
+            }
+            link.down_until = None;
+        }
+        let frame = req.encode();
+        // First pass may reuse a connection left by an earlier request;
+        // only a *reused* connection earns a retry (the server may have
+        // restarted since), a fresh dial's failure is definitive.
+        let reused = link.conn.is_some();
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let res = self.exchange(&mut link, &frame, req.op());
+            match res {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    link.conn = None;
+                    if reused && attempt == 1 {
+                        continue; // one fresh-connection retry
+                    }
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    link.down_until = Some(Instant::now() + self.cooldown);
+                    return Err(ClientError::Unavailable(e));
+                }
+            }
+        }
+    }
+
+    /// Sends `frame` and reads one response on the cached connection,
+    /// dialing first if needed. Errors are stringified for the caller
+    /// to wrap (every failure class here means "server unreachable or
+    /// incoherent", which the driver treats uniformly).
+    fn exchange(
+        &self,
+        link: &mut Link,
+        frame: &[u8],
+        op: crate::protocol::Op,
+    ) -> Result<Response, String> {
+        if link.conn.is_none() {
+            let conn = Conn::connect(&self.addr, self.timeout).map_err(|e| e.to_string())?;
+            conn.set_read_timeout(Some(self.timeout))
+                .map_err(|e| e.to_string())?;
+            conn.set_write_timeout(Some(self.timeout))
+                .map_err(|e| e.to_string())?;
+            self.counters.connects.fetch_add(1, Ordering::Relaxed);
+            link.conn = Some(conn);
+        }
+        // Checked is_none() above; keep the borrow local to this call.
+        let Some(conn) = link.conn.as_mut() else {
+            return Err("no connection".into());
+        };
+        write_frame(conn, frame).map_err(|e| e.to_string())?;
+        self.counters
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let payload = match read_frame(conn).map_err(|e| e.to_string())? {
+            Some(p) => p,
+            None => return Err("server closed the connection".into()),
+        };
+        self.counters
+            .bytes_in
+            .fetch_add((4 + payload.len()) as u64, Ordering::Relaxed);
+        Response::decode(op, &payload)
+    }
+
+    fn remote_err(resp: Response) -> ClientError {
+        match resp {
+            Response::Err(status, msg) => ClientError::Remote(status, msg),
+            other => ClientError::Protocol(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+
+    fn get_verdict(&self, req: Request) -> Result<Option<(bool, u64)>, ClientError> {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        match self.request(&req)? {
+            Response::Verdict { pass, unique } => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some((pass, unique)))
+            }
+            Response::NotFound => Ok(None),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+
+    /// Looks up a decisions-digest verdict.
+    pub fn get_dec(&self, key: u64) -> Result<Option<(bool, u64)>, ClientError> {
+        self.get_verdict(Request::GetDec { key })
+    }
+
+    /// Looks up an executable-hash verdict.
+    pub fn get_exe(&self, key: u64) -> Result<Option<(bool, u64)>, ClientError> {
+        self.get_verdict(Request::GetExe { key })
+    }
+
+    fn put(&self, req: Request) -> Result<(), ClientError> {
+        self.counters.appends.fetch_add(1, Ordering::Relaxed);
+        match self.request(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+
+    /// Appends a decisions-digest verdict.
+    pub fn put_dec(&self, key: u64, pass: bool, unique: u64) -> Result<(), ClientError> {
+        self.put(Request::PutDec { key, pass, unique })
+    }
+
+    /// Appends an executable-hash verdict.
+    pub fn put_exe(&self, key: u64, pass: bool, unique: u64) -> Result<(), ClientError> {
+        self.put(Request::PutExe { key, pass, unique })
+    }
+
+    /// Looks up the reference outputs stored for a case salt.
+    pub fn get_refs(&self, salt: u64) -> Result<Option<Vec<String>>, ClientError> {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        match self.request(&Request::GetRefs { salt })? {
+            Response::Text(joined) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(joined.split(REF_SEP).map(str::to_owned).collect()))
+            }
+            Response::NotFound => Ok(None),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+
+    /// Appends the accepted reference outputs for a case salt.
+    pub fn put_refs(&self, salt: u64, outputs: &[String]) -> Result<(), ClientError> {
+        self.put(Request::PutRefs {
+            salt,
+            refs: outputs.join(&REF_SEP.to_string()),
+        })
+    }
+
+    /// Fetches the server's `STATS` text.
+    pub fn server_stats(&self) -> Result<String, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Text(t) => Ok(t),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+
+    /// Forces a group fsync of every dirty shard.
+    pub fn sync(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Sync)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+
+    /// Compacts every shard journal; returns the per-shard summary.
+    pub fn server_compact(&self) -> Result<String, ClientError> {
+        match self.request(&Request::Compact)? {
+            Response::Text(t) => Ok(t),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oraql_client_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn breaker_fast_fails_then_recovers() {
+        let dir = scratch("breaker");
+        let cfg = ServerConfig::new(&dir);
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // Generous cooldown so the breaker is observably open.
+        let client = Client::with_timeouts(
+            &addr,
+            Duration::from_millis(500),
+            Duration::from_millis(200),
+        );
+        client.put_dec(1, true, 1).unwrap();
+        server.shutdown().unwrap();
+        // First call after the server died: a real error trips the breaker.
+        assert!(matches!(
+            client.get_dec(1),
+            Err(ClientError::Unavailable(_))
+        ));
+        let after_trip = client.stats().io_errors;
+        assert!(after_trip >= 1);
+        // Inside the cooldown: fail-fast, no new socket error.
+        assert!(matches!(
+            client.get_dec(1),
+            Err(ClientError::Unavailable(_))
+        ));
+        assert_eq!(client.stats().io_errors, after_trip);
+        assert!(client.stats().fast_fails >= 1);
+        // Restart on the same port and wait out the cooldown: heals.
+        let port_cfg = ServerConfig::new(&dir);
+        let server = Server::start(&port_cfg, &addr).unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(client.get_dec(1).unwrap(), Some((true, 1)));
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_once_survives_server_restart() {
+        let dir = scratch("retry");
+        let cfg = ServerConfig::new(&dir);
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let client = Client::new(&addr);
+        client.put_dec(5, true, 5).unwrap();
+        // Bounce the server; the client's cached connection is now
+        // stale, but the next request must succeed via the one-shot
+        // reconnect, not error.
+        server.shutdown().unwrap();
+        let server = Server::start(&cfg, &addr).unwrap();
+        assert_eq!(client.get_dec(5).unwrap(), Some((true, 5)));
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_handle() {
+        let dir = scratch("shared");
+        let server = Server::start(&ServerConfig::new(&dir), "127.0.0.1:0").unwrap();
+        let client = std::sync::Arc::new(Client::new(&server.addr()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = std::sync::Arc::clone(&client);
+                s.spawn(move || {
+                    for k in 0..25u64 {
+                        let key = t * 100 + k;
+                        c.put_dec(key, true, key).unwrap();
+                        assert_eq!(c.get_dec(key).unwrap(), Some((true, key)));
+                    }
+                });
+            }
+        });
+        assert_eq!(client.stats().appends, 100);
+        assert_eq!(client.stats().hits, 100);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

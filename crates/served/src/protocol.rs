@@ -1,0 +1,541 @@
+//! The verdict-server wire protocol: framing, operations, status codes.
+//!
+//! Everything on the wire is a **frame** — a little-endian `u32` length
+//! prefix followed by that many payload bytes:
+//!
+//! ```text
+//! frame:    len u32 LE | payload (len bytes)
+//! request:  version u8 | op u8     | body
+//! response: version u8 | status u8 | body
+//! ```
+//!
+//! The version byte is [`VERSION`]; a server that does not speak the
+//! client's version answers [`Status::BadVersion`] instead of guessing.
+//! The authoritative human-readable description (including a worked hex
+//! example that `tests/served_roundtrip.rs` pins against this module)
+//! lives in `docs/PROTOCOL.md`.
+//!
+//! # Concurrency contract
+//!
+//! The module is pure data plus blocking frame I/O helpers; nothing
+//! here holds state. [`read_frame`]/[`write_frame`] may be called from
+//! any thread on any `Read`/`Write`; one connection must not be shared
+//! between threads without external serialization (interleaved frames
+//! are garbage).
+
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build (request and response byte 0).
+pub const VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload. Mirrors the store journal's
+/// `MAX_PAYLOAD` defense: a corrupted or hostile length prefix must not
+/// force a multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Request operations (request byte 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Liveness check; empty body, empty `Ok` response.
+    Ping = 0x01,
+    /// Look up a decisions-digest verdict: body `key u64 LE`.
+    GetDec = 0x02,
+    /// Look up an executable-hash verdict: body `key u64 LE`.
+    GetExe = 0x03,
+    /// Append a decisions-digest verdict: body `key u64 | pass u8 | unique u64`.
+    PutDec = 0x04,
+    /// Append an executable-hash verdict: same body shape as [`Op::PutDec`].
+    PutExe = 0x05,
+    /// Look up the reference outputs for a case salt: body `salt u64 LE`.
+    GetRefs = 0x06,
+    /// Append reference outputs: body `salt u64 | utf8 bytes` (the
+    /// store's `\x1e`-joined encoding).
+    PutRefs = 0x07,
+    /// Server + per-shard counters as UTF-8 text; empty body.
+    Stats = 0x08,
+    /// Force a group fsync of every dirty shard now; empty body.
+    Sync = 0x09,
+    /// Compact every shard journal; empty body, text summary response.
+    Compact = 0x0a,
+}
+
+impl Op {
+    /// Decodes a request op byte.
+    pub fn from_byte(b: u8) -> Option<Op> {
+        Some(match b {
+            0x01 => Op::Ping,
+            0x02 => Op::GetDec,
+            0x03 => Op::GetExe,
+            0x04 => Op::PutDec,
+            0x05 => Op::PutExe,
+            0x06 => Op::GetRefs,
+            0x07 => Op::PutRefs,
+            0x08 => Op::Stats,
+            0x09 => Op::Sync,
+            0x0a => Op::Compact,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status codes (response byte 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; body is op-specific (see [`Response`]).
+    Ok = 0x00,
+    /// A lookup found no record for the key; empty body.
+    NotFound = 0x01,
+    /// The request payload could not be decoded; empty body.
+    BadFrame = 0x02,
+    /// The request op byte is unknown; empty body.
+    BadOp = 0x03,
+    /// The request version byte is not [`VERSION`]; body carries the
+    /// server's version byte.
+    BadVersion = 0x04,
+    /// The server hit an I/O error executing the request; body is a
+    /// UTF-8 error message.
+    Io = 0x05,
+}
+
+impl Status {
+    /// Decodes a response status byte.
+    pub fn from_byte(b: u8) -> Option<Status> {
+        Some(match b {
+            0x00 => Status::Ok,
+            0x01 => Status::NotFound,
+            0x02 => Status::BadFrame,
+            0x03 => Status::BadOp,
+            0x04 => Status::BadVersion,
+            0x05 => Status::Io,
+            _ => return None,
+        })
+    }
+
+    /// Stable human-readable name (used in errors and docs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::NotFound => "not-found",
+            Status::BadFrame => "bad-frame",
+            Status::BadOp => "bad-op",
+            Status::BadVersion => "bad-version",
+            Status::Io => "io-error",
+        }
+    }
+}
+
+/// One decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// [`Op::Ping`].
+    Ping,
+    /// [`Op::GetDec`].
+    GetDec {
+        /// Salted decisions digest.
+        key: u64,
+    },
+    /// [`Op::GetExe`].
+    GetExe {
+        /// Salted module hash.
+        key: u64,
+    },
+    /// [`Op::PutDec`].
+    PutDec {
+        /// Salted decisions digest.
+        key: u64,
+        /// Did the compiled program verify?
+        pass: bool,
+        /// Unique ORAQL queries the probe reported.
+        unique: u64,
+    },
+    /// [`Op::PutExe`].
+    PutExe {
+        /// Salted module hash.
+        key: u64,
+        /// Did the compiled program verify?
+        pass: bool,
+        /// Unique ORAQL queries the probe reported.
+        unique: u64,
+    },
+    /// [`Op::GetRefs`].
+    GetRefs {
+        /// Case salt.
+        salt: u64,
+    },
+    /// [`Op::PutRefs`].
+    PutRefs {
+        /// Case salt.
+        salt: u64,
+        /// `\x1e`-joined accepted reference outputs.
+        refs: String,
+    },
+    /// [`Op::Stats`].
+    Stats,
+    /// [`Op::Sync`].
+    Sync,
+    /// [`Op::Compact`].
+    Compact,
+}
+
+impl Request {
+    /// The op byte this request travels under.
+    pub fn op(&self) -> Op {
+        match self {
+            Request::Ping => Op::Ping,
+            Request::GetDec { .. } => Op::GetDec,
+            Request::GetExe { .. } => Op::GetExe,
+            Request::PutDec { .. } => Op::PutDec,
+            Request::PutExe { .. } => Op::PutExe,
+            Request::GetRefs { .. } => Op::GetRefs,
+            Request::PutRefs { .. } => Op::PutRefs,
+            Request::Stats => Op::Stats,
+            Request::Sync => Op::Sync,
+            Request::Compact => Op::Compact,
+        }
+    }
+
+    fn body(&self) -> Vec<u8> {
+        match self {
+            Request::Ping | Request::Stats | Request::Sync | Request::Compact => Vec::new(),
+            Request::GetDec { key } | Request::GetExe { key } | Request::GetRefs { salt: key } => {
+                key.to_le_bytes().to_vec()
+            }
+            Request::PutDec { key, pass, unique } | Request::PutExe { key, pass, unique } => {
+                let mut b = Vec::with_capacity(17);
+                b.extend_from_slice(&key.to_le_bytes());
+                b.push(u8::from(*pass));
+                b.extend_from_slice(&unique.to_le_bytes());
+                b
+            }
+            Request::PutRefs { salt, refs } => {
+                let mut b = Vec::with_capacity(8 + refs.len());
+                b.extend_from_slice(&salt.to_le_bytes());
+                b.extend_from_slice(refs.as_bytes());
+                b
+            }
+        }
+    }
+
+    /// Encodes the request as one complete frame (length prefix
+    /// included).
+    pub fn encode(&self) -> Vec<u8> {
+        frame(&[VERSION, self.op() as u8], &self.body())
+    }
+
+    /// Decodes a request from a frame *payload* (the bytes after the
+    /// length prefix). A decode failure maps onto the status the server
+    /// must answer with.
+    pub fn decode(payload: &[u8]) -> Result<Request, Status> {
+        let [version, op, body @ ..] = payload else {
+            return Err(Status::BadFrame);
+        };
+        if *version != VERSION {
+            return Err(Status::BadVersion);
+        }
+        let op = Op::from_byte(*op).ok_or(Status::BadOp)?;
+        let key_of = |b: &[u8]| -> Result<u64, Status> {
+            let raw: [u8; 8] = b.try_into().map_err(|_| Status::BadFrame)?;
+            Ok(u64::from_le_bytes(raw))
+        };
+        let verdict_of = |b: &[u8]| -> Result<(u64, bool, u64), Status> {
+            if b.len() != 17 {
+                return Err(Status::BadFrame);
+            }
+            let key = key_of(&b[0..8])?;
+            let pass = match b[8] {
+                0 => false,
+                1 => true,
+                _ => return Err(Status::BadFrame),
+            };
+            Ok((key, pass, key_of(&b[9..17])?))
+        };
+        Ok(match op {
+            Op::Ping | Op::Stats | Op::Sync | Op::Compact => {
+                if !body.is_empty() {
+                    return Err(Status::BadFrame);
+                }
+                match op {
+                    Op::Ping => Request::Ping,
+                    Op::Stats => Request::Stats,
+                    Op::Sync => Request::Sync,
+                    _ => Request::Compact,
+                }
+            }
+            Op::GetDec => Request::GetDec { key: key_of(body)? },
+            Op::GetExe => Request::GetExe { key: key_of(body)? },
+            Op::GetRefs => Request::GetRefs {
+                salt: key_of(body)?,
+            },
+            Op::PutDec => {
+                let (key, pass, unique) = verdict_of(body)?;
+                Request::PutDec { key, pass, unique }
+            }
+            Op::PutExe => {
+                let (key, pass, unique) = verdict_of(body)?;
+                Request::PutExe { key, pass, unique }
+            }
+            Op::PutRefs => {
+                if body.len() < 8 {
+                    return Err(Status::BadFrame);
+                }
+                Request::PutRefs {
+                    salt: key_of(&body[0..8])?,
+                    refs: String::from_utf8(body[8..].to_vec()).map_err(|_| Status::BadFrame)?,
+                }
+            }
+        })
+    }
+}
+
+/// One decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// [`Status::Ok`] with an empty body (ping, puts, sync).
+    Ok,
+    /// [`Status::Ok`] carrying a verdict (get-dec / get-exe).
+    Verdict {
+        /// Did the compiled program verify?
+        pass: bool,
+        /// Unique ORAQL queries the recorded probe reported.
+        unique: u64,
+    },
+    /// [`Status::Ok`] carrying UTF-8 text (refs, stats, compact
+    /// summaries).
+    Text(String),
+    /// [`Status::NotFound`] — the lookup key has no record.
+    NotFound,
+    /// Any error status; the string is the (possibly empty) body.
+    Err(Status, String),
+}
+
+impl Response {
+    /// Encodes the response as one complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok => frame(&[VERSION, Status::Ok as u8], &[]),
+            Response::Verdict { pass, unique } => {
+                let mut body = Vec::with_capacity(9);
+                body.push(u8::from(*pass));
+                body.extend_from_slice(&unique.to_le_bytes());
+                frame(&[VERSION, Status::Ok as u8], &body)
+            }
+            Response::Text(t) => frame(&[VERSION, Status::Ok as u8], t.as_bytes()),
+            Response::NotFound => frame(&[VERSION, Status::NotFound as u8], &[]),
+            Response::Err(status, msg) => frame(&[VERSION, *status as u8], msg.as_bytes()),
+        }
+    }
+
+    /// Decodes a response from a frame payload. `op` is the request
+    /// this response answers — `Ok` bodies are op-specific.
+    pub fn decode(op: Op, payload: &[u8]) -> Result<Response, String> {
+        let [version, status, body @ ..] = payload else {
+            return Err("short response payload".into());
+        };
+        if *version != VERSION {
+            return Err(format!("server speaks protocol version {version}"));
+        }
+        let status = Status::from_byte(*status)
+            .ok_or_else(|| format!("unknown response status {status:#04x}"))?;
+        match status {
+            Status::Ok => Ok(match op {
+                Op::GetDec | Op::GetExe => {
+                    if body.len() != 9 || body[0] > 1 {
+                        return Err("malformed verdict body".into());
+                    }
+                    let raw: [u8; 8] = body[1..9].try_into().map_err(|_| "short verdict body")?;
+                    Response::Verdict {
+                        pass: body[0] == 1,
+                        unique: u64::from_le_bytes(raw),
+                    }
+                }
+                Op::GetRefs | Op::Stats | Op::Compact => Response::Text(
+                    String::from_utf8(body.to_vec()).map_err(|_| "non-UTF-8 text body")?,
+                ),
+                Op::Ping | Op::PutDec | Op::PutExe | Op::PutRefs | Op::Sync => Response::Ok,
+            }),
+            Status::NotFound => Ok(Response::NotFound),
+            err => Ok(Response::Err(
+                err,
+                String::from_utf8_lossy(body).into_owned(),
+            )),
+        }
+    }
+}
+
+fn frame(head: &[u8], body: &[u8]) -> Vec<u8> {
+    let len = head.len() + body.len();
+    let mut f = Vec::with_capacity(4 + len);
+    f.extend_from_slice(&(len as u32).to_le_bytes());
+    f.extend_from_slice(head);
+    f.extend_from_slice(body);
+    f
+}
+
+/// Reads one frame and returns its payload. `Ok(None)` is a clean EOF
+/// *between* frames (the peer hung up); EOF mid-frame, or a length
+/// prefix past [`MAX_FRAME`], is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one already-encoded frame (as produced by
+/// [`Request::encode`] / [`Response::encode`]).
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::GetDec { key: 7 },
+            Request::GetExe { key: u64::MAX },
+            Request::PutDec {
+                key: 0x0123_4567_89ab_cdef,
+                pass: true,
+                unique: 42,
+            },
+            Request::PutExe {
+                key: 1,
+                pass: false,
+                unique: 0,
+            },
+            Request::GetRefs { salt: 99 },
+            Request::PutRefs {
+                salt: 3,
+                refs: "checksum 1.5\n\x1eother\n".into(),
+            },
+            Request::Stats,
+            Request::Sync,
+            Request::Compact,
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in all_requests() {
+            let f = req.encode();
+            let len = u32::from_le_bytes(f[0..4].try_into().unwrap()) as usize;
+            assert_eq!(len, f.len() - 4, "{req:?}");
+            assert_eq!(Request::decode(&f[4..]), Ok(req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let cases = [
+            (Op::Ping, Response::Ok),
+            (
+                Op::GetDec,
+                Response::Verdict {
+                    pass: true,
+                    unique: 42,
+                },
+            ),
+            (
+                Op::GetExe,
+                Response::Verdict {
+                    pass: false,
+                    unique: 0,
+                },
+            ),
+            (Op::GetExe, Response::NotFound),
+            (Op::GetRefs, Response::Text("a\x1eb".into())),
+            (Op::Stats, Response::Text("total: 0 lookups".into())),
+            (Op::PutDec, Response::Ok),
+            (Op::Sync, Response::Ok),
+            (Op::Compact, Response::Text("compacted 3 shards".into())),
+            (Op::Ping, Response::Err(Status::BadOp, String::new())),
+            (Op::GetDec, Response::Err(Status::Io, "disk died".into())),
+        ];
+        for (op, resp) in cases {
+            let f = resp.encode();
+            assert_eq!(Response::decode(op, &f[4..]), Ok(resp.clone()), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_classify() {
+        assert_eq!(Request::decode(&[]), Err(Status::BadFrame));
+        assert_eq!(Request::decode(&[VERSION]), Err(Status::BadFrame));
+        assert_eq!(
+            Request::decode(&[9, Op::Ping as u8]),
+            Err(Status::BadVersion)
+        );
+        assert_eq!(Request::decode(&[VERSION, 0xee]), Err(Status::BadOp));
+        // Ping carries no body.
+        assert_eq!(
+            Request::decode(&[VERSION, Op::Ping as u8, 1]),
+            Err(Status::BadFrame)
+        );
+        // Truncated key.
+        assert_eq!(
+            Request::decode(&[VERSION, Op::GetDec as u8, 1, 2, 3]),
+            Err(Status::BadFrame)
+        );
+        // Non-boolean pass byte.
+        let mut put = Request::PutDec {
+            key: 1,
+            pass: true,
+            unique: 2,
+        }
+        .encode();
+        put[4 + 2 + 8] = 7;
+        assert_eq!(Request::decode(&put[4..]), Err(Status::BadFrame));
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        let req = Request::GetDec { key: 5 };
+        write_frame(&mut buf, &req.encode()).unwrap();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()),
+            Ok(req)
+        );
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()),
+            Ok(Request::Ping)
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+        // EOF inside a frame is an error, not a silent None.
+        let mut torn = std::io::Cursor::new(vec![8, 0, 0, 0, VERSION]);
+        assert!(read_frame(&mut torn).is_err());
+        // An absurd length prefix is rejected before allocating.
+        let mut hostile = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut hostile).is_err());
+    }
+}

@@ -1,0 +1,763 @@
+//! The verdict server: sharded journals, a read-mostly index, group
+//! fsync, and a thread-per-connection acceptor pool.
+//!
+//! # Architecture
+//!
+//! The daemon owns `shards` independent [`oraql_store::Store`] journals
+//! (`shard-NN.journal` under one directory). A record lands in shard
+//! `key % shards` — verdict keys and case salts are already
+//! well-mixed salted hashes, so this spreads load without any routing
+//! table. Each shard pairs its store (durability, dedup, compaction,
+//! advisory locking — all inherited from PR 3) with an in-memory
+//! [`std::sync::RwLock`]'d map replayed from the journal at startup, so
+//! **lookups never touch disk**: a `GET` takes one shard read lock and
+//! one hash probe.
+//!
+//! Writes go journal-first (a `write(2)` append under the store's
+//! shared advisory lock), then update the index, then ack — so a
+//! client that got its `PUT` acked sees the record in its own later
+//! `GET`s. Durability is batched: a background thread group-fsyncs
+//! every dirty shard each `fsync_interval` (and at shutdown), bounding
+//! the power-loss window to one interval without paying an fsync per
+//! append. The `SYNC` op forces a pass for clients that need a hard
+//! checkpoint.
+//!
+//! # Concurrency contract
+//!
+//! * Acceptor threads share the listener via `try_clone`; each accepted
+//!   connection gets its own serving thread (thread-per-connection,
+//!   mirroring `crates/core/src/pool.rs`: named threads, an atomic
+//!   shutdown flag, handles joined on drop, poison-immune locks).
+//! * Shard state is `RwLock` per shard: many concurrent readers, one
+//!   writer, no cross-shard lock is ever held — two ops deadlock-free
+//!   by construction.
+//! * [`Server::shutdown`] (also run by `Drop`) stops accepting, wakes
+//!   every blocked acceptor, joins every connection thread, and runs a
+//!   final group fsync — after it returns, all acked writes are on
+//!   disk.
+
+use crate::net::{Addr, Conn, Listener};
+use crate::protocol::{read_frame, write_frame, Request, Response, Status};
+use oraql_store::{Record, Store, StoreError, REF_SEP};
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// How a [`Server`] is laid out on disk and sized. Plain data; build
+/// one, hand it to [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory holding the shard journals (created if missing).
+    pub dir: PathBuf,
+    /// Number of shard journals (≥ 1). Must stay constant across
+    /// restarts of the same `dir` — records do not migrate.
+    pub shards: usize,
+    /// Acceptor threads sharing the listening socket (≥ 1). Each
+    /// accepted connection still gets its own serving thread; this only
+    /// bounds how many accepts can be in flight at once.
+    pub acceptors: usize,
+    /// Group-fsync cadence: the upper bound on how long an acked write
+    /// may sit only in the page cache.
+    pub fsync_interval: Duration,
+}
+
+impl ServerConfig {
+    /// A config with the defaults: 4 shards, 2 acceptors, 5 ms fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            dir: dir.into(),
+            shards: 4,
+            acceptors: 2,
+            fsync_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The in-memory image of one shard's live records. Guarded by the
+/// shard's `RwLock`; populated by journal replay at startup, kept in
+/// step by every accepted `PUT`.
+#[derive(Debug, Default)]
+struct ShardIndex {
+    dec: HashMap<u64, (bool, u64)>,
+    exe: HashMap<u64, (bool, u64)>,
+    refs: HashMap<u64, String>,
+}
+
+/// Per-shard counters (all monotone, all relaxed — they feed summary
+/// text, not synchronization).
+#[derive(Debug, Default)]
+struct ShardCounters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+}
+
+struct Shard {
+    store: Store,
+    index: RwLock<ShardIndex>,
+    /// Set by every acked append, cleared by the fsync pass that
+    /// persisted it.
+    dirty: AtomicBool,
+    counters: ShardCounters,
+}
+
+impl Shard {
+    fn open(path: PathBuf) -> Result<Shard, StoreError> {
+        let store = Store::open(path)?;
+        let mut index = ShardIndex::default();
+        for r in store.export() {
+            match r {
+                Record::DecVerdict { key, pass, unique } => {
+                    index.dec.insert(key, (pass, unique));
+                }
+                Record::ExeVerdict { key, pass, unique } => {
+                    index.exe.insert(key, (pass, unique));
+                }
+                Record::Reference { key, output } => {
+                    index.refs.insert(key, output);
+                }
+            }
+        }
+        Ok(Shard {
+            store,
+            index: RwLock::new(index),
+            dirty: AtomicBool::new(false),
+            counters: ShardCounters::default(),
+        })
+    }
+}
+
+/// Server-wide counters.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    connections: AtomicU64,
+    active: AtomicU64,
+    requests: AtomicU64,
+    bad_frames: AtomicU64,
+    fsync_batches: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// State shared by every acceptor, connection, and the fsync thread.
+struct Core {
+    shards: Vec<Shard>,
+    counters: ServerCounters,
+    shutdown: AtomicBool,
+    dir: PathBuf,
+    acceptors: usize,
+}
+
+impl Core {
+    fn shard_of(&self, key: u64) -> &Shard {
+        // shards >= 1 is enforced by Server::start.
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// One group-fsync pass: persist every shard dirtied since the last
+    /// pass. A shard whose fsync fails is re-marked dirty so the next
+    /// pass retries instead of silently dropping durability.
+    fn sync_dirty(&self) -> io::Result<()> {
+        let mut synced = false;
+        let mut first_err = None;
+        for shard in &self.shards {
+            if shard.dirty.swap(false, Ordering::AcqRel) {
+                match shard.store.sync() {
+                    Ok(()) => {
+                        shard.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        synced = true;
+                    }
+                    Err(e) => {
+                        shard.dirty.store(true, Ordering::Release);
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        if synced {
+            self.counters.fsync_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn get(&self, key: u64, exe: bool) -> Response {
+        let shard = self.shard_of(key);
+        shard.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let index = shard.index.read().unwrap_or_else(|p| p.into_inner());
+        let found = if exe {
+            index.exe.get(&key)
+        } else {
+            index.dec.get(&key)
+        };
+        match found {
+            Some(&(pass, unique)) => {
+                shard.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Response::Verdict { pass, unique }
+            }
+            None => Response::NotFound,
+        }
+    }
+
+    fn put(&self, key: u64, pass: bool, unique: u64, exe: bool) -> Response {
+        let shard = self.shard_of(key);
+        let res = if exe {
+            shard.store.record_exe(key, pass, unique)
+        } else {
+            shard.store.record_dec(key, pass, unique)
+        };
+        if let Err(e) = res {
+            return Response::Err(Status::Io, e.to_string());
+        }
+        let mut index = shard.index.write().unwrap_or_else(|p| p.into_inner());
+        if exe {
+            index.exe.insert(key, (pass, unique));
+        } else {
+            index.dec.insert(key, (pass, unique));
+        }
+        drop(index);
+        shard.counters.appends.fetch_add(1, Ordering::Relaxed);
+        shard.dirty.store(true, Ordering::Release);
+        Response::Ok
+    }
+
+    fn get_refs(&self, salt: u64) -> Response {
+        let shard = self.shard_of(salt);
+        shard.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let index = shard.index.read().unwrap_or_else(|p| p.into_inner());
+        match index.refs.get(&salt) {
+            Some(joined) => {
+                shard.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Response::Text(joined.clone())
+            }
+            None => Response::NotFound,
+        }
+    }
+
+    fn put_refs(&self, salt: u64, refs: &str) -> Response {
+        let shard = self.shard_of(salt);
+        let outputs: Vec<String> = refs.split(REF_SEP).map(str::to_owned).collect();
+        if let Err(e) = shard.store.record_references(salt, &outputs) {
+            return Response::Err(Status::Io, e.to_string());
+        }
+        let mut index = shard.index.write().unwrap_or_else(|p| p.into_inner());
+        index.refs.insert(salt, refs.to_string());
+        drop(index);
+        shard.counters.appends.fetch_add(1, Ordering::Relaxed);
+        shard.dirty.store(true, Ordering::Release);
+        Response::Ok
+    }
+
+    fn compact_all(&self) -> Response {
+        let mut lines = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            // The store takes its advisory lock exclusively; a briefly
+            // contended shared (append) lock resolves in microseconds,
+            // so a couple of retries ride it out.
+            let mut last = None;
+            for _ in 0..5 {
+                match shard.store.compact() {
+                    Ok(c) => {
+                        last = Some(Ok(c));
+                        break;
+                    }
+                    Err(StoreError::Locked) => {
+                        last = Some(Err(StoreError::Locked));
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        last = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+            match last {
+                Some(Ok(c)) => lines.push(format!(
+                    "shard {i}: {} records, {} -> {} bytes",
+                    c.records, c.bytes_before, c.bytes_after
+                )),
+                Some(Err(e)) => lines.push(format!("shard {i}: {e}")),
+                None => lines.push(format!("shard {i}: not attempted")),
+            }
+        }
+        Response::Text(lines.join("\n"))
+    }
+
+    /// Renders the `STATS` text: this connection's counters, then one
+    /// line per shard, then server totals. The line shapes here are
+    /// documented in `docs/OPERATIONS.md` — change both together.
+    fn stats_text(&self, conn: &ConnCounters) -> String {
+        let mut out = format!(
+            "oraql-served: {} shards in {}, {} acceptors\n",
+            self.shards.len(),
+            self.dir.display(),
+            self.acceptors
+        );
+        out.push_str(&format!(
+            "conn: {} requests, {} lookups, {} hits, {} appends, {} B in, {} B out\n",
+            conn.requests, conn.lookups, conn.hits, conn.appends, conn.bytes_in, conn.bytes_out
+        ));
+        for (i, shard) in self.shards.iter().enumerate() {
+            let c = &shard.counters;
+            let s = shard.store.stats();
+            out.push_str(&format!(
+                "shard {i}: {} lookups, {} hits, {} appends, {} fsyncs; journal: {} recovered, {} corrupt dropped, {} torn dropped, {} compactions\n",
+                c.lookups.load(Ordering::Relaxed),
+                c.hits.load(Ordering::Relaxed),
+                c.appends.load(Ordering::Relaxed),
+                c.fsyncs.load(Ordering::Relaxed),
+                s.recovered,
+                s.dropped_corrupt,
+                s.dropped_torn,
+                s.compactions,
+            ));
+        }
+        let g = &self.counters;
+        let (mut lookups, mut hits, mut appends) = (0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            lookups += shard.counters.lookups.load(Ordering::Relaxed);
+            hits += shard.counters.hits.load(Ordering::Relaxed);
+            appends += shard.counters.appends.load(Ordering::Relaxed);
+        }
+        out.push_str(&format!(
+            "total: {} lookups, {} hits, {} appends, {} fsync batches, {} connections ({} active), {} bad frames, {} B in, {} B out",
+            lookups,
+            hits,
+            appends,
+            g.fsync_batches.load(Ordering::Relaxed),
+            g.connections.load(Ordering::Relaxed),
+            g.active.load(Ordering::Relaxed),
+            g.bad_frames.load(Ordering::Relaxed),
+            g.bytes_in.load(Ordering::Relaxed),
+            g.bytes_out.load(Ordering::Relaxed),
+        ));
+        out
+    }
+
+    fn dispatch(&self, req: Request, conn: &mut ConnCounters) -> Response {
+        conn.requests += 1;
+        match req {
+            Request::Ping => Response::Ok,
+            Request::GetDec { key } => {
+                conn.lookups += 1;
+                let r = self.get(key, false);
+                if matches!(r, Response::Verdict { .. }) {
+                    conn.hits += 1;
+                }
+                r
+            }
+            Request::GetExe { key } => {
+                conn.lookups += 1;
+                let r = self.get(key, true);
+                if matches!(r, Response::Verdict { .. }) {
+                    conn.hits += 1;
+                }
+                r
+            }
+            Request::PutDec { key, pass, unique } => {
+                conn.appends += 1;
+                self.put(key, pass, unique, false)
+            }
+            Request::PutExe { key, pass, unique } => {
+                conn.appends += 1;
+                self.put(key, pass, unique, true)
+            }
+            Request::GetRefs { salt } => {
+                conn.lookups += 1;
+                let r = self.get_refs(salt);
+                if matches!(r, Response::Text(_)) {
+                    conn.hits += 1;
+                }
+                r
+            }
+            Request::PutRefs { salt, refs } => {
+                conn.appends += 1;
+                self.put_refs(salt, &refs)
+            }
+            Request::Stats => Response::Text(self.stats_text(conn)),
+            Request::Sync => match self.sync_dirty() {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(Status::Io, e.to_string()),
+            },
+            Request::Compact => self.compact_all(),
+        }
+    }
+}
+
+/// Per-connection counters, reported by `STATS` on the same connection.
+#[derive(Debug, Default)]
+struct ConnCounters {
+    requests: u64,
+    lookups: u64,
+    hits: u64,
+    appends: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// How long a connection thread blocks in `read` before re-checking
+/// the shutdown flag. Bounds shutdown latency, not request latency.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+fn serve_conn(core: &Core, mut conn: Conn) {
+    core.counters.connections.fetch_add(1, Ordering::Relaxed);
+    core.counters.active.fetch_add(1, Ordering::Relaxed);
+    let _ = conn.set_read_timeout(Some(IDLE_POLL));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut counters = ConnCounters::default();
+    loop {
+        if core.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let payload = match read_frame(&mut conn) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // peer hung up cleanly
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle poll tick: re-check shutdown
+            }
+            Err(_) => {
+                // Torn frame or dead socket: nothing sane to answer on.
+                core.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        };
+        let frame_in = (4 + payload.len()) as u64;
+        counters.bytes_in += frame_in;
+        core.counters
+            .bytes_in
+            .fetch_add(frame_in, Ordering::Relaxed);
+        core.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = match Request::decode(&payload) {
+            Ok(req) => core.dispatch(req, &mut counters),
+            Err(Status::BadVersion) => {
+                core.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                // Body carries the server's version byte (see PROTOCOL.md).
+                Response::Err(
+                    Status::BadVersion,
+                    (crate::protocol::VERSION as char).to_string(),
+                )
+            }
+            Err(status) => {
+                core.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                Response::Err(status, String::new())
+            }
+        };
+        let frame = resp.encode();
+        counters.bytes_out += frame.len() as u64;
+        core.counters
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        if write_frame(&mut conn, &frame).is_err() {
+            break; // peer vanished mid-response
+        }
+    }
+    let _ = conn.flush();
+    core.counters.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// A running verdict server. Owns the shards, the acceptor pool, and
+/// the group-fsync thread; [`Server::shutdown`] (or `Drop`) tears all
+/// of it down and leaves every acked write durable.
+pub struct Server {
+    core: Arc<Core>,
+    addr: Addr,
+    /// Acceptors + the fsync thread + every live connection thread.
+    /// Connection threads push here as they spawn, so shutdown pops
+    /// until empty (the pool.rs drop idiom) rather than iterating a
+    /// snapshot.
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    down: bool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("shards", &self.core.shards.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Opens (or creates) the shard journals under `config.dir`,
+    /// replays them into the in-memory index, binds `addr` (use port 0
+    /// for an ephemeral TCP port), and spawns the acceptor pool and
+    /// fsync thread. On return the server is accepting connections.
+    pub fn start(config: &ServerConfig, addr: &str) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.dir)?;
+        let shards = config.shards.max(1);
+        let mut opened = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let path = config.dir.join(format!("shard-{i:02}.journal"));
+            opened.push(Shard::open(path).map_err(io::Error::other)?);
+        }
+        let listener = Listener::bind(&Addr::parse(addr))?;
+        let bound = listener.local_addr()?;
+        let core = Arc::new(Core {
+            shards: opened,
+            counters: ServerCounters::default(),
+            shutdown: AtomicBool::new(false),
+            dir: config.dir.clone(),
+            acceptors: config.acceptors.max(1),
+        });
+        let handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..core.acceptors {
+            let l = listener.try_clone()?;
+            let c = Arc::clone(&core);
+            let hs = Arc::clone(&handles);
+            let h = std::thread::Builder::new()
+                .name(format!("oraql-served-accept-{i}"))
+                .spawn(move || accept_loop(&l, &c, &hs))?;
+            lock_ignore_poison(&handles).push(h);
+        }
+        {
+            let c = Arc::clone(&core);
+            let interval = config.fsync_interval;
+            let h = std::thread::Builder::new()
+                .name("oraql-served-fsync".to_string())
+                .spawn(move || {
+                    while !c.shutdown.load(Ordering::Acquire) {
+                        std::thread::sleep(interval);
+                        let _ = c.sync_dirty();
+                    }
+                })?;
+            lock_ignore_poison(&handles).push(h);
+        }
+        drop(listener);
+        Ok(Server {
+            core,
+            addr: bound,
+            handles,
+            down: false,
+        })
+    }
+
+    /// The address the server actually bound, in the grammar
+    /// [`Addr::parse`] accepts — hand it straight to a client.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Total records currently indexed across all shards (dec + exe +
+    /// refs). Takes each shard's read lock briefly.
+    pub fn indexed_records(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .map(|s| {
+                let i = s.index.read().unwrap_or_else(|p| p.into_inner());
+                i.dec.len() + i.exe.len() + i.refs.len()
+            })
+            .sum()
+    }
+
+    /// Stops accepting, drains every connection thread, and runs a
+    /// final group fsync. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> io::Result<()> {
+        if self.down {
+            return Ok(());
+        }
+        self.down = true;
+        self.core.shutdown.store(true, Ordering::Release);
+        // Wake every acceptor blocked in accept(2): one throwaway
+        // connection per acceptor thread.
+        for _ in 0..self.core.acceptors {
+            let _ = Conn::connect(&self.addr, Duration::from_millis(200));
+        }
+        loop {
+            let h = lock_ignore_poison(&self.handles).pop();
+            match h {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        if let Addr::Unix(p) = &self.addr {
+            let _ = std::fs::remove_file(p);
+        }
+        self.core.sync_dirty()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &Listener, core: &Arc<Core>, handles: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        if core.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                if core.shutdown.load(Ordering::Acquire) {
+                    return; // this was the shutdown wake-up poke
+                }
+                let c = Arc::clone(core);
+                let spawned = std::thread::Builder::new()
+                    .name("oraql-served-conn".to_string())
+                    .spawn(move || serve_conn(&c, conn));
+                match spawned {
+                    Ok(h) => lock_ignore_poison(handles).push(h),
+                    Err(_) => {
+                        // Thread exhaustion: drop the connection; the
+                        // client's retry/fallback path handles it.
+                    }
+                }
+            }
+            Err(_) => {
+                if core.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, ECONNABORTED):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oraql_served_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_restart_replay() {
+        let dir = scratch("roundtrip");
+        let cfg = ServerConfig::new(&dir);
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        let client = Client::new(&server.addr());
+        client.ping().unwrap();
+        assert_eq!(client.get_dec(7).unwrap(), None);
+        client.put_dec(7, true, 42).unwrap();
+        assert_eq!(client.get_dec(7).unwrap(), Some((true, 42)));
+        client.put_exe(9, false, 0).unwrap();
+        assert_eq!(client.get_exe(9).unwrap(), Some((false, 0)));
+        client
+            .put_refs(3, &["a\n".to_string(), "b\n".to_string()])
+            .unwrap();
+        assert_eq!(
+            client.get_refs(3).unwrap(),
+            Some(vec!["a\n".to_string(), "b\n".to_string()])
+        );
+        client.sync().unwrap();
+        server.shutdown().unwrap();
+        // A fresh server over the same dir replays the journals.
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        assert_eq!(server.indexed_records(), 3);
+        let client = Client::new(&server.addr());
+        assert_eq!(client.get_dec(7).unwrap(), Some((true, 42)));
+        assert_eq!(client.get_exe(9).unwrap(), Some((false, 0)));
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_compact_and_sharding() {
+        let dir = scratch("stats");
+        let mut cfg = ServerConfig::new(&dir);
+        cfg.shards = 3;
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        let client = Client::new(&server.addr());
+        for k in 0..30u64 {
+            client.put_dec(k, true, k).unwrap();
+        }
+        for k in 0..30u64 {
+            assert_eq!(client.get_dec(k).unwrap(), Some((true, k)));
+        }
+        let stats = client.server_stats().unwrap();
+        assert!(stats.contains("3 shards"), "{stats}");
+        assert!(
+            stats.contains("total: 30 lookups, 30 hits, 30 appends"),
+            "{stats}"
+        );
+        // Every shard saw an even share (keys 0..30 mod 3).
+        for i in 0..3 {
+            assert!(stats.contains(&format!("shard {i}: 10 lookups")), "{stats}");
+        }
+        let summary = client.server_compact().unwrap();
+        assert!(summary.contains("shard 0:"), "{summary}");
+        assert!(summary.contains("records"), "{summary}");
+        // Compaction preserved the live set.
+        for k in 0..30u64 {
+            assert_eq!(client.get_dec(k).unwrap(), Some((true, k)));
+        }
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_transport() {
+        let dir = scratch("unix");
+        let sock = dir.join("served.sock");
+        let cfg = ServerConfig::new(dir.join("data"));
+        let server = Server::start(&cfg, &format!("unix:{}", sock.display())).unwrap();
+        let client = Client::new(&server.addr());
+        client.put_dec(1, true, 1).unwrap();
+        assert_eq!(client.get_dec(1).unwrap(), Some((true, 1)));
+        server.shutdown().unwrap();
+        assert!(!sock.exists(), "socket file removed on shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_frames_get_error_statuses() {
+        use crate::protocol::{read_frame, write_frame, VERSION};
+        let dir = scratch("malformed");
+        let server = Server::start(&ServerConfig::new(&dir), "127.0.0.1:0").unwrap();
+        let mut conn = Conn::connect(&Addr::parse(&server.addr()), Duration::from_secs(2)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Unknown op.
+        let mut f = Vec::new();
+        f.extend_from_slice(&2u32.to_le_bytes());
+        f.extend_from_slice(&[VERSION, 0xee]);
+        write_frame(&mut conn, &f).unwrap();
+        let p = read_frame(&mut conn).unwrap().unwrap();
+        assert_eq!(p[1], Status::BadOp as u8);
+        // Wrong version.
+        let mut f = Vec::new();
+        f.extend_from_slice(&2u32.to_le_bytes());
+        f.extend_from_slice(&[9, 0x01]);
+        write_frame(&mut conn, &f).unwrap();
+        let p = read_frame(&mut conn).unwrap().unwrap();
+        assert_eq!(p[1], Status::BadVersion as u8);
+        // Truncated body.
+        let mut f = Vec::new();
+        f.extend_from_slice(&3u32.to_le_bytes());
+        f.extend_from_slice(&[VERSION, 0x02, 1]);
+        write_frame(&mut conn, &f).unwrap();
+        let p = read_frame(&mut conn).unwrap().unwrap();
+        assert_eq!(p[1], Status::BadFrame as u8);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -216,8 +216,12 @@ pub fn scan(bytes: &[u8], base: u64) -> Scan {
             break;
         }
         let tag = rest[0];
-        let len = u32::from_le_bytes(rest[1..5].try_into().unwrap()) as usize;
-        let want = u64::from_le_bytes(rest[5..13].try_into().unwrap());
+        // rest.len() >= RECORD_HEADER_LEN was checked above, so these
+        // fixed-index reads cannot go out of bounds.
+        let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
+        let want = u64::from_le_bytes([
+            rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11], rest[12],
+        ]);
         if len > MAX_PAYLOAD {
             // A length this absurd means the frame itself is garbage;
             // nothing after it can be trusted to be framed. Treat the
@@ -244,13 +248,18 @@ pub fn scan(bytes: &[u8], base: u64) -> Scan {
     s
 }
 
-/// Validates the header bytes (caller guarantees `bytes.len() >=
-/// HEADER_LEN`).
+/// Validates the header bytes. Defensive against short input: anything
+/// shorter than [`HEADER_LEN`] is rejected as [`HeaderError::BadMagic`]
+/// rather than panicking (a server replaying an arbitrary shard file
+/// must never be able to crash here).
 pub fn check_header(bytes: &[u8]) -> Result<(), HeaderError> {
-    if bytes[0..8] != MAGIC {
+    if bytes.get(0..8) != Some(&MAGIC[..]) {
         return Err(HeaderError::BadMagic);
     }
-    let v = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let v = match bytes.get(8..12) {
+        Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        None => return Err(HeaderError::BadMagic),
+    };
     if v != VERSION {
         return Err(HeaderError::BadVersion(v));
     }

@@ -45,10 +45,17 @@
 //!   writes are detected by checksums on the next open. [`Store::refresh`]
 //!   picks up records other handles appended since open.
 
+// The PR 4 driver audit, extended to the store now that a long-lived
+// server owns journals: no `unwrap`/`expect` may sit on an I/O-reachable
+// path. Everything fallible returns `StoreError`/`io::Error`; the only
+// panics left are in `#[cfg(test)]` code, which this attribute exempts.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod journal;
 pub mod stats;
 
-use journal::{HeaderError, Record, Scan, HEADER_LEN};
+pub use journal::Record;
+use journal::{HeaderError, Scan, HEADER_LEN};
 pub use stats::{StatsSnapshot, StoreStats};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -332,6 +339,40 @@ impl Store {
             .refs
             .get(&salt)
             .map(|s| s.split(REF_SEP).map(str::to_owned).collect())
+    }
+
+    /// A deterministic snapshot of every live record, in the same order
+    /// [`Store::compact`] would write them (exe, then dec, then refs,
+    /// each sorted by key). Used by `oraql-served` to replay a shard
+    /// journal into its read-mostly in-memory index at startup.
+    ///
+    /// Concurrency: takes the internal mutex for the duration of the
+    /// copy; safe to call from any thread, but returns only what this
+    /// handle has loaded — call [`Store::refresh`] first to see foreign
+    /// appends.
+    pub fn export(&self) -> Vec<Record> {
+        let inner = lock_ignore_poison(&self.inner);
+        let mut out =
+            Vec::with_capacity(inner.maps.exe.len() + inner.maps.dec.len() + inner.maps.refs.len());
+        let mut exe: Vec<_> = inner.maps.exe.iter().collect();
+        exe.sort_unstable_by_key(|(k, _)| **k);
+        for (&key, &(pass, unique)) in exe {
+            out.push(Record::ExeVerdict { key, pass, unique });
+        }
+        let mut dec: Vec<_> = inner.maps.dec.iter().collect();
+        dec.sort_unstable_by_key(|(k, _)| **k);
+        for (&key, &(pass, unique)) in dec {
+            out.push(Record::DecVerdict { key, pass, unique });
+        }
+        let mut refs: Vec<_> = inner.maps.refs.iter().collect();
+        refs.sort_unstable_by_key(|(k, _)| **k);
+        for (&key, output) in refs {
+            out.push(Record::Reference {
+                key,
+                output: output.clone(),
+            });
+        }
+        out
     }
 
     /// Records an executable-hash verdict (no-op if an identical record

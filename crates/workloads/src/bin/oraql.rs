@@ -5,6 +5,7 @@
 //! oraql --benchmark <name> [--strategy chunked|frequency] [--dump]
 //!       [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]
 //!       [--store <journal>] [--no-store]
+//!       [--server <addr>] [--no-server]
 //!       [--fault-plan <spec>] [--probe-deadline-ms N]
 //!       [--emit-sequence <file>]            # save the final decisions
 //! oraql --benchmark <name> --replay <seq>   # compile+run a saved
@@ -30,6 +31,15 @@
 //! re-run answers probes without compiling. A `store = <path>` config
 //! key does the same; `--no-store` overrides both.
 //!
+//! `--server <addr>` (host:port or `unix:<path>`) attaches the shared
+//! verdict server (`oraql-served`) as a third cache tier behind the
+//! local store: lookups that miss every local tier ask the daemon, and
+//! computed verdicts are written through so concurrent drivers share
+//! one probe corpus. If the daemon is unreachable the client's circuit
+//! breaker fast-fails and the run falls back to the local tiers — a
+//! dead server never fails a probe. A `server = <addr>` config key does
+//! the same; `--no-server` overrides both.
+//!
 //! `--fault-plan <spec>` (e.g. `seed=42,vm-trap=1/16,compile-panic=1/32`)
 //! arms the deterministic fault injector on the probe path — chaos
 //! testing for the probe sandbox. Failed probes retry and then degrade
@@ -50,6 +60,7 @@ fn usage() -> ! {
          oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n                \
          [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]\n                \
          [--store <journal>] [--no-store]\n                \
+         [--server <addr>] [--no-server]\n                \
          [--fault-plan <spec>] [--probe-deadline-ms N]\n       \
          oraql --config <file>\n       \
          oraql --all [--jobs N]"
@@ -169,12 +180,13 @@ fn print_result(
         let f = &r.failures;
         println!(
             "sandbox: {} panics, {} deadlines, {} vm errors, {} mismatches, \
-             {} store-corrupt | {} retries, {} quarantined to may-alias",
+             {} store-corrupt, {} server-down | {} retries, {} quarantined to may-alias",
             f.panics,
             f.deadlines,
             f.vm_errors,
             f.output_mismatches,
             f.store_corrupt,
+            f.server_down,
             f.retries,
             f.quarantined
         );
@@ -277,6 +289,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut store_path: Option<String> = None;
     let mut no_store = false;
+    let mut server_addr: Option<String> = None;
+    let mut no_server = false;
     let mut fault_plan: Option<String> = None;
     let mut probe_deadline_ms: Option<u64> = None;
     let mut i = 0;
@@ -334,6 +348,11 @@ fn main() {
                 store_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--no-store" => no_store = true,
+            "--server" => {
+                i += 1;
+                server_addr = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-server" => no_server = true,
             "--fault-plan" => {
                 i += 1;
                 fault_plan = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -397,6 +416,19 @@ fn main() {
     });
     opts.store = store.clone();
 
+    // CLI --server wins over the config's `server =` key; --no-server
+    // disables both. Dialing is lazy, so a dead daemon costs nothing
+    // until the first probe misses every local tier.
+    let server_addr = if no_server {
+        None
+    } else {
+        server_addr.or_else(|| config.as_ref().and_then(|c| c.server.clone()))
+    };
+    let server = server_addr
+        .as_deref()
+        .map(|addr| std::sync::Arc::new(oraql::served::Client::new(addr)));
+    opts.server = server.clone();
+
     // CLI --fault-plan / --probe-deadline-ms win over the config keys.
     let fault_plan = fault_plan.or_else(|| config.as_ref().and_then(|c| c.fault_plan.clone()));
     let injector = fault_plan.as_deref().map(|spec| {
@@ -440,6 +472,10 @@ fn main() {
         let _ = store.sync();
         println!("--- verdict store ({path}) ---");
         println!("store: {}", store.stats());
+    }
+    if let (Some(server), Some(addr)) = (&server, &server_addr) {
+        println!("--- verdict server ({addr}) ---");
+        println!("client: {}", server.stats());
     }
     if let (Some(inj), Some(spec)) = (&injector, &fault_plan) {
         println!("--- fault injection ({spec}) ---");

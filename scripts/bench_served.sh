@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Verdict-server benchmark: sustained lookups/s at 1/4/8 concurrent
+# clients against a populated in-process daemon, plus the cold-vs-warm
+# suite replay through `--server` (the warm pass answers every probe
+# remotely with zero compiles). Writes JSON to BENCH_served.json in the
+# repo root; override with ORAQL_BENCH_OUT.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Cargo runs benches with the package directory as cwd, so anchor the
+# default output at the repo root via an absolute path.
+ORAQL_BENCH_OUT="${ORAQL_BENCH_OUT:-$(pwd)/BENCH_served.json}" \
+    cargo bench --offline -p oraql-bench --bench served_lookups

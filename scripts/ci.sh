@@ -18,6 +18,11 @@ cargo test -q --offline --test store_persistence
 # itself and the chaos suite over real workloads, likewise by name.
 cargo test -q --offline -p oraql-faults
 cargo test -q --offline --test chaos_faults
+# The verdict server's gates: protocol/server/client unit suites and the
+# end-to-end tier tests (warm replay, multi-tenant, fallback, recovery,
+# protocol-doc drift), likewise by name.
+cargo test -q --offline -p oraql-served
+cargo test -q --offline --test served_roundtrip
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -28,6 +33,26 @@ trap 'rm -rf "$STORE_TMP"' EXIT
 target/release/oraql -b testsnap --store "$STORE_TMP/verdicts.journal" > /dev/null
 target/release/oraql -b testsnap --store "$STORE_TMP/verdicts.journal" \
     | grep -E 'store: [1-9][0-9]* hits'
+
+# Served smoke: a daemon on an ephemeral port, the same case twice
+# through --server — the second run must answer probes remotely.
+SERVED_TMP="$(mktemp -d)"
+SERVED_PID=""
+trap 'rm -rf "$STORE_TMP" "$SERVED_TMP"; [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true' EXIT
+target/release/oraql-served serve --dir "$SERVED_TMP/data" --listen 127.0.0.1:0 \
+    > "$SERVED_TMP/log" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$SERVED_TMP/log" 2>/dev/null && break
+    sleep 0.1
+done
+SERVED_ADDR="$(sed -n 's/.*listening on \([^,]*\),.*/\1/p' "$SERVED_TMP/log")"
+target/release/oraql-served ping "$SERVED_ADDR"
+target/release/oraql -b testsnap --server "$SERVED_ADDR" > /dev/null
+target/release/oraql -b testsnap --server "$SERVED_ADDR" \
+    | grep -E 'client: [1-9][0-9]* hits'
+kill "$SERVED_PID"
+SERVED_PID=""
 
 # Chaos smoke: the whole suite under a fixed fault-plan seed matrix,
 # byte-identical across two runs, plus a parallel poisoning pass.
