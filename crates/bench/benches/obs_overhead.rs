@@ -1,0 +1,115 @@
+//! Observability overhead benchmark.
+//!
+//! The acceptance bar for the metrics/span instrumentation is that a
+//! fully instrumented suite run (probe trace + span trace streaming to
+//! files + metrics registry live) stays within **1.05×** of the
+//! uninstrumented wall clock. This bench drives the full 16-config
+//! workload suite both ways and records the ratio — and, while it has
+//! the artifacts in hand, re-derives the in-run probe-trace summary
+//! from the JSONL file alone, which must match byte-for-byte (the
+//! `oraql trace --fig2` reproducibility criterion).
+//!
+//! Writes `$ORAQL_BENCH_OUT` (default `BENCH_obs.json`). Not a
+//! criterion bench: the JSON artifact is the point, and each pass is a
+//! full driver-suite run.
+
+use std::time::Instant;
+
+use oraql::report::render_trace_summary;
+use oraql::trace::{read_trace, TraceSink};
+use oraql::DriverOptions;
+use oraql_obs::SpanSink;
+
+fn suite_pass(opts: &DriverOptions, label: &str) -> f64 {
+    let cases: Vec<_> = oraql_workloads::CASE_INFOS
+        .iter()
+        .map(|i| oraql_workloads::find_case(i.name).expect("registered"))
+        .collect();
+    let t = Instant::now();
+    for r in oraql::run_suite(&cases, opts) {
+        r.unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let out = std::env::var("ORAQL_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
+    let dir = std::env::temp_dir().join(format!("oraql_bench_obs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let trace_path = dir.join("trace.jsonl");
+    let spans_path = dir.join("spans.jsonl");
+    let metrics_path = dir.join("metrics.prom");
+
+    // Warm-up: touch every case once so lazy module construction and
+    // allocator growth land outside the measured passes.
+    let _ = suite_pass(&DriverOptions::default(), "warmup");
+
+    let plain = suite_pass(&DriverOptions::default(), "plain");
+
+    let sink = TraceSink::to_file(trace_path.to_str().unwrap()).expect("trace file");
+    let spans = SpanSink::to_file(&spans_path).expect("spans file");
+    let snap0 = oraql_obs::global().snapshot();
+    let instrumented = suite_pass(
+        &DriverOptions {
+            trace: Some(sink.clone()),
+            spans: Some(spans.clone()),
+            ..Default::default()
+        },
+        "instrumented",
+    );
+    assert_eq!(sink.flush(), 0, "probe trace lines dropped");
+    assert_eq!(spans.flush(), 0, "span lines dropped");
+    let snap = oraql_obs::global().snapshot();
+    std::fs::write(&metrics_path, snap.render()).expect("write exposition");
+
+    // The analyzer's ground truth: the Fig. 2 table recomputed from the
+    // JSONL artifact must equal the live in-run summary exactly.
+    let live = render_trace_summary(&sink.events());
+    let replayed = render_trace_summary(&read_trace(&trace_path).expect("read trace back"));
+    assert_eq!(replayed, live, "fig2 replay drifted from live summary");
+    // And the exposition must survive its own parser with the probes
+    // the trace saw.
+    let parsed = oraql_obs::Snapshot::parse(&std::fs::read_to_string(&metrics_path).unwrap())
+        .expect("exposition parses");
+    let probes = parsed
+        .delta(&snap0)
+        .counters
+        .get("oraql_driver_probes_total")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(
+        probes,
+        sink.events().len() as u64,
+        "registry and trace disagree on probe count"
+    );
+
+    let ratio = instrumented / plain;
+    println!("uninstrumented suite: {plain:>9.1} ms");
+    println!("instrumented suite:   {instrumented:>9.1} ms ({ratio:.3}x)");
+    println!(
+        "probes traced: {} | spans: {}",
+        sink.events().len(),
+        spans.events().len()
+    );
+    assert!(
+        ratio <= 1.05,
+        "instrumentation overhead {ratio:.3}x exceeds the 1.05x budget"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"cases_total\": {},\n  \
+         \"plain_total_ms\": {plain:.2},\n  \
+         \"instrumented_total_ms\": {instrumented:.2},\n  \
+         \"overhead_ratio\": {ratio:.4},\n  \
+         \"probes_traced\": {},\n  \
+         \"spans_recorded\": {},\n  \
+         \"fig2_replay_matches\": true\n}}\n",
+        oraql_workloads::CASE_INFOS.len(),
+        sink.events().len(),
+        spans.events().len()
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -56,6 +56,13 @@ pub struct Config {
     /// Wall-clock watchdog per probe attempt, in milliseconds
     /// (`probe_deadline_ms = 2000`; 0 disables).
     pub probe_deadline_ms: u64,
+    /// Metrics exposition output path (`metrics_out = <path>`; CLI
+    /// flag `--metrics-out`). At the end of the run the registry
+    /// snapshot is written there as Prometheus-style text.
+    pub metrics_out: Option<String>,
+    /// Span-trace output path (`spans_out = <path>`; CLI flag
+    /// `--spans-out`). Enables span tracing; one JSONL line per span.
+    pub spans_out: Option<String>,
 }
 
 impl Default for Config {
@@ -75,6 +82,8 @@ impl Default for Config {
             server: None,
             fault_plan: None,
             probe_deadline_ms: 0,
+            metrics_out: None,
+            spans_out: None,
         }
     }
 }
@@ -144,6 +153,18 @@ impl Config {
                     oraql_faults::FaultPlan::parse(value)
                         .map_err(|e| format!("line {}: {e}", ln + 1))?;
                     cfg.fault_plan = Some(value.to_owned());
+                }
+                "metrics_out" => {
+                    if value.is_empty() {
+                        return Err(format!("line {}: metrics_out needs a path", ln + 1));
+                    }
+                    cfg.metrics_out = Some(value.to_owned());
+                }
+                "spans_out" => {
+                    if value.is_empty() {
+                        return Err(format!("line {}: spans_out needs a path", ln + 1));
+                    }
+                    cfg.spans_out = Some(value.to_owned());
                 }
                 "probe_deadline_ms" => {
                     cfg.probe_deadline_ms = value
@@ -216,6 +237,23 @@ mod tests {
         assert!(Config::parse("benchmark = x\nnonsense line\n").is_err());
         assert!(Config::parse("benchmark = x\nstore =\n").is_err());
         assert!(Config::parse("benchmark = x\nserver =\n").is_err());
+        assert!(Config::parse("benchmark = x\nmetrics_out =\n").is_err());
+        assert!(Config::parse("benchmark = x\nspans_out =\n").is_err());
+    }
+
+    #[test]
+    fn parses_observability_paths() {
+        let cfg = Config::parse(
+            "benchmark = x\n\
+             metrics_out = out/metrics.prom\n\
+             spans_out = out/spans.jsonl\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.metrics_out.as_deref(), Some("out/metrics.prom"));
+        assert_eq!(cfg.spans_out.as_deref(), Some("out/spans.jsonl"));
+        let d = Config::parse("benchmark = x\n").unwrap();
+        assert_eq!(d.metrics_out, None);
+        assert_eq!(d.spans_out, None);
     }
 
     #[test]

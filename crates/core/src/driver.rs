@@ -101,6 +101,7 @@ use crate::trace::{ProbeEvent, ProbeKind, TraceSink};
 use crate::verify::{Mismatch, Verifier};
 use oraql_faults::{FaultInjector, FaultSite, InjectedPanic};
 use oraql_ir::module::Module;
+use oraql_obs::{Span, SpanSink};
 use oraql_passes::Stats;
 use oraql_store::Store;
 use oraql_vm::{InterpMode, Interpreter, RunOutcome, VmFault};
@@ -110,7 +111,7 @@ use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A benchmark handed to the driver: how to build the program, where
@@ -169,6 +170,12 @@ pub struct DriverOptions {
     pub jobs: usize,
     /// Probe-trace sink; every probe answer is recorded here.
     pub trace: Option<TraceSink>,
+    /// Span sink (CLI: `--spans-out <path>`); when set, every case
+    /// emits a `case > probe > compile|vm|verify|store|server` span
+    /// tree reconstructing where wall clock went. Independent of the
+    /// probe trace: spans carry timing topology, the trace carries
+    /// verdicts.
+    pub spans: Option<SpanSink>,
     /// Interpreter execution mode for every VM run the driver performs
     /// (baseline, probes, final). Both modes are observably identical —
     /// see `oraql_vm::decode` — so this only affects probe latency.
@@ -214,6 +221,7 @@ impl Default for DriverOptions {
             trace_passes: false,
             jobs: 1,
             trace: None,
+            spans: None,
             interp: InterpMode::default(),
             store: None,
             server: None,
@@ -439,6 +447,70 @@ fn module_hash(salt: u64, m: &Module) -> u64 {
     h.finish()
 }
 
+/// Registry handles for the probing driver, resolved once. Per-kind
+/// probe counters are bumped in [`ProbeEngine::trace_event`] (the one
+/// point every probe answer flows through, sink or no sink); the
+/// funnel counters are bumped at each cache-tier site in
+/// [`ProbeEngine::attempt`], so `dec_cache_hits + store_dec_hits +
+/// server_dec_hits + compiles` accounts for every attempt that reached
+/// the waterfall, and `compiles` fans out into the exe tiers the same
+/// way.
+struct DriverMetrics {
+    probes: &'static oraql_obs::Counter,
+    executed: &'static oraql_obs::Counter,
+    exe_cache: &'static oraql_obs::Counter,
+    dec_cache: &'static oraql_obs::Counter,
+    store: &'static oraql_obs::Counter,
+    server: &'static oraql_obs::Counter,
+    deduced: &'static oraql_obs::Counter,
+    faulted: &'static oraql_obs::Counter,
+    retries: &'static oraql_obs::Counter,
+    quarantined: &'static oraql_obs::Counter,
+    funnel_dec_cache_hits: &'static oraql_obs::Counter,
+    funnel_store_dec_hits: &'static oraql_obs::Counter,
+    funnel_server_dec_hits: &'static oraql_obs::Counter,
+    funnel_compiles: &'static oraql_obs::Counter,
+    funnel_exe_cache_hits: &'static oraql_obs::Counter,
+    funnel_store_exe_hits: &'static oraql_obs::Counter,
+    funnel_server_exe_hits: &'static oraql_obs::Counter,
+    funnel_vm_runs: &'static oraql_obs::Counter,
+    probe_micros: &'static oraql_obs::Histogram,
+    compile_micros: &'static oraql_obs::Histogram,
+    vm_run_micros: &'static oraql_obs::Histogram,
+    verify_micros: &'static oraql_obs::Histogram,
+}
+
+fn dmetrics() -> &'static DriverMetrics {
+    static M: OnceLock<DriverMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = oraql_obs::global();
+        DriverMetrics {
+            probes: r.counter("oraql_driver_probes_total"),
+            executed: r.counter("oraql_driver_probe_executed_total"),
+            exe_cache: r.counter("oraql_driver_probe_exe_cache_total"),
+            dec_cache: r.counter("oraql_driver_probe_dec_cache_total"),
+            store: r.counter("oraql_driver_probe_store_total"),
+            server: r.counter("oraql_driver_probe_server_total"),
+            deduced: r.counter("oraql_driver_probe_deduced_total"),
+            faulted: r.counter("oraql_driver_probe_faulted_total"),
+            retries: r.counter("oraql_driver_retries_total"),
+            quarantined: r.counter("oraql_driver_quarantined_total"),
+            funnel_dec_cache_hits: r.counter("oraql_driver_funnel_dec_cache_hits_total"),
+            funnel_store_dec_hits: r.counter("oraql_driver_funnel_store_dec_hits_total"),
+            funnel_server_dec_hits: r.counter("oraql_driver_funnel_server_dec_hits_total"),
+            funnel_compiles: r.counter("oraql_driver_funnel_compiles_total"),
+            funnel_exe_cache_hits: r.counter("oraql_driver_funnel_exe_cache_hits_total"),
+            funnel_store_exe_hits: r.counter("oraql_driver_funnel_store_exe_hits_total"),
+            funnel_server_exe_hits: r.counter("oraql_driver_funnel_server_exe_hits_total"),
+            funnel_vm_runs: r.counter("oraql_driver_funnel_vm_runs_total"),
+            probe_micros: r.histogram("oraql_driver_probe_micros"),
+            compile_micros: r.histogram("oraql_driver_compile_micros"),
+            vm_run_micros: r.histogram("oraql_driver_vm_run_micros"),
+            verify_micros: r.histogram("oraql_driver_verify_micros"),
+        }
+    })
+}
+
 fn decisions_digest(salt: u64, d: &Decisions) -> u64 {
     let mut h = DefaultHasher::new();
     salt.hash(&mut h);
@@ -489,6 +561,11 @@ struct ProbeEngine {
     effort: Mutex<ProbeEffort>,
     trace: Option<TraceSink>,
     trace_seq: AtomicU64,
+    /// Span sink shared with the driver; `None` when spans are off.
+    spans: Option<SpanSink>,
+    /// Id of this case's root span (0 when spans are off), the parent
+    /// of every probe span the engine opens.
+    case_span: u64,
     /// Optional deterministic fault plan (chaos testing).
     faults: Option<Arc<FaultInjector>>,
     /// Optional wall-clock watchdog per attempt.
@@ -551,6 +628,18 @@ impl ProbeEngine {
         speculative: bool,
         started: Instant,
     ) {
+        let m = dmetrics();
+        m.probes.inc();
+        match kind {
+            ProbeKind::Executed => m.executed.inc(),
+            ProbeKind::ExeCacheHit => m.exe_cache.inc(),
+            ProbeKind::DecisionCacheHit => m.dec_cache.inc(),
+            ProbeKind::StoreHit => m.store.inc(),
+            ProbeKind::ServerHit => m.server.inc(),
+            ProbeKind::Deduced => m.deduced.inc(),
+            ProbeKind::Faulted => m.faulted.inc(),
+        }
+        m.probe_micros.observe(started.elapsed().as_micros() as u64);
         if let Some(sink) = &self.trace {
             sink.record(ProbeEvent {
                 case: self.case_name.clone(),
@@ -567,6 +656,14 @@ impl ProbeEngine {
 
     fn failures(&self) -> MutexGuard<'_, FailureStats> {
         lock_ignore_poison(&self.failures)
+    }
+
+    /// Opens a child span under `parent` when span tracing is on.
+    /// Returns `None` (zero cost beyond the branch) otherwise.
+    fn span(&self, name: &'static str, parent: u64) -> Option<Span> {
+        self.spans
+            .as_ref()
+            .map(|s| s.span(name, &self.case_name, parent))
     }
 
     /// Draws this attempt's fault decisions from the plan (all quiet
@@ -625,6 +722,11 @@ impl ProbeEngine {
     ) -> Option<ProbeOutcome> {
         let started = Instant::now();
         let digest = decisions_digest(self.salt, d);
+        // The probe span covers the quarantine check, every retry, and
+        // the degradation path; its guard records even if an attempt
+        // unwinds past us.
+        let probe_span = self.span("probe", self.case_span);
+        let probe_id = probe_span.as_ref().map_or(0, Span::id);
         if lock_ignore_poison(&self.quarantine).contains(&digest) {
             self.trace_event(digest, ProbeKind::Faulted, false, 0, speculative, started);
             return Some(MAY_ALIAS);
@@ -633,10 +735,12 @@ impl ProbeEngine {
         for attempt_no in 0..attempts {
             let fx = self.sample_attempt();
             let outcome = match self.deadline {
-                Some(deadline) => self.attempt_with_deadline(d, speculative, cancel, fx, deadline),
+                Some(deadline) => {
+                    self.attempt_with_deadline(d, speculative, cancel, fx, deadline, probe_id)
+                }
                 None => {
                     match catch_unwind(AssertUnwindSafe(|| {
-                        self.attempt(d, speculative, cancel, fx)
+                        self.attempt(d, speculative, cancel, fx, probe_id)
                     })) {
                         Ok(r) => r,
                         Err(p) => Err(ProbeFailure::Panic(panic_message(&*p))),
@@ -649,6 +753,7 @@ impl ProbeEngine {
                     self.note_failure(&failure);
                     if attempt_no + 1 < attempts {
                         self.failures().retries += 1;
+                        dmetrics().retries.inc();
                         // Tiny exponential backoff: transient scheduling
                         // or I/O hiccups clear, injected faults draw a
                         // fresh decision from the plan.
@@ -662,6 +767,7 @@ impl ProbeEngine {
         // persisted — a later healthy run recomputes it for real.
         lock_ignore_poison(&self.quarantine).insert(digest);
         self.failures().quarantined += 1;
+        dmetrics().quarantined.inc();
         self.trace_event(digest, ProbeKind::Faulted, false, 0, speculative, started);
         Some(MAY_ALIAS)
     }
@@ -677,6 +783,7 @@ impl ProbeEngine {
         cancel: Option<&CancelToken>,
         fx: AttemptFaults,
         deadline: Duration,
+        probe_span: u64,
     ) -> Result<Option<ProbeOutcome>, ProbeFailure> {
         let (tx, rx) = channel();
         let engine = Arc::clone(self);
@@ -686,7 +793,7 @@ impl ProbeEngine {
             .name("oraql-probe-attempt".into())
             .spawn(move || {
                 let r = catch_unwind(AssertUnwindSafe(|| {
-                    engine.attempt(&d, speculative, token.as_ref(), fx)
+                    engine.attempt(&d, speculative, token.as_ref(), fx, probe_span)
                 }));
                 let _ = tx.send(r);
             });
@@ -713,12 +820,14 @@ impl ProbeEngine {
         speculative: bool,
         cancel: Option<&CancelToken>,
         fx: AttemptFaults,
+        probe_span: u64,
     ) -> Result<Option<ProbeOutcome>, ProbeFailure> {
         let started = Instant::now();
         let digest = decisions_digest(self.salt, d);
         if self.use_dec_cache {
             if let Some(&(pass, unique)) = lock_ignore_poison(&self.caches.dec).get(&digest) {
                 self.effort().tests_dec_cached += 1;
+                dmetrics().funnel_dec_cache_hits.inc();
                 self.trace_event(
                     digest,
                     ProbeKind::DecisionCacheHit,
@@ -734,7 +843,11 @@ impl ProbeEngine {
             // Persistent decisions-digest tier: a previous process (or
             // an earlier case of this run) already answered this exact
             // decision vector — skip even the compile.
-            if let Some((pass, unique)) = store.dec_verdict(digest) {
+            let found = {
+                let _s = self.span("store", probe_span);
+                store.dec_verdict(digest)
+            };
+            if let Some((pass, unique)) = found {
                 if fx.store_read_corrupt {
                     // Injected read-side rot: the hit fails its
                     // checksum, is discarded, and the attempt falls
@@ -743,6 +856,7 @@ impl ProbeEngine {
                     self.note_failure(&ProbeFailure::StoreCorrupt);
                 } else {
                     self.effort().tests_dec_cached += 1;
+                    dmetrics().funnel_store_dec_hits.inc();
                     if self.use_dec_cache {
                         lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
                     }
@@ -758,12 +872,20 @@ impl ProbeEngine {
                 }
             }
         }
-        if let Some((pass, unique)) = self.server_get(digest, false) {
+        let server_dec = {
+            let _s = self
+                .server
+                .is_some()
+                .then(|| self.span("server", probe_span));
+            self.server_get(digest, false)
+        };
+        if let Some((pass, unique)) = server_dec {
             // Server decisions-digest tier: another tenant (or an
             // earlier run of this machine) already answered this exact
             // decision vector. Write the verdict back through the
             // local tiers so the next miss never leaves the process.
             self.effort().tests_server += 1;
+            dmetrics().funnel_server_dec_hits.inc();
             if self.use_dec_cache {
                 lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
             }
@@ -785,15 +907,25 @@ impl ProbeEngine {
             std::panic::panic_any(InjectedPanic("probe pass-pipeline compile"));
         }
         self.effort().compiles += 1;
-        let compiled = compile(
-            &*self.build,
-            &CompileOptions {
-                oraql: Some((d.clone(), self.scope.clone())),
-                use_cfl: self.use_cfl,
-                optimism: self.optimism,
-                ..CompileOptions::default()
-            },
-        );
+        let compile_started = Instant::now();
+        let compiled = {
+            let _s = self.span("compile", probe_span);
+            compile(
+                &*self.build,
+                &CompileOptions {
+                    oraql: Some((d.clone(), self.scope.clone())),
+                    use_cfl: self.use_cfl,
+                    optimism: self.optimism,
+                    ..CompileOptions::default()
+                },
+            )
+        };
+        {
+            let m = dmetrics();
+            m.funnel_compiles.inc();
+            m.compile_micros
+                .observe(compile_started.elapsed().as_micros() as u64);
+        }
         let unique = compiled
             .oraql
             .as_ref()
@@ -803,6 +935,7 @@ impl ProbeEngine {
         let hit = lock_ignore_poison(&self.caches.exe).get(&h).copied();
         if let Some((pass, cached_unique)) = hit {
             self.effort().tests_cached += 1;
+            dmetrics().funnel_exe_cache_hits.inc();
             // Sequential mode preserves the seed driver's quirk of
             // reporting the unique count recorded when the verdict was
             // first cached. Parallel mode reports the freshly compiled
@@ -835,12 +968,17 @@ impl ProbeEngine {
         if let Some(store) = &self.store {
             // Persistent executable-hash tier: a previous process ran
             // this exact executable — reuse its verdict, skip the run.
-            if let Some((pass, stored_unique)) = store.exe_verdict(h) {
+            let found = {
+                let _s = self.span("store", probe_span);
+                store.exe_verdict(h)
+            };
+            if let Some((pass, stored_unique)) = found {
                 if fx.store_read_corrupt {
                     // Same injected rot as the decisions tier above.
                     self.note_failure(&ProbeFailure::StoreCorrupt);
                 } else {
                     self.effort().tests_cached += 1;
+                    dmetrics().funnel_store_exe_hits.inc();
                     lock_ignore_poison(&self.caches.exe).insert(h, (pass, stored_unique));
                     // Same reporting rule as the in-memory hit above:
                     // the stored unique count *is* the first inserter's
@@ -871,13 +1009,21 @@ impl ProbeEngine {
                 }
             }
         }
-        if let Some((pass, stored_unique)) = self.server_get(h, true) {
+        let server_exe = {
+            let _s = self
+                .server
+                .is_some()
+                .then(|| self.span("server", probe_span));
+            self.server_get(h, true)
+        };
+        if let Some((pass, stored_unique)) = server_exe {
             // Server executable-hash tier: some tenant ran this exact
             // executable. Reuse its verdict, skip the run, and write it
             // back through every local tier; the decisions-digest key
             // is pushed to the server too, so the *next* tenant skips
             // even the compile.
             self.effort().tests_server += 1;
+            dmetrics().funnel_server_exe_hits.inc();
             lock_ignore_poison(&self.caches.exe).insert(h, (pass, stored_unique));
             if let Some(store) = &self.store {
                 let _ = store.record_exe(h, pass, stored_unique);
@@ -920,7 +1066,15 @@ impl ProbeEngine {
             std::thread::sleep(dur);
         }
         self.effort().tests_run += 1;
-        let run = run_module_with(&compiled.module, self.fuel, self.interp, fx.vm_fault);
+        dmetrics().funnel_vm_runs.inc();
+        let vm_started = Instant::now();
+        let run = {
+            let _s = self.span("vm", probe_span);
+            run_module_with(&compiled.module, self.fuel, self.interp, fx.vm_fault)
+        };
+        dmetrics()
+            .vm_run_micros
+            .observe(vm_started.elapsed().as_micros() as u64);
         if fx.vm_fault.is_some() {
             if let Err(e) = &run {
                 // The injected trap / lying fuel budget killed the run:
@@ -936,7 +1090,14 @@ impl ProbeEngine {
                 if fx.garble {
                     stdout.push_str("\u{7f}garbled probe output\n");
                 }
-                let ok = self.verifier.check(&stdout).is_ok();
+                let verify_started = Instant::now();
+                let ok = {
+                    let _s = self.span("verify", probe_span);
+                    self.verifier.check(&stdout).is_ok()
+                };
+                dmetrics()
+                    .verify_micros
+                    .observe(verify_started.elapsed().as_micros() as u64);
                 if fx.garble && !ok {
                     // We know the mismatch is our own corruption: a
                     // transient I/O failure, not a verdict. Nothing is
@@ -1053,6 +1214,14 @@ impl<'c> Driver<'c> {
         caches: Arc<VerdictCaches>,
         pool: Option<Arc<WorkerPool>>,
     ) -> Result<DriverResult, DriverError> {
+        // The case span covers the whole workflow; the guards record on
+        // every exit path, including `?` errors.
+        let spans = opts.spans.clone();
+        let case_root = spans.as_ref().map(|s| s.span("case", &case.name, 0));
+        let case_id = case_root.as_ref().map_or(0, Span::id);
+        let baseline_span = spans
+            .as_ref()
+            .map(|s| s.span("baseline", &case.name, case_id));
         // Step 1: baseline (ORAQL deactivated) — produces the reference.
         // A panicking build closure fails this case, not the suite.
         let baseline = catch_unwind(AssertUnwindSafe(|| {
@@ -1080,6 +1249,7 @@ impl<'c> Driver<'c> {
         verifier
             .check(&baseline_run.stdout)
             .map_err(DriverError::BaselineBroken)?;
+        drop(baseline_span);
 
         let engine = Arc::new(ProbeEngine {
             case_name: case.name.clone(),
@@ -1098,6 +1268,8 @@ impl<'c> Driver<'c> {
             effort: Mutex::new(ProbeEffort::default()),
             trace: opts.trace.clone(),
             trace_seq: AtomicU64::new(0),
+            spans: spans.clone(),
+            case_span: case_id,
             faults: opts.faults.clone(),
             deadline: opts.probe_deadline,
             retries: opts.probe_retries,
@@ -1125,6 +1297,7 @@ impl<'c> Driver<'c> {
         };
 
         // Step 4: final compile + verification.
+        let final_span = spans.as_ref().map(|s| s.span("final", &case.name, case_id));
         let final_opts = CompileOptions {
             oraql: Some((decisions.clone(), case.scope.clone())),
             use_cfl: case.use_cfl,
@@ -1141,15 +1314,20 @@ impl<'c> Driver<'c> {
             .verifier
             .check(&final_run.stdout)
             .map_err(DriverError::FinalBroken)?;
+        drop(final_span);
 
         if let Some(store) = &driver.opts.store {
             // Checkpoint the journal once per case: bounds the loss
             // window on power failure without paying a sync per probe.
+            let _s = spans.as_ref().map(|s| s.span("store", &case.name, case_id));
             let _ = store.sync();
         }
         if let Some(server) = &driver.opts.server {
             // Same checkpoint for the shared tier: ask the server to
             // group-fsync whatever this case appended.
+            let _s = spans
+                .as_ref()
+                .map(|s| s.span("server", &case.name, case_id));
             let _ = server.sync();
         }
         let effort = *driver.engine.effort();

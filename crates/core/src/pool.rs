@@ -35,11 +35,35 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{
     atomic::{AtomicBool, AtomicU64, Ordering},
-    Arc, Mutex, MutexGuard,
+    Arc, Mutex, MutexGuard, OnceLock,
 };
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Registry handles, resolved once. The queue-depth gauge tracks
+/// submitted-but-not-yet-dequeued jobs across every pool in the
+/// process (suite runs share one pool, so that is the number that
+/// matters for sizing `--jobs`).
+struct PoolMetrics {
+    queue_depth: &'static oraql_obs::Gauge,
+    submitted: &'static oraql_obs::Counter,
+    panics: &'static oraql_obs::Counter,
+    respawns: &'static oraql_obs::Counter,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = oraql_obs::global();
+        PoolMetrics {
+            queue_depth: r.gauge("oraql_pool_queue_depth"),
+            submitted: r.counter("oraql_pool_jobs_submitted_total"),
+            panics: r.counter("oraql_pool_panics_total"),
+            respawns: r.counter("oraql_pool_respawns_total"),
+        }
+    })
+}
 
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
@@ -101,6 +125,7 @@ impl Drop for RespawnGuard {
             return; // clean exit: the queue was closed
         }
         self.0.panics.fetch_add(1, Ordering::Relaxed);
+        metrics().panics.inc();
         if self.0.shutdown.load(Ordering::Acquire) {
             return; // pool is being dropped; no point replacing
         }
@@ -109,6 +134,7 @@ impl Drop for RespawnGuard {
         // worker short — still functional as long as one survives.
         if spawn_worker(&self.0).is_ok() {
             self.0.respawns.fetch_add(1, Ordering::Relaxed);
+            metrics().respawns.inc();
         }
     }
 }
@@ -172,6 +198,8 @@ impl WorkerPool {
         // The receiver lives in `shared`, which we hold, so the channel
         // outlives any worker crash: send cannot fail while the pool
         // itself is alive.
+        metrics().submitted.inc();
+        metrics().queue_depth.inc();
         self.tx
             .as_ref()
             .expect("pool alive")
@@ -187,7 +215,10 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
         // mutex; the receiver state is still sound, so keep draining.
         let job = lock_ignore_poison(rx).recv();
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                metrics().queue_depth.dec();
+                job();
+            }
             Err(_) => return, // queue closed: pool is shutting down
         }
     }

@@ -32,6 +32,7 @@
 //! are hand-rolled and round-trip exactly; see
 //! [`ProbeEvent::to_jsonl`] / [`ProbeEvent::parse_jsonl`]).
 
+use oraql_obs::jsonl::{escape_json, json_bool, json_str, json_u64};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
@@ -113,28 +114,12 @@ pub struct ProbeEvent {
     pub wall_micros: u64,
 }
 
-fn escape_json(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-}
-
 impl ProbeEvent {
     /// Renders the event as one JSONL line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
         let mut s = String::with_capacity(128);
         s.push_str("{\"case\":\"");
-        escape_json(&self.case, &mut s);
+        s.push_str(&escape_json(&self.case));
         let _ = write!(
             s,
             "\",\"seq\":{},\"digest\":{},\"kind\":\"{}\",\"pass\":{},\"unique\":{},\"speculative\":{},\"wall_micros\":{}}}",
@@ -170,58 +155,15 @@ impl ProbeEvent {
     }
 }
 
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
-    let at = line.find(&needle)? + needle.len();
-    Some(&line[at..])
-}
-
-fn json_u64(line: &str, key: &str) -> Option<u64> {
-    let rest = json_field(line, key)?;
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn json_bool(line: &str, key: &str) -> Option<bool> {
-    let rest = json_field(line, key)?;
-    if rest.starts_with("true") {
-        Some(true)
-    } else if rest.starts_with("false") {
-        Some(false)
-    } else {
-        None
-    }
-}
-
-fn json_str(line: &str, key: &str) -> Option<String> {
-    let rest = json_field(line, key)?.strip_prefix('"')?;
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                't' => out.push('\t'),
-                'u' => {
-                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
-                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
-                }
-                other => out.push(other),
-            },
-            c => out.push(c),
-        }
-    }
-    None
-}
-
 #[derive(Debug, Default)]
 struct TraceInner {
     events: Vec<ProbeEvent>,
     file: Option<BufWriter<File>>,
+    /// JSONL lines lost to failed file writes. The in-memory copy is
+    /// still recorded, so `events()` stays complete; the count is
+    /// surfaced by [`TraceSink::flush`] and the
+    /// `oraql_trace_dropped_lines_total` registry counter.
+    dropped: u64,
 }
 
 /// Thread-shared probe-trace sink. Cloning shares the underlying
@@ -245,16 +187,23 @@ impl TraceSink {
             inner: Arc::new(Mutex::new(TraceInner {
                 events: Vec::new(),
                 file: Some(file),
+                dropped: 0,
             })),
         })
     }
 
     /// Records one event (writes the JSONL line immediately when backed
-    /// by a file).
+    /// by a file). A failed write never loses the in-memory event; it
+    /// is counted and reported by [`TraceSink::flush`].
     pub fn record(&self, ev: ProbeEvent) {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(f) = inner.file.as_mut() {
-            let _ = writeln!(f, "{}", ev.to_jsonl());
+            if writeln!(f, "{}", ev.to_jsonl()).is_err() {
+                inner.dropped += 1;
+                oraql_obs::global()
+                    .counter("oraql_trace_dropped_lines_total")
+                    .inc();
+            }
         }
         inner.events.push(ev);
     }
@@ -268,12 +217,20 @@ impl TraceSink {
             .clone()
     }
 
-    /// Flushes the backing file, if any.
-    pub fn flush(&self) {
+    /// Flushes the backing file, if any. Returns the total number of
+    /// JSONL lines dropped by failed writes (including a failed flush)
+    /// so callers can report data loss once instead of never.
+    pub fn flush(&self) -> u64 {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(f) = inner.file.as_mut() {
-            let _ = f.flush();
+            if f.flush().is_err() {
+                inner.dropped += 1;
+                oraql_obs::global()
+                    .counter("oraql_trace_dropped_lines_total")
+                    .inc();
+            }
         }
+        inner.dropped
     }
 }
 
@@ -329,15 +286,33 @@ mod tests {
 
     #[test]
     fn sink_roundtrips_through_file() {
-        let path = std::env::temp_dir().join("oraql_trace_test.jsonl");
+        // Per-process unique path: two concurrent `cargo test`
+        // invocations must not race on one temp file.
+        let path =
+            std::env::temp_dir().join(format!("oraql_trace_test_{}.jsonl", std::process::id()));
         let sink = TraceSink::to_file(&path).unwrap();
         sink.record(sample(ProbeKind::Executed, 0));
         sink.record(sample(ProbeKind::Deduced, 1));
-        sink.flush();
+        assert_eq!(sink.flush(), 0, "healthy sink drops nothing");
         let back = read_trace(&path).unwrap();
         assert_eq!(back, sink.events());
         assert_eq!(back.len(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_counts_dropped_lines_on_write_failure() {
+        // A sink whose file handle fails every write: /dev/full is the
+        // classic always-ENOSPC device on Linux.
+        let Ok(sink) = TraceSink::to_file("/dev/full") else {
+            return; // platform without /dev/full: nothing to test
+        };
+        // BufWriter defers the failure; force tiny writes + flush.
+        sink.record(sample(ProbeKind::Executed, 0));
+        let dropped = sink.flush();
+        assert!(dropped >= 1, "write failure must be counted");
+        // The in-memory copy is intact regardless.
+        assert_eq!(sink.events().len(), 1);
     }
 
     #[test]

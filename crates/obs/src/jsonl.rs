@@ -1,0 +1,110 @@
+//! Minimal JSON-lines formatting helpers shared by the probe trace
+//! (`oraql-core::trace`) and the span sink. Hand-rolled on purpose:
+//! the repo is std-only, and the subset we need (flat objects of
+//! strings, integers, and booleans) does not justify a parser crate.
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extract the raw text of `"key": <value>` from a flat JSON object.
+/// Returns the value with surrounding whitespace trimmed, quotes kept.
+pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut esc = false;
+        for (i, c) in stripped.char_indices() {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                return Some(&rest[..i + 2]);
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim_end())
+    }
+}
+
+/// Parse `"key": <u64>` out of a flat JSON object line.
+pub fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_field(line, key)?.parse().ok()
+}
+
+/// Parse `"key": <bool>` out of a flat JSON object line.
+pub fn json_bool(line: &str, key: &str) -> Option<bool> {
+    match json_field(line, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parse `"key": "<string>"` out of a flat JSON object line,
+/// un-escaping the common escapes produced by [`escape_json`].
+pub fn json_str(line: &str, key: &str) -> Option<String> {
+    let raw = json_field(line, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_and_unescape_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\r\u{1}f";
+        let line = format!("{{\"k\": \"{}\"}}", escape_json(nasty));
+        assert_eq!(json_str(&line, "k").as_deref(), Some(nasty));
+    }
+
+    #[test]
+    fn field_extraction() {
+        let line = r#"{"a": 17, "b": "x,y", "c": true}"#;
+        assert_eq!(json_u64(line, "a"), Some(17));
+        assert_eq!(json_str(line, "b").as_deref(), Some("x,y"));
+        assert_eq!(json_bool(line, "c"), Some(true));
+        assert_eq!(json_u64(line, "missing"), None);
+    }
+}

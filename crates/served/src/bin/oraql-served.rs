@@ -3,7 +3,7 @@
 //! ```text
 //! oraql-served serve --dir DIR [--listen ADDR] [--shards N]
 //!                    [--acceptors N] [--fsync-ms N]
-//! oraql-served ping|stats|sync|compact ADDR
+//! oraql-served ping|stats|metrics|sync|compact ADDR
 //! ```
 //!
 //! `serve` runs until killed; the journals are crash-safe, so SIGKILL
@@ -19,6 +19,7 @@ const USAGE: &str = "usage:
   oraql-served serve --dir DIR [--listen ADDR] [--shards N] [--acceptors N] [--fsync-ms N]
   oraql-served ping ADDR
   oraql-served stats ADDR
+  oraql-served metrics ADDR
   oraql-served sync ADDR
   oraql-served compact ADDR
 
@@ -38,7 +39,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "serve" => serve(&args[1..]),
-        "ping" | "stats" | "sync" | "compact" => {
+        "ping" | "stats" | "metrics" | "sync" | "compact" => {
             let Some(addr) = args.get(1) else {
                 return fail("missing ADDR (see --help)");
             };
@@ -122,6 +123,7 @@ fn client_op(cmd: &str, addr: &str) -> ExitCode {
     let res = match cmd {
         "ping" => client.ping().map(|()| "pong".to_string()),
         "stats" => client.server_stats(),
+        "metrics" => client.server_metrics(),
         "sync" => client.sync().map(|()| "synced".to_string()),
         "compact" => client.server_compact(),
         _ => unreachable!("dispatched in main"),

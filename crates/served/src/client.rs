@@ -337,6 +337,16 @@ impl Client {
         }
     }
 
+    /// Fetches the server's `METRICS` text exposition (the daemon
+    /// process's metrics registry, Prometheus-style `name value`
+    /// lines; parse with `oraql_obs::Snapshot::parse`).
+    pub fn server_metrics(&self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Text(t) => Ok(t),
+            other => Err(Self::remote_err(other)),
+        }
+    }
+
     /// Forces a group fsync of every dirty shard.
     pub fn sync(&self) -> Result<(), ClientError> {
         match self.request(&Request::Sync)? {

@@ -58,6 +58,9 @@ pub enum Op {
     Sync = 0x09,
     /// Compact every shard journal; empty body, text summary response.
     Compact = 0x0a,
+    /// Metrics-registry snapshot as Prometheus-style text exposition;
+    /// empty body. See `docs/OPERATIONS.md` § Monitoring.
+    Metrics = 0x0b,
 }
 
 impl Op {
@@ -74,6 +77,7 @@ impl Op {
             0x08 => Op::Stats,
             0x09 => Op::Sync,
             0x0a => Op::Compact,
+            0x0b => Op::Metrics,
             _ => return None,
         })
     }
@@ -177,6 +181,8 @@ pub enum Request {
     Sync,
     /// [`Op::Compact`].
     Compact,
+    /// [`Op::Metrics`].
+    Metrics,
 }
 
 impl Request {
@@ -193,12 +199,17 @@ impl Request {
             Request::Stats => Op::Stats,
             Request::Sync => Op::Sync,
             Request::Compact => Op::Compact,
+            Request::Metrics => Op::Metrics,
         }
     }
 
     fn body(&self) -> Vec<u8> {
         match self {
-            Request::Ping | Request::Stats | Request::Sync | Request::Compact => Vec::new(),
+            Request::Ping
+            | Request::Stats
+            | Request::Sync
+            | Request::Compact
+            | Request::Metrics => Vec::new(),
             Request::GetDec { key } | Request::GetExe { key } | Request::GetRefs { salt: key } => {
                 key.to_le_bytes().to_vec()
             }
@@ -252,7 +263,7 @@ impl Request {
             Ok((key, pass, key_of(&b[9..17])?))
         };
         Ok(match op {
-            Op::Ping | Op::Stats | Op::Sync | Op::Compact => {
+            Op::Ping | Op::Stats | Op::Sync | Op::Compact | Op::Metrics => {
                 if !body.is_empty() {
                     return Err(Status::BadFrame);
                 }
@@ -260,6 +271,7 @@ impl Request {
                     Op::Ping => Request::Ping,
                     Op::Stats => Request::Stats,
                     Op::Sync => Request::Sync,
+                    Op::Metrics => Request::Metrics,
                     _ => Request::Compact,
                 }
             }
@@ -350,7 +362,7 @@ impl Response {
                         unique: u64::from_le_bytes(raw),
                     }
                 }
-                Op::GetRefs | Op::Stats | Op::Compact => Response::Text(
+                Op::GetRefs | Op::Stats | Op::Compact | Op::Metrics => Response::Text(
                     String::from_utf8(body.to_vec()).map_err(|_| "non-UTF-8 text body")?,
                 ),
                 Op::Ping | Op::PutDec | Op::PutExe | Op::PutRefs | Op::Sync => Response::Ok,
@@ -439,6 +451,7 @@ mod tests {
             Request::Stats,
             Request::Sync,
             Request::Compact,
+            Request::Metrics,
         ]
     }
 
@@ -476,6 +489,13 @@ mod tests {
             (Op::PutDec, Response::Ok),
             (Op::Sync, Response::Ok),
             (Op::Compact, Response::Text("compacted 3 shards".into())),
+            (
+                Op::Metrics,
+                Response::Text(
+                    "# TYPE oraql_store_appends_total counter\noraql_store_appends_total 7\n"
+                        .into(),
+                ),
+            ),
             (Op::Ping, Response::Err(Status::BadOp, String::new())),
             (Op::GetDec, Response::Err(Status::Io, "disk died".into())),
         ];

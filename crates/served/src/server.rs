@@ -37,7 +37,7 @@
 //!   disk.
 
 use crate::net::{Addr, Conn, Listener};
-use crate::protocol::{read_frame, write_frame, Request, Response, Status};
+use crate::protocol::{read_frame, write_frame, Op, Request, Response, Status};
 use oraql_store::{Record, Store, StoreError, REF_SEP};
 use std::collections::HashMap;
 use std::io::{self, Write as _};
@@ -167,14 +167,14 @@ impl Core {
     /// pass. A shard whose fsync fails is re-marked dirty so the next
     /// pass retries instead of silently dropping durability.
     fn sync_dirty(&self) -> io::Result<()> {
-        let mut synced = false;
+        let mut synced = 0u64;
         let mut first_err = None;
         for shard in &self.shards {
             if shard.dirty.swap(false, Ordering::AcqRel) {
                 match shard.store.sync() {
                     Ok(()) => {
                         shard.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
-                        synced = true;
+                        synced += 1;
                     }
                     Err(e) => {
                         shard.dirty.store(true, Ordering::Release);
@@ -183,8 +183,15 @@ impl Core {
                 }
             }
         }
-        if synced {
+        if synced > 0 {
             self.counters.fsync_batches.fetch_add(1, Ordering::Relaxed);
+            // Batch size = shards flushed by one group fsync: a
+            // measure of how well the interval amortizes sync cost.
+            static BATCH: std::sync::OnceLock<&'static oraql_obs::Histogram> =
+                std::sync::OnceLock::new();
+            BATCH
+                .get_or_init(|| oraql_obs::global().histogram("oraql_served_fsync_batch_size"))
+                .observe(synced);
         }
         match first_err {
             Some(e) => Err(e),
@@ -347,6 +354,16 @@ impl Core {
 
     fn dispatch(&self, req: Request, conn: &mut ConnCounters) -> Response {
         conn.requests += 1;
+        let started = std::time::Instant::now();
+        let op = req.op();
+        let resp = self.dispatch_inner(req, conn);
+        let (count, micros) = op_metrics(op);
+        count.inc();
+        micros.observe(started.elapsed().as_micros() as u64);
+        resp
+    }
+
+    fn dispatch_inner(&self, req: Request, conn: &mut ConnCounters) -> Response {
         match req {
             Request::Ping => Response::Ok,
             Request::GetDec { key } => {
@@ -391,8 +408,76 @@ impl Core {
                 Err(e) => Response::Err(Status::Io, e.to_string()),
             },
             Request::Compact => self.compact_all(),
+            // The process-wide registry: this daemon's own request
+            // counters and latency histograms, plus everything the
+            // embedded `oraql-store` shards published. A scraper polls
+            // this op; see docs/OPERATIONS.md § Monitoring.
+            Request::Metrics => Response::Text(oraql_obs::global().snapshot().render()),
         }
     }
+}
+
+/// Registry handles for one wire op: request counter + latency
+/// histogram. Names are static per op, resolved once each.
+fn op_metrics(op: Op) -> (&'static oraql_obs::Counter, &'static oraql_obs::Histogram) {
+    use std::sync::OnceLock;
+    // One slot per op byte value; op bytes start at 0x01.
+    static SLOTS: OnceLock<Vec<(&'static oraql_obs::Counter, &'static oraql_obs::Histogram)>> =
+        OnceLock::new();
+    const NAMES: [(&str, &str); 11] = [
+        (
+            "oraql_served_requests_ping_total",
+            "oraql_served_op_ping_micros",
+        ),
+        (
+            "oraql_served_requests_get_dec_total",
+            "oraql_served_op_get_dec_micros",
+        ),
+        (
+            "oraql_served_requests_get_exe_total",
+            "oraql_served_op_get_exe_micros",
+        ),
+        (
+            "oraql_served_requests_put_dec_total",
+            "oraql_served_op_put_dec_micros",
+        ),
+        (
+            "oraql_served_requests_put_exe_total",
+            "oraql_served_op_put_exe_micros",
+        ),
+        (
+            "oraql_served_requests_get_refs_total",
+            "oraql_served_op_get_refs_micros",
+        ),
+        (
+            "oraql_served_requests_put_refs_total",
+            "oraql_served_op_put_refs_micros",
+        ),
+        (
+            "oraql_served_requests_stats_total",
+            "oraql_served_op_stats_micros",
+        ),
+        (
+            "oraql_served_requests_sync_total",
+            "oraql_served_op_sync_micros",
+        ),
+        (
+            "oraql_served_requests_compact_total",
+            "oraql_served_op_compact_micros",
+        ),
+        (
+            "oraql_served_requests_metrics_total",
+            "oraql_served_op_metrics_micros",
+        ),
+    ];
+    let slots = SLOTS.get_or_init(|| {
+        let r = oraql_obs::global();
+        NAMES
+            .iter()
+            .map(|&(c, h)| (r.counter(c), r.histogram(h)))
+            .collect()
+    });
+    slots[(op as u8 - 1) as usize]
 }
 
 /// Per-connection counters, reported by `STATS` on the same connection.

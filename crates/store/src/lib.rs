@@ -228,6 +228,7 @@ impl Store {
             // this can only discard a partial header, never user data.
             if !bytes.is_empty() {
                 StoreStats::bump(&stats.dropped_torn, 1);
+                stats::obs().dropped_torn.inc();
             }
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
@@ -282,6 +283,10 @@ impl Store {
         StoreStats::bump(&stats.recovered, scan.records.len() as u64);
         StoreStats::bump(&stats.dropped_corrupt, scan.corrupt);
         StoreStats::bump(&stats.dropped_torn, scan.torn);
+        let obs = stats::obs();
+        obs.recovered.add(scan.records.len() as u64);
+        obs.dropped_corrupt.add(scan.corrupt);
+        obs.dropped_torn.add(scan.torn);
     }
 
     /// The journal path this handle is bound to.
@@ -436,6 +441,7 @@ impl Store {
         // idempotent no-op.
         inner.maps.apply(r);
         StoreStats::bump(&self.stats.appends, 1);
+        stats::obs().appends.inc();
         Ok(())
     }
 
@@ -467,6 +473,9 @@ impl Store {
         // writer. Only consume what is already whole.
         StoreStats::bump(&stats.recovered, scan.records.len() as u64);
         StoreStats::bump(&stats.dropped_corrupt, scan.corrupt);
+        let obs = stats::obs();
+        obs.recovered.add(scan.records.len() as u64);
+        obs.dropped_corrupt.add(scan.corrupt);
         let n = scan.records.len() as u64;
         inner.scanned = scan.valid_end;
         for r in scan.records {
@@ -479,7 +488,11 @@ impl Store {
     /// plain `write(2)` calls; call this at a checkpoint (end of a
     /// case, end of a run) to bound the loss window on power failure.
     pub fn sync(&self) -> std::io::Result<()> {
-        lock_ignore_poison(&self.inner).writer.sync_data()
+        let res = lock_ignore_poison(&self.inner).writer.sync_data();
+        if res.is_ok() {
+            stats::obs().fsyncs.inc();
+        }
+        res
     }
 
     /// Rewrites the journal keeping exactly one record per live key —

@@ -12,6 +12,7 @@
 //!                                           # sequence (or @file)
 //! oraql --config <file>
 //! oraql --all [--jobs N]
+//! oraql trace --probes <trace.jsonl> [--spans <spans.jsonl>] ...
 //! ```
 //!
 //! Runs the probing workflow on one (or all) of the registered proxy
@@ -47,6 +48,20 @@
 //! summary is printed at exit. `--probe-deadline-ms N` puts each probe
 //! attempt under a wall-clock watchdog (0 disables). Config keys
 //! `fault_plan =` / `probe_deadline_ms =` do the same; the CLI wins.
+//!
+//! `--metrics-out <path>` writes the process-wide metrics registry
+//! (counters, gauges, latency histograms from driver, VM, worker pool,
+//! store, and server client) as a Prometheus-style exposition at exit
+//! and prints an additive `--- metrics ---` summary section rendered
+//! from the same snapshot. `--spans-out <path>` enables span tracing:
+//! one JSONL line per `case > probe > compile|vm|verify|store|server`
+//! span. Config keys `metrics_out =` / `spans_out =` do the same; the
+//! CLI wins. Both are off by default, so default output is unchanged.
+//!
+//! `oraql trace` is the offline analyzer: it recomputes the Fig. 2 /
+//! Fig. 4 / Fig. 6 tables, the cache-tier funnel, per-case latency
+//! quantiles, and a span self-time profile from those JSONL artifacts
+//! (see `oraql trace --help`).
 
 use oraql::config::Config;
 use oraql::report::{render_report, render_trace_summary, DumpFlags};
@@ -61,9 +76,11 @@ fn usage() -> ! {
          [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]\n                \
          [--store <journal>] [--no-store]\n                \
          [--server <addr>] [--no-server]\n                \
-         [--fault-plan <spec>] [--probe-deadline-ms N]\n       \
+         [--fault-plan <spec>] [--probe-deadline-ms N]\n                \
+         [--metrics-out <file.prom>] [--spans-out <file.jsonl>]\n       \
          oraql --config <file>\n       \
-         oraql --all [--jobs N]"
+         oraql --all [--jobs N]\n       \
+         oraql trace --probes <trace.jsonl> [--spans <spans.jsonl>] [--help]"
     );
     std::process::exit(2)
 }
@@ -279,6 +296,11 @@ fn truncate(s: &str, n: usize) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `oraql trace ...`: the offline analyzer over a run's JSONL
+    // artifacts; no driver machinery is touched.
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(workloads::analyze::run_cli(&args[1..]));
+    }
     let mut benchmark: Option<String> = None;
     let mut config: Option<Config> = None;
     let mut opts = DriverOptions::default();
@@ -293,6 +315,8 @@ fn main() {
     let mut no_server = false;
     let mut fault_plan: Option<String> = None;
     let mut probe_deadline_ms: Option<u64> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut spans_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -357,6 +381,14 @@ fn main() {
                 i += 1;
                 fault_plan = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--spans-out" => {
+                i += 1;
+                spans_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--probe-deadline-ms" => {
                 i += 1;
                 probe_deadline_ms = Some(
@@ -399,6 +431,22 @@ fn main() {
         })
     });
     opts.trace = sink.clone();
+
+    // CLI --metrics-out / --spans-out win over the config keys. The
+    // span sink streams to its file as spans close; the metrics
+    // exposition is written once at exit.
+    let metrics_out = metrics_out.or_else(|| config.as_ref().and_then(|c| c.metrics_out.clone()));
+    let spans_out = spans_out.or_else(|| config.as_ref().and_then(|c| c.spans_out.clone()));
+    let spans = spans_out.as_deref().map(|p| {
+        oraql_obs::SpanSink::to_file(std::path::Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("cannot open spans file {p}: {e}");
+            std::process::exit(2)
+        })
+    });
+    opts.spans = spans.clone();
+    // Registry baseline, so the printed section reflects this run even
+    // if the process (e.g. under a test harness) did earlier work.
+    let snap0 = oraql_obs::global().snapshot();
 
     // CLI --store wins over the config's `store =` key; --no-store
     // disables both.
@@ -464,7 +512,10 @@ fn main() {
     };
 
     if let (Some(sink), Some(path)) = (&sink, &trace_path) {
-        sink.flush();
+        let dropped = sink.flush();
+        if dropped > 0 {
+            eprintln!("warning: {dropped} probe trace lines lost writing {path}");
+        }
         println!("--- probe trace summary ({path}) ---");
         print!("{}", render_trace_summary(&sink.events()));
     }
@@ -487,5 +538,79 @@ fn main() {
         }
         println!("total faults fired: {}", inj.total_fired());
     }
+    if let (Some(spans), Some(path)) = (&spans, &spans_out) {
+        let dropped = spans.flush();
+        if dropped > 0 {
+            eprintln!("warning: {dropped} span lines lost writing {path}");
+        }
+        println!("--- spans ({path}) ---");
+        println!("spans recorded: {}", spans.events().len());
+    }
+    if let Some(path) = &metrics_out {
+        let snap = oraql_obs::global().snapshot();
+        if let Err(e) = std::fs::write(path, snap.render()) {
+            eprintln!("cannot write metrics file {path}: {e}");
+        }
+        println!("--- metrics ({path}) ---");
+        print!("{}", render_metrics_section(&snap.delta(&snap0)));
+    }
     std::process::exit(code);
+}
+
+/// The end-of-run metrics summary, rendered purely from a registry
+/// snapshot delta — the human-readable face of the same numbers the
+/// exposition file carries.
+fn render_metrics_section(d: &oraql_obs::Snapshot) -> String {
+    let c = |name: &str| d.counters.get(name).copied().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "probes: {} total | executed {} exe-cache {} dec-cache {} store {} server {} deduced {} faulted {}\n",
+        c("oraql_driver_probes_total"),
+        c("oraql_driver_probe_executed_total"),
+        c("oraql_driver_probe_exe_cache_total"),
+        c("oraql_driver_probe_dec_cache_total"),
+        c("oraql_driver_probe_store_total"),
+        c("oraql_driver_probe_server_total"),
+        c("oraql_driver_probe_deduced_total"),
+        c("oraql_driver_probe_faulted_total"),
+    ));
+    out.push_str(&format!(
+        "funnel: dec-cache {} -> store-dec {} -> server-dec {} -> compile {} -> exe-cache {} -> store-exe {} -> server-exe {} -> vm {}\n",
+        c("oraql_driver_funnel_dec_cache_hits_total"),
+        c("oraql_driver_funnel_store_dec_hits_total"),
+        c("oraql_driver_funnel_server_dec_hits_total"),
+        c("oraql_driver_funnel_compiles_total"),
+        c("oraql_driver_funnel_exe_cache_hits_total"),
+        c("oraql_driver_funnel_store_exe_hits_total"),
+        c("oraql_driver_funnel_server_exe_hits_total"),
+        c("oraql_driver_funnel_vm_runs_total"),
+    ));
+    out.push_str(&format!(
+        "vm: {} runs, {} insts, {} fuel refunds, {} decode lowerings\n",
+        c("oraql_vm_runs_total"),
+        c("oraql_vm_insts_total"),
+        c("oraql_vm_fuel_refunds_total"),
+        c("oraql_vm_decode_lowerings_total"),
+    ));
+    out.push_str(&format!(
+        "pool: {} jobs, {} panics, {} respawns | store: {} appends, {} fsyncs | retries {} quarantined {}\n",
+        c("oraql_pool_jobs_submitted_total"),
+        c("oraql_pool_panics_total"),
+        c("oraql_pool_respawns_total"),
+        c("oraql_store_appends_total"),
+        c("oraql_store_fsyncs_total"),
+        c("oraql_driver_retries_total"),
+        c("oraql_driver_quarantined_total"),
+    ));
+    if let Some(h) = d.histograms.get("oraql_driver_probe_micros") {
+        out.push_str(&format!(
+            "probe latency (µs): p50 {} p90 {} p99 {} mean {:.1} ({} samples)\n",
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.mean(),
+            h.count
+        ));
+    }
+    out
 }

@@ -21,6 +21,7 @@
 //! fully optimistically, where the pessimistic queries live, which pass
 //! statistics move) is preserved. See `EXPERIMENTS.md`.
 
+pub mod analyze;
 pub mod gridmini;
 pub mod lulesh;
 pub mod minife;

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Observability overhead benchmark (see docs/OPERATIONS.md § Monitoring).
+#
+# Drives the full 16-config workload suite uninstrumented and fully
+# instrumented (probe trace + span trace streaming to files + metrics
+# registry), asserts the overhead ratio stays within the 1.05x budget,
+# and verifies the `oraql trace --fig2` replay matches the in-run
+# summary byte-for-byte. Writes JSON to BENCH_obs.json in the repo
+# root; override with ORAQL_BENCH_OUT.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Cargo runs benches with the package directory as cwd, so anchor the
+# default output at the repo root via an absolute path.
+ORAQL_BENCH_OUT="${ORAQL_BENCH_OUT:-$(pwd)/BENCH_obs.json}" \
+    cargo bench --offline -p oraql-bench --bench obs_overhead

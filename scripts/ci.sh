@@ -23,6 +23,11 @@ cargo test -q --offline --test chaos_faults
 # protocol-doc drift), likewise by name.
 cargo test -q --offline -p oraql-served
 cargo test -q --offline --test served_roundtrip
+# The observability gates: registry/span/exposition unit suites and the
+# analyzer determinism tests (order insensitivity, jobs 1-vs-4
+# agreement, span hierarchy, fig2-equals-CLI), likewise by name.
+cargo test -q --offline -p oraql-obs
+cargo test -q --offline --test obs_analyzer
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -53,6 +58,19 @@ target/release/oraql -b testsnap --server "$SERVED_ADDR" \
     | grep -E 'client: [1-9][0-9]* hits'
 kill "$SERVED_PID"
 SERVED_PID=""
+
+# Metrics smoke: one instrumented run must leave a non-zero probe
+# counter in a parseable exposition, a round-trippable spans file, and
+# an analyzer that accepts all three artifacts.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$STORE_TMP" "$SERVED_TMP" "$OBS_TMP"; [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true' EXIT
+target/release/oraql -b testsnap --trace "$OBS_TMP/trace.jsonl" \
+    --metrics-out "$OBS_TMP/metrics.prom" --spans-out "$OBS_TMP/spans.jsonl" \
+    | grep -E 'probes: [1-9][0-9]* total'
+grep -E '^oraql_driver_probes_total [1-9][0-9]*$' "$OBS_TMP/metrics.prom"
+target/release/oraql trace --probes "$OBS_TMP/trace.jsonl" \
+    --spans "$OBS_TMP/spans.jsonl" --check-metrics "$OBS_TMP/metrics.prom" \
+    > /dev/null
 
 # Chaos smoke: the whole suite under a fixed fault-plan seed matrix,
 # byte-identical across two runs, plus a parallel poisoning pass.
