@@ -1,0 +1,109 @@
+//! Cold-suite scheduler benchmark: what cross-case dedup buys.
+//!
+//! Runs the full 16-configuration suite cold (fresh caches per leg) at
+//! `--jobs` 1, 4, and 8 with `--speculate-depth 3`, once with the
+//! suite-global dedup tiers on and once with `--no-cross-case-dedup`,
+//! recording wall clock, total probe compiles, and in-flight joins per
+//! leg. The JSON artifact (`$ORAQL_BENCH_OUT`, default
+//! `BENCH_sched.json`) is the evidence for two claims:
+//!
+//! * dedup reduces total cold-suite probe compiles at `jobs > 1`
+//!   (every in-flight join is a duplicate compile not paid for);
+//! * at `jobs = 1` the knob is inert, so the cold wall clock does not
+//!   regress (the on/off ratio is pure run-to-run noise).
+//!
+//! Not a criterion bench: each leg is a full driver suite run.
+
+use std::time::Instant;
+
+use oraql::{run_suite, DriverOptions};
+
+struct Leg {
+    jobs: usize,
+    dedup: bool,
+    wall_ms: f64,
+    compiles: u64,
+    joins: u64,
+}
+
+fn run_leg(jobs: usize, dedup: bool) -> Leg {
+    let cases = oraql_workloads::all_cases();
+    let opts = DriverOptions {
+        jobs,
+        speculate_depth: 3,
+        cross_case_dedup: dedup,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let results = run_suite(&cases, &opts);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (mut compiles, mut joins) = (0u64, 0u64);
+    for r in results {
+        let r = r.unwrap_or_else(|e| panic!("jobs {jobs} dedup {dedup}: {e}"));
+        compiles += r.effort.compiles;
+        joins += r.effort.inflight_joins;
+    }
+    Leg {
+        jobs,
+        dedup,
+        wall_ms,
+        compiles,
+        joins,
+    }
+}
+
+fn main() {
+    let mut legs = Vec::new();
+    for jobs in [1usize, 4, 8] {
+        for dedup in [true, false] {
+            let leg = run_leg(jobs, dedup);
+            println!(
+                "jobs {:>2}  dedup {:>5}  {:>10.1} ms  {:>5} compiles  {:>4} joins",
+                leg.jobs, leg.dedup, leg.wall_ms, leg.compiles, leg.joins
+            );
+            legs.push(leg);
+        }
+    }
+
+    let find = |jobs: usize, dedup: bool| -> &Leg {
+        legs.iter()
+            .find(|l| l.jobs == jobs && l.dedup == dedup)
+            .unwrap()
+    };
+    let on: u64 = [4, 8].iter().map(|&j| find(j, true).compiles).sum();
+    let off: u64 = [4, 8].iter().map(|&j| find(j, false).compiles).sum();
+    let joins: u64 = [4, 8].iter().map(|&j| find(j, true).joins).sum();
+    let jobs1_ratio = find(1, true).wall_ms / find(1, false).wall_ms;
+    println!(
+        "parallel cold compiles: {on} with dedup, {off} without ({joins} joins); \
+         jobs-1 on/off wall ratio {jobs1_ratio:.3}"
+    );
+    assert!(joins > 0, "dedup never fired at jobs > 1");
+    assert!(
+        on <= off,
+        "dedup increased parallel cold-suite compiles: {on} > {off}"
+    );
+
+    let rows: Vec<String> = legs
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"jobs\": {}, \"dedup\": {}, \"wall_ms\": {:.2}, \
+                 \"compiles\": {}, \"inflight_joins\": {}}}",
+                l.jobs, l.dedup, l.wall_ms, l.compiles, l.joins
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"sched_dedup\",\n  \"speculate_depth\": 3,\n  \
+         \"parallel_compiles_dedup_on\": {on},\n  \
+         \"parallel_compiles_dedup_off\": {off},\n  \
+         \"parallel_inflight_joins\": {joins},\n  \
+         \"jobs1_wall_on_off_ratio\": {jobs1_ratio:.4},\n  \
+         \"legs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = std::env::var("ORAQL_BENCH_OUT").unwrap_or_else(|_| "BENCH_sched.json".into());
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -96,7 +96,7 @@ use crate::compile::{compile, CompileOptions, Compiled, Scope};
 use crate::pass::{OptimismKind, OraqlStats, UniqueQuery};
 use crate::pool::{CancelToken, WorkerPool};
 use crate::sequence::Decisions;
-use crate::strategy::{ProbeOutcome, Prober, SpeculativeProbe, Strategy};
+use crate::strategy::{HintHandle, ProbeOutcome, Prober, SpeculativeProbe, Strategy};
 use crate::trace::{ProbeEvent, ProbeKind, TraceSink};
 use crate::verify::{Mismatch, Verifier};
 use oraql_faults::{FaultInjector, FaultSite, InjectedPanic};
@@ -168,6 +168,22 @@ pub struct DriverOptions {
     /// driver; `N > 1` enables speculative sibling probes on an
     /// `N`-worker pool and the decisions-digest cache.
     pub jobs: usize,
+    /// Speculation lookahead of the bisection DAG (CLI:
+    /// `--speculate-depth`). `0` disables speculative probes entirely
+    /// (parallel probes still share caches), `1` (the default) launches
+    /// the immediate sibling of each blocking probe, and `>= 2`
+    /// additionally warms outcome-conditioned grandchild probes up to
+    /// `depth - 1` levels down. Ignored at `jobs = 1`: the sequential
+    /// driver never speculates regardless of this setting.
+    pub speculate_depth: u32,
+    /// Dedup identical in-flight probes across the cases of a
+    /// shared-cache suite run (CLI: `--no-cross-case-dedup` disables).
+    /// The first prober to claim a decisions digest computes it and the
+    /// rest subscribe to its verdict, and bit-identical programs under
+    /// identical verification inputs share executable verdicts across
+    /// differently-named cases. Only meaningful at `jobs > 1`; cannot
+    /// change any decision — only which cache tier answers a probe.
+    pub cross_case_dedup: bool,
     /// Probe-trace sink; every probe answer is recorded here.
     pub trace: Option<TraceSink>,
     /// Span sink (CLI: `--spans-out <path>`); when set, every case
@@ -220,6 +236,8 @@ impl Default for DriverOptions {
             max_tests: 4_096,
             trace_passes: false,
             jobs: 1,
+            speculate_depth: 1,
+            cross_case_dedup: true,
             trace: None,
             spans: None,
             interp: InterpMode::default(),
@@ -254,6 +272,17 @@ pub struct ProbeEffort {
     /// Speculative probes cancelled before their verdict was consumed
     /// (the deduction rule or a passing parent made them unnecessary).
     pub spec_cancelled: u64,
+    /// Fire-and-forget grandchild warm-ups launched on the pool
+    /// (`speculate_depth >= 2`).
+    pub spec_hints: u64,
+    /// Speculative probes that did real work (at least a compile)
+    /// *after* their waiter had already cancelled them — wasted effort,
+    /// traced as [`ProbeKind::Cancelled`]. Timing-dependent by nature,
+    /// so always 0 at `jobs = 1`.
+    pub spec_wasted: u64,
+    /// Probes that joined an identical in-flight computation instead of
+    /// compiling a duplicate (cross-case dedup).
+    pub inflight_joins: u64,
 }
 
 /// Everything the driver learned about one benchmark.
@@ -421,11 +450,42 @@ pub struct VerdictCaches {
     exe: Mutex<HashMap<u64, (bool, u64)>>,
     /// decisions digest -> (verdict, unique query count)
     dec: Mutex<HashMap<u64, (bool, u64)>>,
+    /// Decisions digests currently being computed somewhere in the
+    /// suite (cross-case dedup): the first prober to claim a digest
+    /// computes it, identical concurrent probes subscribe and re-read
+    /// the decisions cache when the claim clears.
+    inflight: Mutex<HashSet<u64>>,
+    /// Notified whenever an in-flight claim is released.
+    inflight_cv: std::sync::Condvar,
+    /// Cross-case executable tier: verdicts keyed by *unsalted*
+    /// content (references + ignore patterns + fuel + module text, but
+    /// no case name), so bit-identical programs verified against
+    /// identical references share verdicts across differently-named
+    /// cases.
+    exe_content: Mutex<HashMap<u64, (bool, u64)>>,
+    /// Suite-global speculation priors: per query-index cluster,
+    /// (dangerous, total) counts of range outcomes reported by the
+    /// strategies. Earlier cases teach later ones which clusters tend
+    /// to be clean — those subtrees are speculated first. Affects only
+    /// pool scheduling priority, never a decision.
+    priors: Mutex<Vec<(u64, u64)>>,
 }
 
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
+
+/// Query-index clusters for the speculation priors: indices are bucketed
+/// in spans of 32, everything past the last bucket pools in the final
+/// one. Coarse on purpose — the priors only rank hint priorities.
+const PRIOR_BUCKETS: usize = 8;
+const PRIOR_SPAN: u64 = 32;
+
+/// Pool priority of sibling speculative probes. Far above any hint
+/// priority (hints use the 0..=1000 permille prior directly), so a
+/// probe whose verdict a waiter will block on always dequeues before
+/// fill-the-idle-workers grandchild speculation.
+const SIBLING_PRIORITY: i64 = 10_000;
 
 impl VerdictCaches {
     /// Entries in the executable-hash cache.
@@ -437,10 +497,45 @@ impl VerdictCaches {
     pub fn dec_entries(&self) -> usize {
         lock_ignore_poison(&self.dec).len()
     }
+
+    /// Entries in the cross-case content-keyed executable tier.
+    pub fn content_entries(&self) -> usize {
+        lock_ignore_poison(&self.exe_content).len()
+    }
+
+    fn prior_bucket(start: u64) -> usize {
+        ((start / PRIOR_SPAN) as usize).min(PRIOR_BUCKETS - 1)
+    }
+
+    /// Records one settled range outcome into the priors.
+    pub(crate) fn note_outcome(&self, start: u64, dangerous: bool) {
+        let mut p = lock_ignore_poison(&self.priors);
+        if p.is_empty() {
+            p.resize(PRIOR_BUCKETS, (0, 0));
+        }
+        let b = Self::prior_bucket(start);
+        p[b].1 += 1;
+        if dangerous {
+            p[b].0 += 1;
+        }
+    }
+
+    /// Fraction of past *clean* outcomes in `start`'s cluster, scaled
+    /// to 0..=1000. An empty cluster reads as 500 (no opinion), so
+    /// unknown subtrees rank between known-clean and known-dangerous.
+    pub(crate) fn clean_fraction_permille(&self, start: u64) -> i64 {
+        let p = lock_ignore_poison(&self.priors);
+        let Some(&(dangerous, total)) = p.get(Self::prior_bucket(start)) else {
+            return 500;
+        };
+        if total == 0 {
+            return 500;
+        }
+        (((total - dangerous) * 1000) / total) as i64
+    }
 }
 
-fn module_hash(salt: u64, m: &Module) -> u64 {
-    let text = oraql_ir::printer::module_str(m);
+fn module_text_hash(salt: u64, text: &str) -> u64 {
     let mut h = DefaultHasher::new();
     salt.hash(&mut h);
     text.hash(&mut h);
@@ -464,9 +559,15 @@ struct DriverMetrics {
     server: &'static oraql_obs::Counter,
     deduced: &'static oraql_obs::Counter,
     faulted: &'static oraql_obs::Counter,
+    spec_launched: &'static oraql_obs::Counter,
+    spec_hints: &'static oraql_obs::Counter,
+    spec_cancelled: &'static oraql_obs::Counter,
+    spec_wasted: &'static oraql_obs::Counter,
     retries: &'static oraql_obs::Counter,
     quarantined: &'static oraql_obs::Counter,
     funnel_dec_cache_hits: &'static oraql_obs::Counter,
+    funnel_inflight_joins: &'static oraql_obs::Counter,
+    funnel_content_exe_hits: &'static oraql_obs::Counter,
     funnel_store_dec_hits: &'static oraql_obs::Counter,
     funnel_server_dec_hits: &'static oraql_obs::Counter,
     funnel_compiles: &'static oraql_obs::Counter,
@@ -493,9 +594,15 @@ fn dmetrics() -> &'static DriverMetrics {
             server: r.counter("oraql_driver_probe_server_total"),
             deduced: r.counter("oraql_driver_probe_deduced_total"),
             faulted: r.counter("oraql_driver_probe_faulted_total"),
+            spec_launched: r.counter("oraql_driver_speculation_launched_total"),
+            spec_hints: r.counter("oraql_driver_speculation_hints_total"),
+            spec_cancelled: r.counter("oraql_driver_speculation_cancelled_total"),
+            spec_wasted: r.counter("oraql_driver_speculation_wasted_total"),
             retries: r.counter("oraql_driver_retries_total"),
             quarantined: r.counter("oraql_driver_quarantined_total"),
             funnel_dec_cache_hits: r.counter("oraql_driver_funnel_dec_cache_hits_total"),
+            funnel_inflight_joins: r.counter("oraql_driver_funnel_inflight_joins_total"),
+            funnel_content_exe_hits: r.counter("oraql_driver_funnel_content_exe_hits_total"),
             funnel_store_dec_hits: r.counter("oraql_driver_funnel_store_dec_hits_total"),
             funnel_server_dec_hits: r.counter("oraql_driver_funnel_server_dec_hits_total"),
             funnel_compiles: r.counter("oraql_driver_funnel_compiles_total"),
@@ -531,6 +638,19 @@ fn case_salt(case: &TestCase, references: &[String]) -> u64 {
     h.finish()
 }
 
+/// Like [`case_salt`] but *without* the case name: the key space of the
+/// cross-case content tier. Two cases that build bit-identical modules
+/// and verify them against identical references, ignore patterns, and
+/// fuel produce the same content key — the verdict is the same fact
+/// regardless of what the cases are called.
+fn content_salt(case: &TestCase, references: &[String]) -> u64 {
+    let mut h = DefaultHasher::new();
+    references.hash(&mut h);
+    case.ignore_patterns.hash(&mut h);
+    case.fuel.hash(&mut h);
+    h.finish()
+}
+
 /// The probe execution engine: everything needed to answer one probe,
 /// shareable across the worker pool (`Sync`). The seed driver's
 /// `compile_with` + `probe` logic lives here unchanged; the caches are
@@ -548,6 +668,13 @@ struct ProbeEngine {
     /// Enables the decisions-digest cache (parallel mode only, so that
     /// `jobs = 1` reproduces seed effort counters exactly).
     use_dec_cache: bool,
+    /// Enables cross-case dedup: in-flight digest claims plus the
+    /// content-keyed executable tier. Implies `use_dec_cache` (gated on
+    /// `jobs > 1 && cross_case_dedup`).
+    dedupe: bool,
+    /// Unsalted key base of the cross-case content tier (references +
+    /// ignore patterns + fuel, no case name).
+    content_salt: u64,
     caches: Arc<VerdictCaches>,
     /// Persistent write-through tier behind the in-memory caches.
     /// Consulted at any job count: stored outcomes are pure functions
@@ -601,6 +728,32 @@ const MAY_ALIAS: ProbeOutcome = ProbeOutcome {
     unique: 0,
 };
 
+/// How [`ProbeEngine::claim_or_subscribe`] resolved a digest.
+enum ClaimOutcome {
+    /// This thread computes the digest. The guard (when present)
+    /// releases the claim on every exit path, unwinds included; `None`
+    /// means a subscription timed out and we compute unclaimed.
+    Compute(Option<InflightClaim>),
+    /// The in-flight claimer finished; its verdict was read back from
+    /// the decisions cache.
+    Answered(bool, u64),
+    /// The advisory cancel token fired while subscribed.
+    Cancelled,
+}
+
+/// RAII release of an in-flight digest claim (cross-case dedup).
+struct InflightClaim {
+    caches: Arc<VerdictCaches>,
+    digest: u64,
+}
+
+impl Drop for InflightClaim {
+    fn drop(&mut self) {
+        lock_ignore_poison(&self.caches.inflight).remove(&self.digest);
+        self.caches.inflight_cv.notify_all();
+    }
+}
+
 /// Best-effort human-readable panic payload.
 fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(ip) = p.downcast_ref::<InjectedPanic>() {
@@ -638,6 +791,7 @@ impl ProbeEngine {
             ProbeKind::ServerHit => m.server.inc(),
             ProbeKind::Deduced => m.deduced.inc(),
             ProbeKind::Faulted => m.faulted.inc(),
+            ProbeKind::Cancelled => m.spec_wasted.inc(),
         }
         m.probe_micros.observe(started.elapsed().as_micros() as u64);
         if let Some(sink) = &self.trace {
@@ -656,6 +810,55 @@ impl ProbeEngine {
 
     fn failures(&self) -> MutexGuard<'_, FailureStats> {
         lock_ignore_poison(&self.failures)
+    }
+
+    /// Makes a cancelled-but-executed speculative probe visible: the
+    /// compile (and possibly the whole run) already happened, but no
+    /// waiter will consume the verdict. Counted in
+    /// [`ProbeEffort::spec_wasted`] and traced as
+    /// [`ProbeKind::Cancelled`] so `oraql trace` can report waste.
+    fn note_wasted(&self, digest: u64, pass: bool, unique: u64, started: Instant) {
+        self.effort().spec_wasted += 1;
+        self.trace_event(digest, ProbeKind::Cancelled, pass, unique, true, started);
+    }
+
+    /// Cross-case in-flight dedup: the first requester of a decisions
+    /// digest claims it and computes; identical concurrent requesters
+    /// subscribe, waking on claim releases to re-read the decisions
+    /// cache. A subscriber that outwaits the probe deadline (the
+    /// claimer hung, or was quarantined without caching anything)
+    /// computes unclaimed rather than stalling — correctness never
+    /// depends on the claim, it only avoids duplicate work. Claimers
+    /// never wait, so the one waiting level cannot deadlock.
+    fn claim_or_subscribe(&self, digest: u64, cancel: Option<&CancelToken>) -> ClaimOutcome {
+        let give_up = Instant::now() + self.deadline.unwrap_or(Duration::from_secs(2));
+        loop {
+            {
+                let mut set = lock_ignore_poison(&self.caches.inflight);
+                if !set.contains(&digest) {
+                    set.insert(digest);
+                    return ClaimOutcome::Compute(Some(InflightClaim {
+                        caches: Arc::clone(&self.caches),
+                        digest,
+                    }));
+                }
+                let (set, _) = self
+                    .caches
+                    .inflight_cv
+                    .wait_timeout(set, Duration::from_millis(10))
+                    .unwrap_or_else(|p| p.into_inner());
+                drop(set);
+            }
+            if let Some(&(pass, unique)) = lock_ignore_poison(&self.caches.dec).get(&digest) {
+                return ClaimOutcome::Answered(pass, unique);
+            }
+            if cancel.is_some_and(|t| t.is_cancelled()) {
+                return ClaimOutcome::Cancelled;
+            }
+            if Instant::now() >= give_up {
+                return ClaimOutcome::Compute(None);
+            }
+        }
     }
 
     /// Opens a child span under `parent` when span tracing is on.
@@ -903,6 +1106,34 @@ impl ProbeEngine {
         if cancel.is_some_and(|t| t.is_cancelled()) {
             return Ok(None);
         }
+        // Cross-case in-flight dedup: either claim this digest (and
+        // compute below, releasing the claim on any exit) or subscribe
+        // to the prober already computing it.
+        let _claim = if self.dedupe {
+            match self.claim_or_subscribe(digest, cancel) {
+                ClaimOutcome::Compute(claim) => claim,
+                ClaimOutcome::Answered(pass, unique) => {
+                    {
+                        let mut e = self.effort();
+                        e.tests_dec_cached += 1;
+                        e.inflight_joins += 1;
+                    }
+                    dmetrics().funnel_inflight_joins.inc();
+                    self.trace_event(
+                        digest,
+                        ProbeKind::DecisionCacheHit,
+                        pass,
+                        unique,
+                        speculative,
+                        started,
+                    );
+                    return Ok(Some(ProbeOutcome { pass, unique }));
+                }
+                ClaimOutcome::Cancelled => return Ok(None),
+            }
+        } else {
+            None
+        };
         if fx.compile_panic {
             std::panic::panic_any(InjectedPanic("probe pass-pipeline compile"));
         }
@@ -931,7 +1162,9 @@ impl ProbeEngine {
             .as_ref()
             .map(|s| s.lock().stats.unique())
             .unwrap_or(0);
-        let h = module_hash(self.salt, &compiled.module);
+        let text = oraql_ir::printer::module_str(&compiled.module);
+        let h = module_text_hash(self.salt, &text);
+        let content_key = module_text_hash(self.content_salt, &text);
         let hit = lock_ignore_poison(&self.caches.exe).get(&h).copied();
         if let Some((pass, cached_unique)) = hit {
             self.effort().tests_cached += 1;
@@ -964,6 +1197,36 @@ impl ProbeEngine {
                 started,
             );
             return Ok(Some(ProbeOutcome { pass, unique }));
+        }
+        if self.dedupe {
+            // Cross-case content tier: a differently-named case with
+            // identical verification inputs already ran this exact
+            // executable. Adopt its verdict into this case's salted
+            // tiers and skip the run.
+            let content_hit = lock_ignore_poison(&self.caches.exe_content)
+                .get(&content_key)
+                .copied();
+            if let Some((pass, _)) = content_hit {
+                self.effort().tests_cached += 1;
+                dmetrics().funnel_content_exe_hits.inc();
+                // `dedupe` implies `use_dec_cache`, so the parallel
+                // reporting rule applies: the freshly compiled unique
+                // count keeps the outcome a pure function of the
+                // decision vector.
+                lock_ignore_poison(&self.caches.exe).insert(h, (pass, unique));
+                lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
+                self.store_dec(digest, pass, unique);
+                self.server_put_dec(digest, pass, unique);
+                self.trace_event(
+                    digest,
+                    ProbeKind::ExeCacheHit,
+                    pass,
+                    unique,
+                    speculative,
+                    started,
+                );
+                return Ok(Some(ProbeOutcome { pass, unique }));
+            }
         }
         if let Some(store) = &self.store {
             // Persistent executable-hash tier: a previous process ran
@@ -1050,6 +1313,10 @@ impl ProbeEngine {
             return Ok(Some(ProbeOutcome { pass, unique }));
         }
         if cancel.is_some_and(|t| t.is_cancelled()) {
+            // The compile above is already spent: record the waste
+            // before abandoning the probe, so cancelled-but-executed
+            // work is visible in the trace and the effort counters.
+            self.note_wasted(digest, false, unique, started);
             return Ok(None);
         }
         if fx.delay || fx.hang {
@@ -1109,6 +1376,9 @@ impl ProbeEngine {
             Err(_) => false, // genuine traps count as verification failures
         };
         lock_ignore_poison(&self.caches.exe).insert(h, (pass, unique));
+        if self.dedupe {
+            lock_ignore_poison(&self.caches.exe_content).insert(content_key, (pass, unique));
+        }
         if self.use_dec_cache {
             lock_ignore_poison(&self.caches.dec).insert(digest, (pass, unique));
         }
@@ -1195,6 +1465,10 @@ pub struct Driver<'c> {
     engine: Arc<ProbeEngine>,
     pool: Option<Arc<WorkerPool>>,
     pending: HashMap<u64, PendingProbe>,
+    /// Cancel tokens of live fire-and-forget hints, keyed by ticket.
+    /// Uncancelled hints simply finish and warm the caches; their
+    /// entries are dropped with the driver.
+    hints: HashMap<u64, CancelToken>,
     next_ticket: u64,
 }
 
@@ -1233,6 +1507,7 @@ impl<'c> Driver<'c> {
         let mut references = vec![baseline_run.stdout.clone()];
         references.extend(case.extra_references.iter().cloned());
         let salt = case_salt(case, &references);
+        let csalt = content_salt(case, &references);
         if let Some(store) = &opts.store {
             // Record the accepted references under the case salt: a
             // warm reader can tell *what* a salt's verdicts were
@@ -1262,6 +1537,8 @@ impl<'c> Driver<'c> {
             interp: opts.interp,
             verifier,
             use_dec_cache: opts.jobs > 1,
+            dedupe: opts.jobs > 1 && opts.cross_case_dedup,
+            content_salt: csalt,
             caches,
             store: opts.store.clone(),
             server: opts.server.clone(),
@@ -1282,6 +1559,7 @@ impl<'c> Driver<'c> {
             engine,
             pool,
             pending: HashMap::new(),
+            hints: HashMap::new(),
             next_ticket: 0,
         };
 
@@ -1420,15 +1698,28 @@ impl Prober for Driver<'_> {
             .trace_event(0, ProbeKind::Deduced, false, 0, false, Instant::now());
     }
 
+    fn speculate_depth(&self) -> u32 {
+        if self.pool.is_none() {
+            return 0; // sequential mode never speculates
+        }
+        self.opts.speculate_depth
+    }
+
     fn probe_speculative(&mut self, d: &Decisions) -> SpeculativeProbe {
+        let deferred = SpeculativeProbe {
+            decisions: d.clone(),
+            ticket: None,
+        };
         let Some(pool) = &self.pool else {
             // Sequential mode: defer — the probe runs inline at the
             // wait site, preserving the seed driver's probe order.
-            return SpeculativeProbe {
-                decisions: d.clone(),
-                ticket: None,
-            };
+            return deferred;
         };
+        if self.opts.speculate_depth == 0 {
+            // Speculation disabled: the same deferred-inline flow as
+            // sequential mode, just against the shared caches.
+            return deferred;
+        }
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         let (tx, rx) = channel();
@@ -1436,7 +1727,6 @@ impl Prober for Driver<'_> {
         let engine = Arc::clone(&self.engine);
         let decisions = d.clone();
         let job_token = token.clone();
-        self.engine.effort().spec_launched += 1;
         // Pre-sample the poison decision on the submitting thread so the
         // deterministic fault stream is independent of worker timing.
         let poison = self
@@ -1444,7 +1734,7 @@ impl Prober for Driver<'_> {
             .faults
             .as_ref()
             .is_some_and(|inj| inj.fire(FaultSite::WorkerPoison));
-        pool.submit(move || {
+        let submitted = pool.submit_with_priority(SIBLING_PRIORITY, move || {
             if poison {
                 // The worker dies before touching the probe; the pool
                 // respawns a replacement, and the waiter observes the
@@ -1454,10 +1744,28 @@ impl Prober for Driver<'_> {
             if job_token.is_cancelled() {
                 return;
             }
+            let job_started = Instant::now();
             if let Some(o) = engine.execute_sandboxed(&decisions, true, Some(&job_token)) {
-                let _ = tx.send(o);
+                if tx.send(o).is_err() {
+                    // The waiter cancelled after this job was already
+                    // dequeued: the probe ran to completion but nobody
+                    // consumes its verdict — record the wasted work.
+                    engine.note_wasted(
+                        decisions_digest(engine.salt, &decisions),
+                        o.pass,
+                        o.unique,
+                        job_started,
+                    );
+                }
             }
         });
+        if submitted.is_err() {
+            // The pool is already shut down (a suite teardown race):
+            // fall back to the deferred-inline flow rather than panic.
+            return deferred;
+        }
+        self.engine.effort().spec_launched += 1;
+        dmetrics().spec_launched.inc();
         self.pending.insert(ticket, PendingProbe { rx, token });
         SpeculativeProbe {
             decisions: d.clone(),
@@ -1482,7 +1790,63 @@ impl Prober for Driver<'_> {
         if let Some(p) = h.ticket.and_then(|t| self.pending.remove(&t)) {
             p.token.cancel();
             self.engine.effort().spec_cancelled += 1;
+            dmetrics().spec_cancelled.inc();
         }
+    }
+
+    fn hint_probe(&mut self, d: &Decisions, start: u64) -> Option<HintHandle> {
+        let pool = self.pool.as_ref()?;
+        if self.opts.speculate_depth < 2 {
+            return None;
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let token = CancelToken::default();
+        let engine = Arc::clone(&self.engine);
+        let decisions = d.clone();
+        let job_token = token.clone();
+        // Pre-sampled on the submitting thread, like sibling probes.
+        let poison = self
+            .opts
+            .faults
+            .as_ref()
+            .is_some_and(|inj| inj.fire(FaultSite::WorkerPoison));
+        // Likely-clean subtrees speculate first: a passing grandchild
+        // verdict is the one the Fig. 2 deduction multiplies. Sibling
+        // probes (`SIBLING_PRIORITY`) always outrank hints, so hints
+        // only fill otherwise-idle workers.
+        let priority = self.engine.caches.clean_fraction_permille(start);
+        let submitted = pool.submit_with_priority(priority, move || {
+            if poison {
+                std::panic::panic_any(InjectedPanic("poisoned pool worker"));
+            }
+            if job_token.is_cancelled() {
+                return;
+            }
+            // Fire-and-forget: the verdict is only wanted in the caches,
+            // where a later blocking probe (here or in another case)
+            // picks it up as a decision-cache hit or in-flight join.
+            let _ = engine.execute_sandboxed(&decisions, true, Some(&job_token));
+        });
+        if submitted.is_err() {
+            return None;
+        }
+        self.engine.effort().spec_hints += 1;
+        dmetrics().spec_hints.inc();
+        self.hints.insert(ticket, token);
+        Some(HintHandle(ticket))
+    }
+
+    fn cancel_hint(&mut self, h: HintHandle) {
+        if let Some(token) = self.hints.remove(&h.0) {
+            token.cancel();
+            self.engine.effort().spec_cancelled += 1;
+            dmetrics().spec_cancelled.inc();
+        }
+    }
+
+    fn note_range_outcome(&mut self, start: u64, dangerous: bool) {
+        self.engine.caches.note_outcome(start, dangerous);
     }
 }
 
@@ -2019,5 +2383,211 @@ mod tests {
         // recomputes inline, so decisions and output are unchanged.
         assert_eq!(seq.decisions, chaotic.decisions);
         assert_eq!(seq.final_run.stdout, chaotic.final_run.stdout);
+    }
+
+    // --- speculation DAG / cross-case dedup ---------------------------
+
+    /// Builds a ready-to-probe driver without running the workflow, so
+    /// tests can exercise the [`Prober`] interface directly.
+    fn test_driver<'c>(
+        case: &'c TestCase,
+        opts: DriverOptions,
+        caches: Arc<VerdictCaches>,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Driver<'c> {
+        let baseline = compile(&*case.build, &CompileOptions::baseline());
+        let baseline_run = run_module(&baseline.module, case.fuel, opts.interp).unwrap();
+        let references = vec![baseline_run.stdout];
+        let salt = case_salt(case, &references);
+        let csalt = content_salt(case, &references);
+        let engine = Arc::new(ProbeEngine {
+            case_name: case.name.clone(),
+            salt,
+            build: Arc::clone(&case.build),
+            scope: case.scope.clone(),
+            use_cfl: case.use_cfl,
+            optimism: case.optimism,
+            fuel: case.fuel,
+            interp: opts.interp,
+            verifier: Verifier::new(references, &case.ignore_patterns),
+            use_dec_cache: opts.jobs > 1,
+            dedupe: opts.jobs > 1 && opts.cross_case_dedup,
+            content_salt: csalt,
+            caches,
+            store: None,
+            server: None,
+            effort: Mutex::new(ProbeEffort::default()),
+            trace: opts.trace.clone(),
+            trace_seq: AtomicU64::new(0),
+            spans: None,
+            case_span: 0,
+            faults: opts.faults.clone(),
+            deadline: opts.probe_deadline,
+            retries: opts.probe_retries,
+            failures: Mutex::new(FailureStats::default()),
+            quarantine: Mutex::new(HashSet::new()),
+        });
+        Driver {
+            case,
+            opts,
+            engine,
+            pool,
+            pending: HashMap::new(),
+            hints: HashMap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    #[test]
+    fn cancelled_after_dequeue_reports_wasted_work() {
+        let case = mixed_case(2, 1, 0);
+        let sink = TraceSink::in_memory();
+        // An always-on probe hang (25 ms without a deadline) holds the
+        // worker between its post-compile cancel checkpoint and the
+        // verdict send, so the cancel below reliably lands after the
+        // compile was already spent.
+        let plan = FaultPlan::quiet(3).with_rate(FaultSite::ProbeHang, Rate::always());
+        let opts = DriverOptions {
+            jobs: 2,
+            trace: Some(sink.clone()),
+            faults: Some(Arc::new(FaultInjector::new(plan))),
+            ..Default::default()
+        };
+        let mut d = test_driver(&case, opts, Arc::new(VerdictCaches::default()), {
+            Some(Arc::new(WorkerPool::new(1)))
+        });
+        let h = d.probe_speculative(&Decisions::Explicit {
+            seq: vec![false],
+            tail: true,
+        });
+        assert!(h.ticket.is_some(), "speculation should launch");
+        // Wait until the worker is past the compile, then cancel.
+        while d.engine.effort().compiles == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        d.cancel_probe(h);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while d.engine.effort().spec_wasted == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "cancelled-but-executed probe never reported waste: {:?}",
+                d.engine.effort()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(d.engine.effort().spec_cancelled, 1);
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| e.kind == ProbeKind::Cancelled && e.speculative),
+            "waste must be visible in the trace"
+        );
+    }
+
+    #[test]
+    fn content_tier_shares_verdicts_across_cases() {
+        // Two cases building identical modules under different names:
+        // the case-salted tiers cannot share, the content tier can.
+        // Depth 0 keeps both runs deterministic (no pool probes).
+        let a = TestCase::new("alpha", || build_mixed(3, 1, 1));
+        let b = TestCase::new("beta", || build_mixed(3, 1, 1));
+        let opts = DriverOptions {
+            jobs: 2,
+            speculate_depth: 0,
+            ..Default::default()
+        };
+        let caches = Arc::new(VerdictCaches::default());
+        let ra = Driver::run_shared(&a, opts.clone(), Arc::clone(&caches), None).unwrap();
+        let rb = Driver::run_shared(&b, opts.clone(), Arc::clone(&caches), None).unwrap();
+        assert!(ra.effort.tests_run > 0);
+        assert!(caches.content_entries() > 0);
+        // Every probe of case B rides on case A's verdicts: compiles
+        // still happen (the content key needs the module text), but no
+        // probe runs or verifies.
+        assert_eq!(rb.effort.tests_run, 0, "{:?}", rb.effort);
+        assert!(rb.effort.tests_cached > 0, "{:?}", rb.effort);
+        assert_eq!(ra.decisions, rb.decisions);
+
+        // With dedup off the second case pays its own probes.
+        let off = DriverOptions {
+            cross_case_dedup: false,
+            ..opts
+        };
+        let caches = Arc::new(VerdictCaches::default());
+        let _ = Driver::run_shared(&a, off.clone(), Arc::clone(&caches), None).unwrap();
+        let rb2 = Driver::run_shared(&b, off, Arc::clone(&caches), None).unwrap();
+        assert!(rb2.effort.tests_run > 0, "{:?}", rb2.effort);
+        assert_eq!(caches.content_entries(), 0);
+    }
+
+    #[test]
+    fn speculation_priors_rank_clean_clusters() {
+        let c = VerdictCaches::default();
+        assert_eq!(c.clean_fraction_permille(0), 500); // unknown: neutral
+        c.note_outcome(0, false);
+        c.note_outcome(0, false);
+        c.note_outcome(0, true);
+        assert_eq!(c.clean_fraction_permille(0), 666);
+        c.note_outcome(40, true);
+        assert_eq!(c.clean_fraction_permille(40), 0);
+        assert_eq!(c.clean_fraction_permille(33), 0); // same 32-wide bucket
+                                                      // Everything past the last bucket pools in the final one.
+        c.note_outcome(10_000, false);
+        assert_eq!(
+            c.clean_fraction_permille(PRIOR_SPAN * PRIOR_BUCKETS as u64),
+            1000
+        );
+    }
+
+    #[test]
+    fn depth_zero_disables_speculation_entirely() {
+        let case = mixed_case(4, 2, 2);
+        let seq = Driver::run(&case, DriverOptions::default()).unwrap();
+        let par = Driver::run(
+            &case,
+            DriverOptions {
+                jobs: 4,
+                speculate_depth: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(par.effort.spec_launched, 0, "{:?}", par.effort);
+        assert_eq!(par.effort.spec_hints, 0);
+        assert_eq!(par.effort.spec_wasted, 0);
+        assert_eq!(seq.decisions, par.decisions);
+        assert_eq!(seq.final_run.stdout, par.final_run.stdout);
+    }
+
+    #[test]
+    fn deep_speculation_matches_sequential_decisions() {
+        for strategy in [Strategy::Chunked, Strategy::FrequencySpace] {
+            let case = mixed_case(4, 2, 2);
+            let seq = Driver::run(
+                &case,
+                DriverOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let par = Driver::run(
+                &case,
+                DriverOptions {
+                    strategy,
+                    jobs: 4,
+                    speculate_depth: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq.decisions, par.decisions, "{strategy:?}");
+            assert_eq!(seq.final_run.stdout, par.final_run.stdout);
+            assert!(
+                par.effort.spec_hints > 0,
+                "{strategy:?}: grandchild hints should engage: {:?}",
+                par.effort
+            );
+        }
     }
 }

@@ -70,7 +70,7 @@ pub use driver::{
 pub use oraql_faults::{FaultInjector, FaultPlan, FaultSite, InjectedPanic};
 pub use oraql_store::{StatsSnapshot, Store, StoreError, StoreStats};
 pub use pass::{OraqlAA, OraqlShared, OraqlStats};
-pub use pool::{CancelToken, WorkerPool};
+pub use pool::{CancelToken, SubmitError, WorkerPool};
 pub use sequence::Decisions;
 pub use strategy::Strategy;
 pub use trace::{read_trace, ProbeEvent, ProbeKind, TraceSink};

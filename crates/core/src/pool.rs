@@ -2,12 +2,13 @@
 //!
 //! The probing driver (paper §IV-B) spends almost all of its time in
 //! compile-and-run probe cycles that are independent of each other:
-//! sibling probes inside one bisection step, and probes of different
+//! sibling probes inside one bisection step, speculative grandchildren
+//! of the bisection DAG, and probes of different
 //! [`crate::driver::TestCase`]s in a suite. [`WorkerPool`] is the shared
-//! execution substrate for both — a fixed set of `std::thread` workers
-//! draining a single job queue, so a `--jobs N` budget bounds the total
-//! probe concurrency of a whole suite run no matter how many drivers
-//! feed it.
+//! execution substrate for all of them — a fixed set of `std::thread`
+//! workers draining a single priority queue, so a `--jobs N` budget
+//! bounds the total probe concurrency of a whole suite run no matter
+//! how many drivers feed it.
 //!
 //! # Concurrency contract
 //!
@@ -15,27 +16,37 @@
 //!   other pool jobs (probe jobs never do — each one is a self-contained
 //!   compile + execute + verify cycle), otherwise the bounded pool can
 //!   deadlock.
-//! * Submission order is preserved per queue, but completion order is
-//!   unspecified; consumers synchronize through the channel they pass
-//!   into their job (see `Driver::probe_speculative`).
+//! * The queue is a priority queue: higher [`WorkerPool::submit_with_priority`]
+//!   values dequeue first, ties dequeue in submission order. Any idle
+//!   worker steals the best queued job regardless of which driver
+//!   submitted it. [`WorkerPool::submit`] enqueues at priority 0.
+//!   Completion order is unspecified; consumers synchronize through the
+//!   channel they pass into their job (see `Driver::probe_speculative`).
 //! * [`CancelToken`] is advisory: a job observes it *before* starting
 //!   expensive work. A job already past that check runs to completion;
 //!   cancellation then merely means nobody consumes its result (the
-//!   shared verdict cache still keeps the work from being wasted).
+//!   shared verdict cache still keeps the work from being wasted, and
+//!   the driver traces it as a `cancelled` probe).
 //! * A job that panics takes down only its own worker thread: the pool
 //!   detects the unwind and spawns a replacement, so the configured
 //!   `--jobs` width survives any number of misbehaving probes. The
 //!   panicked job's result channel is dropped, which its consumer
 //!   observes as a disconnect (see `Driver::wait_probe`). Counted in
 //!   [`WorkerPool::panics`] / [`WorkerPool::respawns`].
+//! * [`WorkerPool::submit`] after [`WorkerPool::close`] (or mid-drop)
+//!   returns [`SubmitError`] and leaves the queue-depth gauge exactly
+//!   where it was — the rejected job never counts as queued.
 //! * Dropping the pool closes the queue and joins every worker
-//!   (replacements included), so all borrowed-free (`'static`) state
-//!   captured by pending jobs is released deterministically.
+//!   (replacements included); jobs still queued at that point are run
+//!   by the workers before they exit. Only if a worker dies during
+//!   shutdown (when no replacement is spawned) can jobs be left
+//!   stranded — `Drop` drains those and decrements the queue-depth
+//!   gauge per job, so the gauge always returns to its pre-pool level.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::BinaryHeap;
 use std::sync::{
     atomic::{AtomicBool, AtomicU64, Ordering},
-    Arc, Mutex, MutexGuard, OnceLock,
+    Arc, Condvar, Mutex, MutexGuard, OnceLock,
 };
 use std::thread::JoinHandle;
 
@@ -86,21 +97,75 @@ impl CancelToken {
     }
 }
 
+/// The pool's queue was already closed when [`WorkerPool::submit`] was
+/// called; the job was rejected without being queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitError;
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker pool is shut down")
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A queued job plus its dequeue key: priority descending, then
+/// submission sequence ascending (FIFO among equals).
+struct PrioJob {
+    priority: i64,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for PrioJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for PrioJob {}
+
+impl PartialOrd for PrioJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PrioJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the maximum: higher priority wins, and for
+        // equal priorities the *lower* sequence number must compare
+        // greater so submission order is preserved.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The job queue proper. `closed` flips once, under the same mutex, so
+/// workers can distinguish "empty for now" from "empty forever".
+struct Queue {
+    heap: BinaryHeap<PrioJob>,
+    closed: bool,
+}
+
 /// State shared between the pool handle and every worker thread.
 struct Shared {
-    rx: Mutex<Receiver<Job>>,
+    queue: Mutex<Queue>,
+    available: Condvar,
     /// Live worker handles. Respawned workers push here, so `Drop` must
     /// keep popping until empty rather than iterate a snapshot.
     handles: Mutex<Vec<JoinHandle<()>>>,
     panics: AtomicU64,
     respawns: AtomicU64,
     next_id: AtomicU64,
+    next_seq: AtomicU64,
     shutdown: AtomicBool,
 }
 
-/// A fixed-size pool of worker threads draining one job queue.
+/// A fixed-size pool of worker threads draining one priority queue.
 pub struct WorkerPool {
-    tx: Option<Sender<Job>>,
     shared: Arc<Shared>,
     width: usize,
 }
@@ -127,7 +192,10 @@ impl Drop for RespawnGuard {
         self.0.panics.fetch_add(1, Ordering::Relaxed);
         metrics().panics.inc();
         if self.0.shutdown.load(Ordering::Acquire) {
-            return; // pool is being dropped; no point replacing
+            // Pool is being dropped; no replacement is spawned, so jobs
+            // this worker would have drained may be stranded in the
+            // queue — `WorkerPool::drop` drains them after the joins.
+            return;
         }
         // This runs during unwind, so it must not panic (that would
         // abort the process). A failed spawn just leaves the pool one
@@ -146,7 +214,7 @@ fn spawn_worker(shared: &Arc<Shared>) -> std::io::Result<()> {
         .name(format!("oraql-probe-{id}"))
         .spawn(move || {
             let _guard = RespawnGuard(Arc::clone(&s));
-            worker_loop(&s.rx);
+            worker_loop(&s);
         })?;
     lock_ignore_poison(&shared.handles).push(h);
     Ok(())
@@ -156,20 +224,23 @@ impl WorkerPool {
     /// Spawns `jobs` worker threads (at least one).
     pub fn new(jobs: usize) -> Self {
         let jobs = jobs.max(1);
-        let (tx, rx) = channel::<Job>();
         let shared = Arc::new(Shared {
-            rx: Mutex::new(rx),
+            queue: Mutex::new(Queue {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
             handles: Mutex::new(Vec::with_capacity(jobs)),
             panics: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
         for _ in 0..jobs {
             spawn_worker(&shared).expect("spawn pool worker");
         }
         WorkerPool {
-            tx: Some(tx),
             shared,
             width: jobs,
         }
@@ -192,45 +263,82 @@ impl WorkerPool {
         self.shared.respawns.load(Ordering::Relaxed)
     }
 
-    /// Enqueues a job. Panics if called after the pool was shut down
-    /// (impossible through the public API — shutdown happens in `Drop`).
-    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        // The receiver lives in `shared`, which we hold, so the channel
-        // outlives any worker crash: send cannot fail while the pool
-        // itself is alive.
-        metrics().submitted.inc();
+    /// Enqueues a job at priority 0. Returns [`SubmitError`] — without
+    /// queueing anything or disturbing the queue-depth gauge — if the
+    /// pool was already closed.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        self.submit_with_priority(0, job)
+    }
+
+    /// Enqueues a job; higher `priority` values are dequeued first,
+    /// ties in submission order. Same error contract as
+    /// [`WorkerPool::submit`].
+    pub fn submit_with_priority(
+        &self,
+        priority: i64,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        // Mirror the dequeue side: the gauge counts the job from the
+        // moment submission is attempted, and is rolled back on the
+        // error path so a rejected job leaves no trace.
         metrics().queue_depth.inc();
-        self.tx
-            .as_ref()
-            .expect("pool alive")
-            .send(Box::new(job))
-            .expect("pool queue alive");
+        {
+            let mut q = lock_ignore_poison(&self.shared.queue);
+            if q.closed {
+                drop(q);
+                metrics().queue_depth.dec();
+                return Err(SubmitError);
+            }
+            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+            q.heap.push(PrioJob {
+                priority,
+                seq,
+                job: Box::new(job),
+            });
+        }
+        metrics().submitted.inc();
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: subsequent submits fail with [`SubmitError`],
+    /// and workers exit once the already-queued jobs are drained.
+    /// Idempotent; called automatically by `Drop`.
+    pub fn close(&self) {
+        lock_ignore_poison(&self.shared.queue).closed = true;
+        self.shared.available.notify_all();
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(shared: &Shared) {
     loop {
-        // Hold the receiver lock only while dequeuing, never while
-        // running a job. A panicked sibling may have poisoned the
-        // mutex; the receiver state is still sound, so keep draining.
-        let job = lock_ignore_poison(rx).recv();
-        match job {
-            Ok(job) => {
-                metrics().queue_depth.dec();
-                job();
+        // Hold the queue lock only while dequeuing, never while running
+        // a job. A panicked sibling may have poisoned the mutex; the
+        // queue state is still sound, so keep draining.
+        let mut q = lock_ignore_poison(&shared.queue);
+        let job = loop {
+            if let Some(pj) = q.heap.pop() {
+                break pj.job;
             }
-            Err(_) => return, // queue closed: pool is shutting down
-        }
+            if q.closed {
+                return; // queue drained and closed: pool is shutting down
+            }
+            q = shared.available.wait(q).unwrap_or_else(|p| p.into_inner());
+        };
+        drop(q);
+        metrics().queue_depth.dec();
+        job();
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        drop(self.tx.take()); // close the queue
-                              // Joining a panicked worker returns only after its unwind — and
-                              // thus its respawn push — completes, so popping until empty
-                              // also collects every replacement worker.
+        self.close();
+        // Joining a panicked worker returns only after its unwind — and
+        // thus its respawn push — completes, so popping until empty
+        // also collects every replacement worker. Queued jobs are still
+        // run: workers only exit once the closed queue is empty.
         loop {
             let h = lock_ignore_poison(&self.shared.handles).pop();
             match h {
@@ -240,12 +348,21 @@ impl Drop for WorkerPool {
                 None => break,
             }
         }
+        // If a worker died during shutdown (RespawnGuard skips the
+        // replacement then), the jobs it would have drained are
+        // stranded here. Drop them and release their gauge increments
+        // so `oraql_pool_queue_depth` returns to its pre-pool level.
+        let mut q = lock_ignore_poison(&self.shared.queue);
+        while q.heap.pop().is_some() {
+            metrics().queue_depth.dec();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc::channel;
 
     /// The panic/respawn counters are bumped during the dying thread's
     /// unwind, which can lag the replacement worker picking up the next
@@ -272,7 +389,8 @@ mod tests {
             pool.submit(move || {
                 hits.fetch_add(1, Ordering::Relaxed);
                 let _ = tx.send(());
-            });
+            })
+            .unwrap();
         }
         for _ in 0..64 {
             rx.recv().unwrap();
@@ -294,7 +412,8 @@ mod tests {
                 r.store(true, Ordering::SeqCst);
             }
             let _ = tx.send(());
-        });
+        })
+        .unwrap();
         rx.recv().unwrap();
         assert!(!ran.load(Ordering::SeqCst));
     }
@@ -308,7 +427,8 @@ mod tests {
                 let hits = Arc::clone(&hits);
                 pool.submit(move || {
                     hits.fetch_add(1, Ordering::Relaxed);
-                });
+                })
+                .unwrap();
             }
         } // drop waits for the queue to drain
         assert_eq!(hits.load(Ordering::Relaxed), 8);
@@ -321,8 +441,50 @@ mod tests {
         let (tx, rx) = channel();
         pool.submit(move || {
             let _ = tx.send(7u8);
-        });
+        })
+        .unwrap();
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn higher_priority_jobs_dequeue_first() {
+        let pool = WorkerPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (gate_tx, gate_rx) = channel::<()>();
+        let (done_tx, done_rx) = channel::<()>();
+        // Block the single worker so everything below queues up.
+        pool.submit(move || {
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        for (prio, tag) in [(0, "low-a"), (0, "low-b"), (50, "high"), (10, "mid")] {
+            let order = Arc::clone(&order);
+            let done_tx = done_tx.clone();
+            pool.submit_with_priority(prio, move || {
+                lock_ignore_poison(&order).push(tag);
+                let _ = done_tx.send(());
+            })
+            .unwrap();
+        }
+        gate_tx.send(()).unwrap();
+        for _ in 0..4 {
+            done_rx.recv().unwrap();
+        }
+        // Priority descending, FIFO among equals.
+        assert_eq!(
+            *lock_ignore_poison(&order),
+            vec!["high", "mid", "low-a", "low-b"]
+        );
+    }
+
+    #[test]
+    fn submit_after_close_returns_error() {
+        let pool = WorkerPool::new(2);
+        pool.submit(|| {}).unwrap();
+        pool.close();
+        let err = pool.submit(|| unreachable!("must not run"));
+        assert_eq!(err, Err(SubmitError));
+        assert_eq!(SubmitError.to_string(), "worker pool is shut down");
     }
 
     #[test]
@@ -335,12 +497,14 @@ mod tests {
         pool.submit(move || {
             let _ = ptx.send(());
             std::panic::panic_any(oraql_faults::InjectedPanic("pool test"));
-        });
+        })
+        .unwrap();
         prx.recv().unwrap();
         let (tx, rx) = channel();
         pool.submit(move || {
             let _ = tx.send(42u8);
-        });
+        })
+        .unwrap();
         assert_eq!(rx.recv().unwrap(), 42);
         await_counts(&pool, 1, 1);
     }
@@ -357,7 +521,8 @@ mod tests {
                 if i % 3 == 0 {
                     std::panic::panic_any(oraql_faults::InjectedPanic("chaos"));
                 }
-            });
+            })
+            .unwrap();
         }
         let mut got: Vec<u64> = (0..16).map(|_| rx.recv().unwrap()).collect();
         got.sort_unstable();
@@ -369,7 +534,8 @@ mod tests {
     fn drop_after_panic_does_not_hang() {
         oraql_faults::quiet_injected_panics();
         let pool = WorkerPool::new(2);
-        pool.submit(|| std::panic::panic_any(oraql_faults::InjectedPanic("late")));
+        pool.submit(|| std::panic::panic_any(oraql_faults::InjectedPanic("late")))
+            .unwrap();
         drop(pool); // must join the replacement worker too
     }
 }

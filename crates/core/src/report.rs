@@ -166,6 +166,9 @@ pub struct TraceSummary {
     pub deduced: u64,
     /// Probes that failed in the sandbox and degraded to may-alias.
     pub faulted: u64,
+    /// Speculative probes cancelled after their compile already ran:
+    /// pure waste, work the scheduler paid for and threw away.
+    pub cancelled: u64,
     /// Probes launched speculatively for a bisection sibling.
     pub speculative: u64,
     /// Passing verdicts.
@@ -187,6 +190,7 @@ impl TraceSummary {
             ProbeKind::ServerHit => self.server_hits += 1,
             ProbeKind::Deduced => self.deduced += 1,
             ProbeKind::Faulted => self.faulted += 1,
+            ProbeKind::Cancelled => self.cancelled += 1,
         }
         if e.speculative {
             self.speculative += 1;
@@ -223,7 +227,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>6} {:>10}",
+        "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6} {:>10}",
         "case",
         "probes",
         "executed",
@@ -233,6 +237,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
         "server",
         "deduced",
         "faulted",
+        "wasted",
         "spec",
         "wall(ms)"
     );
@@ -240,7 +245,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
     for (name, t) in &per_case {
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6} {:>10.1}",
             name,
             t.probes,
             t.executed,
@@ -250,6 +255,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
             t.server_hits,
             t.deduced,
             t.faulted,
+            t.cancelled,
             t.speculative,
             t.wall_micros as f64 / 1000.0
         );
@@ -258,7 +264,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
         let t = summarize_trace(events);
         let _ = writeln!(
             s,
-            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>6} {:>10.1}",
+            "{:<24} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6} {:>10.1}",
             "TOTAL",
             t.probes,
             t.executed,
@@ -268,6 +274,7 @@ pub fn render_trace_summary(events: &[ProbeEvent]) -> String {
             t.server_hits,
             t.deduced,
             t.faulted,
+            t.cancelled,
             t.speculative,
             t.wall_micros as f64 / 1000.0
         );
@@ -408,9 +415,10 @@ mod tests {
             trace_event("b", ProbeKind::StoreHit, true),
             trace_event("b", ProbeKind::ServerHit, true),
             trace_event("b", ProbeKind::Faulted, false),
+            trace_event("b", ProbeKind::Cancelled, false),
         ];
         let t = summarize_trace(&events);
-        assert_eq!(t.probes, 7);
+        assert_eq!(t.probes, 8);
         assert_eq!(t.executed, 1);
         assert_eq!(t.exe_cache_hits, 1);
         assert_eq!(t.dec_cache_hits, 1);
@@ -418,6 +426,7 @@ mod tests {
         assert_eq!(t.server_hits, 1);
         assert_eq!(t.deduced, 1);
         assert_eq!(t.faulted, 1);
+        assert_eq!(t.cancelled, 1);
         assert_eq!(t.speculative, 1);
         assert_eq!(t.passes, 4);
         assert_eq!(t.max_unique, 9);

@@ -60,6 +60,14 @@ pub enum ProbeKind {
     /// sandbox exhausted its retries (or hit corruption) and degraded
     /// to the pessimistic may-alias verdict (`pass = false`).
     Faulted,
+    /// A speculative probe that was cancelled *after* it had already
+    /// been dequeued: the compile (and possibly the run) happened, but
+    /// no waiter consumed the verdict. Emitted in addition to the
+    /// probe's ordinary answer event when the probe ran to completion
+    /// unobserved, or on its own when the cancellation landed between
+    /// the compile and the test execution — either way the event makes
+    /// the wasted work visible to `oraql trace`.
+    Cancelled,
 }
 
 impl ProbeKind {
@@ -73,6 +81,7 @@ impl ProbeKind {
             ProbeKind::ServerHit => "server",
             ProbeKind::Deduced => "deduced",
             ProbeKind::Faulted => "faulted",
+            ProbeKind::Cancelled => "cancelled",
         }
     }
 
@@ -85,6 +94,7 @@ impl ProbeKind {
             "server" => ProbeKind::ServerHit,
             "deduced" => ProbeKind::Deduced,
             "faulted" => ProbeKind::Faulted,
+            "cancelled" => ProbeKind::Cancelled,
             _ => return None,
         })
     }
@@ -267,6 +277,7 @@ mod tests {
             ProbeKind::ServerHit,
             ProbeKind::Deduced,
             ProbeKind::Faulted,
+            ProbeKind::Cancelled,
         ]
         .into_iter()
         .enumerate()

@@ -211,7 +211,7 @@ pub fn render_fig4(events: &[ProbeEvent]) -> String {
     out
 }
 
-const KINDS: [ProbeKind; 7] = [
+const KINDS: [ProbeKind; 8] = [
     ProbeKind::Executed,
     ProbeKind::ExeCacheHit,
     ProbeKind::DecisionCacheHit,
@@ -219,6 +219,7 @@ const KINDS: [ProbeKind; 7] = [
     ProbeKind::ServerHit,
     ProbeKind::Deduced,
     ProbeKind::Faulted,
+    ProbeKind::Cancelled,
 ];
 
 /// Per-case wall-clock breakdown by answer kind (the paper's Fig. 6

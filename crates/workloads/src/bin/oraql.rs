@@ -4,6 +4,7 @@
 //! oraql --list
 //! oraql --benchmark <name> [--strategy chunked|frequency] [--dump]
 //!       [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]
+//!       [--speculate-depth N] [--no-cross-case-dedup]
 //!       [--store <journal>] [--no-store]
 //!       [--server <addr>] [--no-server]
 //!       [--fault-plan <spec>] [--probe-deadline-ms N]
@@ -26,6 +27,18 @@
 //! `N` benchmarks at once sharing one verdict cache. `--trace` writes
 //! one JSONL event per probe answer and prints a per-case summary
 //! table.
+//!
+//! `--speculate-depth N` (default 1) sizes the speculation DAG at
+//! `--jobs > 1`: `0` disables speculation (shared caches only), `1`
+//! speculates bisection siblings, `>= 2` additionally enqueues
+//! grandchild hint probes derived from each possible parent outcome,
+//! cancelling the subtrees the parent's answer invalidates.
+//! `--no-cross-case-dedup` turns off the suite-global probe dedup
+//! (in-flight digest claims plus the content-addressed executable
+//! tier) that lets identical compiles across cases be paid for once.
+//! Config keys `speculate_depth =` / `cross_case_dedup =` do the same;
+//! the CLI wins. Neither affects `--jobs 1`, which stays byte-for-byte
+//! identical to the sequential driver.
 //!
 //! `--store <journal>` attaches the crash-safe persistent verdict store
 //! (`oraql-store`): probe verdicts are journaled across runs, so a warm
@@ -74,6 +87,7 @@ fn usage() -> ! {
         "usage: oraql --list\n       \
          oraql --benchmark <name> [--strategy chunked|frequency] [--dump] [--max-tests N]\n                \
          [--jobs N] [--trace <file.jsonl>] [--interp decoded|tree]\n                \
+         [--speculate-depth N] [--no-cross-case-dedup]\n                \
          [--store <journal>] [--no-store]\n                \
          [--server <addr>] [--no-server]\n                \
          [--fault-plan <spec>] [--probe-deadline-ms N]\n                \
@@ -186,8 +200,14 @@ fn print_result(
         // Extra parallel-mode counters; kept off the jobs=1 path so
         // sequential reports stay byte-identical to earlier versions.
         println!(
-            "parallel: {} dec-cached, {} speculative launched, {} cancelled",
-            r.effort.tests_dec_cached, r.effort.spec_launched, r.effort.spec_cancelled
+            "parallel: {} dec-cached ({} in-flight joins), {} speculative launched, \
+             {} hints, {} cancelled, {} wasted",
+            r.effort.tests_dec_cached,
+            r.effort.inflight_joins,
+            r.effort.spec_launched,
+            r.effort.spec_hints,
+            r.effort.spec_cancelled,
+            r.effort.spec_wasted
         );
     }
     if !r.failures.is_quiet() {
@@ -363,6 +383,14 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage());
             }
+            "--speculate-depth" => {
+                i += 1;
+                opts.speculate_depth = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-cross-case-dedup" => opts.cross_case_dedup = false,
             "--trace" => {
                 i += 1;
                 trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -415,6 +443,8 @@ fn main() {
                 opts.strategy = cfg.strategy;
                 opts.max_tests = cfg.max_tests;
                 opts.interp = cfg.interp;
+                opts.speculate_depth = cfg.speculate_depth;
+                opts.cross_case_dedup = cfg.cross_case_dedup;
                 benchmark = Some(cfg.benchmark.clone());
                 dump |= cfg.dump;
                 config = Some(cfg);
@@ -584,6 +614,15 @@ fn render_metrics_section(d: &oraql_obs::Snapshot) -> String {
         c("oraql_driver_funnel_store_exe_hits_total"),
         c("oraql_driver_funnel_server_exe_hits_total"),
         c("oraql_driver_funnel_vm_runs_total"),
+    ));
+    out.push_str(&format!(
+        "speculation: {} launched, {} hints, {} cancelled, {} wasted | dedup: {} in-flight joins, {} content-exe hits\n",
+        c("oraql_driver_speculation_launched_total"),
+        c("oraql_driver_speculation_hints_total"),
+        c("oraql_driver_speculation_cancelled_total"),
+        c("oraql_driver_speculation_wasted_total"),
+        c("oraql_driver_funnel_inflight_joins_total"),
+        c("oraql_driver_funnel_content_exe_hits_total"),
     ));
     out.push_str(&format!(
         "vm: {} runs, {} insts, {} fuel refunds, {} decode lowerings\n",

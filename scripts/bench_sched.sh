@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Cold-suite scheduler benchmark: cross-case dedup on vs off.
+#
+# Runs the full 16-configuration suite cold at --jobs 1, 4, and 8 with
+# --speculate-depth 3, with and without the suite-global dedup tiers,
+# and writes wall clock, total probe compiles, and in-flight joins per
+# leg as JSON. Output path defaults to BENCH_sched.json in the repo
+# root; override with ORAQL_BENCH_OUT.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Cargo runs benches with the package directory as cwd, so anchor the
+# default output at the repo root via an absolute path.
+ORAQL_BENCH_OUT="${ORAQL_BENCH_OUT:-$(pwd)/BENCH_sched.json}" \
+    cargo bench --offline -p oraql-bench --bench sched_dedup

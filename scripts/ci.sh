@@ -28,6 +28,11 @@ cargo test -q --offline --test served_roundtrip
 # agreement, span hierarchy, fig2-equals-CLI), likewise by name.
 cargo test -q --offline -p oraql-obs
 cargo test -q --offline --test obs_analyzer
+# The scheduler-v2 gates: byte-identical jobs-1 runs at any speculation
+# depth, decision/Fig.2 agreement across jobs x depth, chaos-under-
+# speculation, and pool queue-depth gauge accounting, likewise by name.
+cargo test -q --offline --test sched_determinism
+cargo test -q --offline --test pool_shutdown
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,92 @@
+//! Shutdown accounting for the probe worker pool: the global
+//! `oraql_pool_queue_depth` gauge must return exactly to its pre-pool
+//! level on every teardown path — clean drains, rejected submits, and
+//! workers dying mid-shutdown with jobs still queued (the drift bug:
+//! stranded jobs used to keep their gauge increments forever).
+//!
+//! The gauge is process-global, so this suite lives in its own test
+//! binary and runs everything from one `#[test]` to keep concurrent
+//! pools from overlapping readings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use oraql::{SubmitError, WorkerPool};
+
+fn depth() -> i64 {
+    oraql_obs::global().gauge("oraql_pool_queue_depth").get()
+}
+
+/// Clean lifecycle: queued jobs all run, gauge returns to baseline.
+fn clean_drop_drains_gauge() {
+    let baseline = depth();
+    let hits = Arc::new(AtomicU64::new(0));
+    {
+        let pool = WorkerPool::new(2);
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 16);
+    assert_eq!(depth(), baseline, "gauge drifted across a clean drop");
+}
+
+/// A submit rejected by a closed pool must roll its gauge increment
+/// back — the error path used to leak one count per rejected job.
+fn rejected_submit_restores_gauge() {
+    let baseline = depth();
+    let pool = WorkerPool::new(1);
+    pool.close();
+    for _ in 0..8 {
+        assert_eq!(
+            pool.submit(|| unreachable!("closed pool must not run jobs")),
+            Err(SubmitError)
+        );
+    }
+    assert_eq!(depth(), baseline, "rejected submits leaked gauge counts");
+    drop(pool);
+    assert_eq!(depth(), baseline, "gauge drifted across drop");
+}
+
+/// The drift scenario proper: a width-1 pool whose only worker panics
+/// during shutdown (so no replacement is spawned) strands the queued
+/// jobs; `Drop` must drain them and release their gauge increments.
+fn stranded_jobs_are_drained_on_drop() {
+    oraql_faults::quiet_injected_panics();
+    let baseline = depth();
+    let pool = WorkerPool::new(1);
+    let (started_tx, started_rx) = channel::<()>();
+    let (gate_tx, gate_rx) = channel::<()>();
+    pool.submit(move || {
+        let _ = started_tx.send(());
+        let _ = gate_rx.recv();
+        std::panic::panic_any(oraql_faults::InjectedPanic("dies mid-shutdown"));
+    })
+    .unwrap();
+    started_rx.recv().unwrap();
+    // Jobs that will be stranded if the panic lands after shutdown
+    // begins (and simply drained by the replacement worker if not —
+    // the gauge must return to baseline either way).
+    for _ in 0..8 {
+        pool.submit(|| {}).unwrap();
+    }
+    let dropper = std::thread::spawn(move || drop(pool));
+    // Give `Drop` time to set the shutdown flag before the worker dies.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    gate_tx.send(()).unwrap();
+    dropper.join().unwrap();
+    assert_eq!(depth(), baseline, "stranded jobs kept the gauge inflated");
+}
+
+#[test]
+fn queue_depth_gauge_survives_every_teardown_path() {
+    clean_drop_drains_gauge();
+    rejected_submit_restores_gauge();
+    stranded_jobs_are_drained_on_drop();
+    assert_eq!(depth(), 0, "gauge must end the suite at zero");
+}
