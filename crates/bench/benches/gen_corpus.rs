@@ -1,0 +1,97 @@
+//! Workload-generator throughput benchmark.
+//!
+//! The acceptance bar for `oraql-gen` is a thousand-case corpus run
+//! green through the gated driver at both ends of the jobs axis; this
+//! bench measures what that costs and how fast raw generation is:
+//!
+//! * `generate` — composing the full 1000-case suite (module emission,
+//!   IR verification via `TestCase` construction deferred, ground-truth
+//!   labelling, name round-trips) without running the driver.
+//! * `suite_jobs1` / `suite_jobs4` — the same corpus driven end to end
+//!   through the probing driver with the soundness gate armed, at
+//!   `jobs = 1` and `jobs = 4`.
+//!
+//! Every pass re-asserts the gate invariant (zero violations, zero
+//! missed cases) so the numbers are only ever reported for a sound run.
+//! Writes `$ORAQL_BENCH_OUT` (default `BENCH_gen.json`): generation
+//! throughput in cases/s, both suite wall clocks, the jobs-4 speedup,
+//! and the corpus-wide label census. Not a criterion bench: the JSON
+//! artifact is the point, and each pass covers a thousand driver runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oraql::{run_suite, DriverOptions, TruthReport};
+use oraql_gen::{suite, GenPlan};
+
+const PLAN: &str = "seed=2024,cases=1000,motifs=red+outlined+aos+csr+halo,per=3";
+
+fn gated_suite_pass(plan: &GenPlan, jobs: usize) -> (f64, TruthReport) {
+    let (cases, truth) = suite(plan);
+    let opts = DriverOptions {
+        jobs,
+        ground_truth: Some(Arc::new(truth)),
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let results = run_suite(&cases, &opts);
+    let wall = t.elapsed().as_secs_f64() * 1e3;
+    let mut total = TruthReport::default();
+    for (case, r) in cases.iter().zip(results) {
+        let r = r.unwrap_or_else(|e| panic!("jobs={jobs}/{}: {e}", case.name));
+        total.absorb(r.truth.as_ref().expect("gate armed"));
+    }
+    assert!(
+        total.clean(),
+        "jobs={jobs}: {}",
+        total.describe_violations()
+    );
+    (wall, total)
+}
+
+fn main() {
+    let out = std::env::var("ORAQL_BENCH_OUT").unwrap_or_else(|_| "BENCH_gen.json".into());
+    let plan = GenPlan::parse(PLAN).expect("bench plan parses");
+
+    // Generation throughput: compose the whole corpus (including the
+    // truth tables) without driving it. One warm-up pass keeps the
+    // allocator growth out of the measured one.
+    let _ = suite(&plan);
+    let t = Instant::now();
+    let (cases, truth) = suite(&plan);
+    let gen_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cases_per_s = f64::from(plan.cases) / (gen_ms / 1e3);
+    let (no, may, must) = truth.counts();
+    assert_eq!(cases.len(), plan.cases as usize);
+
+    let (jobs1_ms, t1) = gated_suite_pass(&plan, 1);
+    let (jobs4_ms, t4) = gated_suite_pass(&plan, 4);
+    assert_eq!(t1.checked, t4.checked, "jobs must not change coverage");
+    let speedup = jobs1_ms / jobs4_ms;
+
+    println!(
+        "generate {} cases: {gen_ms:>9.1} ms ({cases_per_s:.0} cases/s)",
+        plan.cases
+    );
+    println!("gated suite jobs=1: {jobs1_ms:>9.1} ms   [{t1}]");
+    println!("gated suite jobs=4: {jobs4_ms:>9.1} ms   ({speedup:.2}x)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"gen_corpus\",\n  \"plan\": \"{}\",\n  \
+         \"cases\": {},\n  \
+         \"labels_no\": {no},\n  \"labels_may\": {may},\n  \"labels_must\": {must},\n  \
+         \"generate_ms\": {gen_ms:.2},\n  \
+         \"generate_cases_per_s\": {cases_per_s:.1},\n  \
+         \"suite_jobs1_ms\": {jobs1_ms:.2},\n  \
+         \"suite_jobs4_ms\": {jobs4_ms:.2},\n  \
+         \"jobs4_speedup\": {speedup:.4},\n  \
+         \"checked_pairs\": {},\n  \
+         \"violations\": {}\n}}\n",
+        plan.render(),
+        plan.cases,
+        t1.checked,
+        t1.violations.len() + t4.violations.len(),
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

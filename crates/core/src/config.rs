@@ -72,6 +72,11 @@ pub struct Config {
     /// `--no-cross-case-dedup`). On by default; only active when
     /// `jobs > 1`.
     pub cross_case_dedup: bool,
+    /// Ground-truth soundness gate for generated (`gen:`) benchmarks
+    /// (`soundness_gate = false` disables; CLI flag `--no-gate`). On by
+    /// default; ignored for hand-written benchmarks, which have no
+    /// labels to check against.
+    pub soundness_gate: bool,
 }
 
 impl Default for Config {
@@ -95,6 +100,7 @@ impl Default for Config {
             spans_out: None,
             speculate_depth: 1,
             cross_case_dedup: true,
+            soundness_gate: true,
         }
     }
 }
@@ -191,6 +197,11 @@ impl Config {
                     cfg.cross_case_dedup = value
                         .parse()
                         .map_err(|e| format!("line {}: bad cross_case_dedup: {e}", ln + 1))?
+                }
+                "soundness_gate" => {
+                    cfg.soundness_gate = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad soundness_gate: {e}", ln + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }
@@ -329,5 +340,13 @@ mod tests {
         assert!(d.cross_case_dedup);
         assert!(Config::parse("benchmark = x\nspeculate_depth = deep\n").is_err());
         assert!(Config::parse("benchmark = x\ncross_case_dedup = maybe\n").is_err());
+    }
+
+    #[test]
+    fn parses_soundness_gate() {
+        let cfg = Config::parse("benchmark = x\nsoundness_gate = false\n").unwrap();
+        assert!(!cfg.soundness_gate);
+        assert!(Config::parse("benchmark = x\n").unwrap().soundness_gate);
+        assert!(Config::parse("benchmark = x\nsoundness_gate = perhaps\n").is_err());
     }
 }

@@ -227,6 +227,15 @@ pub struct DriverOptions {
     /// How many times a failed probe attempt is retried (with a short
     /// backoff) before the probe is quarantined to may-alias.
     pub probe_retries: u32,
+    /// Ground-truth alias labels for the corpus soundness gate (see
+    /// [`crate::truth`]). When set, every final verdict is
+    /// cross-checked against the labels after verification; a kept
+    /// optimistic answer on a pair labelled as genuinely aliasing fails
+    /// the case with [`DriverError::SoundnessViolation`]. `None` (the
+    /// default, and the only option for hand-written workloads) skips
+    /// the check entirely. Labels are keyed by case name, so one
+    /// merged map gates a whole suite run.
+    pub ground_truth: Option<Arc<crate::truth::GroundTruth>>,
 }
 
 impl Default for DriverOptions {
@@ -246,6 +255,7 @@ impl Default for DriverOptions {
             faults: None,
             probe_deadline: None,
             probe_retries: 2,
+            ground_truth: None,
         }
     }
 }
@@ -318,6 +328,10 @@ pub struct DriverResult {
     pub final_module: Module,
     /// Pass trace of the final compilation (when requested).
     pub pass_trace: Vec<String>,
+    /// What the ground-truth gate saw (`Some` iff
+    /// [`DriverOptions::ground_truth`] was set; always violation-free
+    /// here, because violations fail the case instead).
+    pub truth: Option<crate::truth::TruthReport>,
 }
 
 impl DriverResult {
@@ -344,6 +358,11 @@ pub enum DriverError {
     CasePanicked(String),
     /// An internal invariant broke but was caught instead of panicking.
     Internal(String),
+    /// The ground-truth gate found a kept optimistic answer on a pair
+    /// labelled as genuinely aliasing (see [`crate::truth`]): either a
+    /// driver soundness bug or a mislabelled generator motif. The
+    /// message lists every violating pair.
+    SoundnessViolation(String),
 }
 
 impl std::fmt::Display for DriverError {
@@ -353,6 +372,9 @@ impl std::fmt::Display for DriverError {
             DriverError::FinalBroken(m) => write!(f, "final sequence failed verification: {m}"),
             DriverError::CasePanicked(m) => write!(f, "case panicked outside probing: {m}"),
             DriverError::Internal(m) => write!(f, "internal driver error: {m}"),
+            DriverError::SoundnessViolation(m) => {
+                write!(f, "ground-truth soundness gate failed: {m}")
+            }
         }
     }
 }
@@ -1615,6 +1637,21 @@ impl<'c> Driver<'c> {
             .as_ref()
             .ok_or_else(|| DriverError::Internal("final compile lost its oraql pass".into()))?;
         let st = shared.lock();
+        // Corpus soundness gate: with ground truth attached, the final
+        // verdicts — already observationally verified above — must also
+        // agree with the by-construction labels. Runs after the final
+        // verification so a violation really means "optimism survived
+        // the whole workflow on a pair known to alias".
+        let truth = driver
+            .opts
+            .ground_truth
+            .as_ref()
+            .map(|gt| gt.check(&case.name, &finalc.module, &st.queries, case.optimism));
+        if let Some(t) = &truth {
+            if !t.clean() {
+                return Err(DriverError::SoundnessViolation(t.describe_violations()));
+            }
+        }
         Ok(DriverResult {
             name: case.name.clone(),
             fully_optimistic,
@@ -1631,6 +1668,7 @@ impl<'c> Driver<'c> {
             queries: st.queries.clone(),
             final_module: finalc.module.clone(),
             pass_trace: finalc.pass_trace.clone(),
+            truth,
         })
     }
 

@@ -45,6 +45,11 @@
 //! * [`mod@compile`] — the "compiler": conservative AA chain + ORAQL last,
 //!   the standard pipeline from `oraql-passes`, machine statistics.
 //! * [`config`] — benchmark description files for the CLI driver.
+//! * [`truth`] — ground-truth alias labels and the corpus soundness
+//!   gate: generated workloads (`oraql-gen`) attach a label map to
+//!   [`DriverOptions`] and the driver cross-checks every final verdict
+//!   against it, failing loudly on optimism kept on a genuinely
+//!   aliasing pair.
 
 pub mod compile;
 pub mod config;
@@ -56,6 +61,7 @@ pub mod sequence;
 pub mod strategy;
 pub mod textpat;
 pub mod trace;
+pub mod truth;
 pub mod verify;
 
 pub use oraql_faults as faults;
@@ -74,4 +80,5 @@ pub use pool::{CancelToken, SubmitError, WorkerPool};
 pub use sequence::Decisions;
 pub use strategy::Strategy;
 pub use trace::{read_trace, ProbeEvent, ProbeKind, TraceSink};
+pub use truth::{GroundTruth, Label, TruthReport};
 pub use verify::Verifier;

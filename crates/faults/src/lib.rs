@@ -39,15 +39,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// SplitMix64 — the tiny, high-quality mixer the plan is built on
-/// (same generator the repo's seeded tests use; public so tests and
-/// tooling can derive sub-seeds the same way).
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+/// SplitMix64 — the tiny, high-quality mixer the plan is built on.
+/// The definition lives in [`oraql_obs::rng`] (one copy for the fault
+/// injector, the seeded tests, and the workload generator); re-exported
+/// here so existing callers and old plan strings keep working
+/// unchanged.
+pub use oraql_obs::rng::splitmix64;
 
 /// A named fault-injection site in the probe pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

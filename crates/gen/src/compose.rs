@@ -1,0 +1,78 @@
+//! The composer: turns `(plan, index)` into a runnable [`TestCase`]
+//! plus its ground truth, and round-trips case names so a corpus on
+//! disk is nothing but plan strings.
+//!
+//! A generated case is named `gen:<plan>#<index>` where `<plan>` is the
+//! canonical [`GenPlan::render`] string. The name alone reconstructs
+//! the case ([`resolve`]), which is what lets on-disk corpus configs
+//! stay tiny and byte-identical across regenerations.
+
+use oraql::driver::TestCase;
+use oraql::truth::GroundTruth;
+
+use crate::motifs::emit_case;
+use crate::plan::{GenPlan, Motif};
+
+/// A composed case: the driver-ready [`TestCase`] and the label map
+/// covering every interesting pointer pair in its module.
+pub struct GenCase {
+    /// Driver input; `case.name` is `gen:<plan>#<index>`.
+    pub case: TestCase,
+    /// Ground-truth labels, keyed by this case's name.
+    pub truth: GroundTruth,
+    /// The motif sequence the composer sampled (for manifests).
+    pub motifs: Vec<Motif>,
+}
+
+/// The durable name of case `index` of `plan`.
+pub fn case_name(plan: &GenPlan, index: u32) -> String {
+    format!("gen:{}#{}", plan.render(), index)
+}
+
+/// Parses a `gen:<plan>#<index>` name back into its plan and index.
+/// Returns `None` for non-`gen:` names, malformed plans, or an index
+/// outside the plan's case count.
+pub fn parse_name(name: &str) -> Option<(GenPlan, u32)> {
+    let rest = name.strip_prefix("gen:")?;
+    let (plan_s, idx_s) = rest.rsplit_once('#')?;
+    let plan = GenPlan::parse(plan_s).ok()?;
+    let index: u32 = idx_s.parse().ok()?;
+    if index >= plan.cases {
+        return None;
+    }
+    Some((plan, index))
+}
+
+/// Composes case `index` of `plan`. Deterministic: the same inputs
+/// always produce a byte-identical module and identical labels.
+pub fn compose(plan: &GenPlan, index: u32) -> GenCase {
+    let (_, truth, motifs) = emit_case(plan, index);
+    let name = case_name(plan, index);
+    let plan_c = plan.clone();
+    let case = TestCase::new(&name, move || emit_case(&plan_c, index).0);
+    GenCase {
+        case,
+        truth,
+        motifs,
+    }
+}
+
+/// Reconstructs a composed case from its `gen:…#…` name.
+pub fn resolve(name: &str) -> Option<GenCase> {
+    let (plan, index) = parse_name(name)?;
+    Some(compose(&plan, index))
+}
+
+/// Composes the whole corpus: every case of `plan` plus one merged
+/// label map, ready to hand to `run_suite` through a single shared
+/// `DriverOptions::ground_truth`.
+pub fn suite(plan: &GenPlan) -> (Vec<TestCase>, GroundTruth) {
+    let mut cases = Vec::with_capacity(plan.cases as usize);
+    let mut truth = GroundTruth::new();
+    for index in 0..plan.cases {
+        let g = compose(plan, index);
+        cases.push(g.case);
+        truth.merge(g.truth);
+    }
+    (cases, truth)
+}

@@ -1,0 +1,406 @@
+//! The motif library: each motif emits one or more opaque-pointer worker
+//! functions plus the `main`-side wiring that fixes the true alias
+//! relation of every interesting pointer pair — and records that
+//! relation as a [`Label`] at emission time.
+//!
+//! # Labelling discipline (the soundness-gate contract)
+//!
+//! The gate fails a run when a pair labelled [`Label::Must`] keeps an
+//! optimistic `NoAlias` answer, so a `Must` label is only ever emitted
+//! for a pair that carries a *constructed observable hazard*: a
+//! `load p; store c, q; load p` sandwich whose reloaded sum is printed,
+//! with `c` different from the value at `p`. A wrong no-alias on such a
+//! pair forwards the first load across the store and changes program
+//! output, so the driver's verification provably rejects it and the
+//! final verdict must be pessimistic. A genuinely-aliasing pair
+//! *without* a hazard may legitimately keep its optimistic answer (no
+//! transformation exploits it); labelling it `Must` would make the gate
+//! fire on a perfectly sound run, so such pairs are left unlabelled or
+//! labelled [`Label::May`].
+//!
+//! Conversely [`Label::No`] is only emitted for pairs whose concrete
+//! byte ranges are disjoint for every execution of the generated
+//! program — derived from the generator's own constant arena offsets,
+//! not from any analysis.
+//!
+//! Every worker takes only opaque `ptr` parameters (plus a thread id for
+//! outlined workers), so the conservative chain cannot resolve the
+//! pairs and they genuinely reach ORAQL as last-resort queries — the
+//! same shape the paper observes for outlined OpenMP regions.
+
+use oraql::truth::{GroundTruth, Label};
+use oraql_ir::builder::FunctionBuilder;
+use oraql_ir::{FunctionId, GlobalId, Module, Ty, Value};
+use oraql_obs::rng::{splitmix64, Gen};
+
+use crate::plan::{GenPlan, Motif};
+
+/// A `main`-side initial store into a motif arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Init {
+    /// `store i64 <v>` at the offset.
+    I(i64),
+    /// `store f64 <v>` at the offset.
+    F(f64),
+}
+
+/// What `main` must do to run one emitted motif instance: initial arena
+/// stores, then a call (plain or parallel region) with pointer
+/// arguments at fixed arena offsets.
+#[derive(Debug)]
+pub(crate) struct Wiring {
+    pub callee: FunctionId,
+    /// `Some(n)` → invoke as an OpenMP-style parallel region over `n`
+    /// threads (the callee's leading `i64` param is the thread id).
+    pub threads: Option<u32>,
+    /// Pointer arguments as `(arena, byte offset)`.
+    pub args: Vec<(GlobalId, i64)>,
+    /// Initial stores as `(arena, byte offset, value)`.
+    pub inits: Vec<(GlobalId, i64, Init)>,
+}
+
+/// Emits one whole generated case: samples `plan.per_case` motifs,
+/// emits their workers and labels, then builds `main` from the wirings.
+/// Pure function of `(plan, index)` — the driver rebuilds modules from
+/// many threads and every rebuild must be identical.
+pub(crate) fn emit_case(plan: &GenPlan, index: u32) -> (Module, GroundTruth, Vec<Motif>) {
+    let case = crate::compose::case_name(plan, index);
+    // Independent per-case stream: cases of one corpus share nothing but
+    // the root seed, so dropping or reordering cases never shifts others.
+    let sub = splitmix64(plan.seed ^ splitmix64(0x6f72_6171_6c67_656e ^ u64::from(index)));
+    let mut rng = Gen::new(sub);
+
+    let mut m = Module::new("gen");
+    let mut truth = GroundTruth::new();
+    let mut picked = Vec::new();
+    let mut wirings = Vec::new();
+    for j in 0..plan.per_case {
+        let motif = *rng.pick(&plan.motifs);
+        picked.push(motif);
+        let w = match motif {
+            Motif::Red => red(&mut m, &mut rng, j, &case, &mut truth),
+            Motif::Outlined => outlined(&mut m, &mut rng, j, &case, &mut truth),
+            Motif::Aos => aos(&mut m, &mut rng, j, &case, &mut truth),
+            Motif::Csr => csr(&mut m, &mut rng, j, &case, &mut truth),
+            Motif::Halo => halo(&mut m, &mut rng, j, &case, &mut truth),
+        };
+        wirings.push(w);
+    }
+
+    let mut b = FunctionBuilder::new(&mut m, "main", vec![], None);
+    b.set_src_file("gen_main.c");
+    for w in &wirings {
+        for &(g, off, init) in &w.inits {
+            let p = b.gep(Value::Global(g), off);
+            match init {
+                Init::I(v) => b.store(Ty::I64, Value::ConstInt(v), p),
+                Init::F(v) => b.store(Ty::F64, Value::const_f64(v), p),
+            };
+        }
+        let args: Vec<Value> = w
+            .args
+            .iter()
+            .map(|&(g, off)| b.gep(Value::Global(g), off))
+            .collect();
+        match w.threads {
+            Some(t) => {
+                b.parallel_region(w.callee, args, t);
+            }
+            None => {
+                b.call(w.callee, args, None);
+            }
+        }
+    }
+    b.print("gen case {} done", vec![Value::ConstInt(i64::from(index))]);
+    b.ret(None);
+    b.finish();
+
+    (m, truth, picked)
+}
+
+/// A small initial cell value, kept below 64 so it can never collide
+/// with a hazard salt (always >= 100).
+fn cell(rng: &mut Gen) -> i64 {
+    rng.range_i64(1, 64)
+}
+
+/// A hazard store constant, kept >= 100 so it always differs from
+/// initial cell values — the observability requirement.
+fn salt(rng: &mut Gen) -> i64 {
+    rng.range_i64(100, 1000)
+}
+
+/// Minimal red square: `w(p, q)` prints the hazard sum; `main` wires
+/// `q` either on top of `p` (Must) or one cell away (No).
+fn red(m: &mut Module, rng: &mut Gen, j: u32, case: &str, truth: &mut GroundTruth) -> Wiring {
+    let g = m.add_global(&format!("m{j}_red_arena"), 32, vec![], false);
+    let fname = format!("m{j}_red");
+    let salt = salt(rng);
+    let aliased = rng.bool();
+
+    let mut b = FunctionBuilder::new(m, &fname, vec![Ty::Ptr, Ty::Ptr], None);
+    b.set_src_file("gen_red.c");
+    let (p, q) = (b.arg(0), b.arg(1));
+    let s = b.hazard_probe(p, q, salt);
+    b.print("{}", vec![s]);
+    b.ret(None);
+    let f = b.finish();
+
+    truth.insert(
+        case,
+        &fname,
+        Value::Arg(0),
+        Value::Arg(1),
+        if aliased { Label::Must } else { Label::No },
+    );
+
+    Wiring {
+        callee: f,
+        threads: None,
+        args: vec![(g, 0), (g, if aliased { 0 } else { 16 })],
+        inits: vec![(g, 0, Init::I(cell(rng))), (g, 16, Init::I(cell(rng)))],
+    }
+}
+
+/// Outlined capture: `w(tid, p, q)` over a 2-thread parallel region;
+/// each thread stores its id into its slice of `p`, then runs the
+/// shared hazard on `(p, q)`.
+fn outlined(m: &mut Module, rng: &mut Gen, j: u32, case: &str, truth: &mut GroundTruth) -> Wiring {
+    const THREADS: u32 = 2;
+    // p slices @ [0, 16), q cell @ [24, 32).
+    let g = m.add_global(&format!("m{j}_outlined_arena"), 32, vec![], false);
+    let fname = format!("m{j}_outlined");
+    let salt = salt(rng);
+    let aliased = rng.bool();
+
+    let mut b = FunctionBuilder::new(m, &fname, vec![Ty::I64, Ty::Ptr, Ty::Ptr], None);
+    b.set_outlined(true);
+    b.set_src_file("gen_outlined.c");
+    let (tid, p, q) = (b.arg(0), b.arg(1), b.arg(2));
+    let slice = b.gep_scaled(p, tid, 8, 0);
+    b.store(Ty::I64, tid, slice);
+    let s = b.hazard_probe(p, q, salt);
+    b.print("{}", vec![s]);
+    b.ret(None);
+    let f = b.finish();
+
+    truth.insert(
+        case,
+        &fname,
+        Value::Arg(1),
+        Value::Arg(2),
+        if aliased { Label::Must } else { Label::No },
+    );
+    // The per-thread slice overlaps `p`'s own cell only for tid 0 and
+    // overlaps `q` only when aliased — thread-dependent either way.
+    truth.insert(case, &fname, slice, Value::Arg(1), Label::May);
+    truth.insert(
+        case,
+        &fname,
+        slice,
+        Value::Arg(2),
+        if aliased { Label::May } else { Label::No },
+    );
+
+    Wiring {
+        callee: f,
+        threads: Some(THREADS),
+        args: vec![(g, 0), (g, if aliased { 0 } else { 24 })],
+        inits: vec![
+            (g, 0, Init::I(cell(rng))),
+            (g, 8, Init::I(cell(rng))),
+            (g, 24, Init::I(cell(rng))),
+        ],
+    }
+}
+
+/// AoS/SoA strided streams: `w(x, y)` walks both pointers at stride 16
+/// with field offsets 0 and 8 and a per-iteration printed hazard.
+/// Wiring decides the relation: same base (AoS fields, disjoint),
+/// separate bases (SoA, disjoint), or `y = x - 8` (punned overlap:
+/// `yg == xg` every iteration).
+fn aos(m: &mut Module, rng: &mut Gen, j: u32, case: &str, truth: &mut GroundTruth) -> Wiring {
+    const K: i64 = 4;
+    let g = m.add_global(&format!("m{j}_aos_arena"), 256, vec![], false);
+    let fname = format!("m{j}_aos");
+    let salt = salt(rng);
+    // 0 = AoS fields, 1 = SoA, 2 = punned overlap.
+    let variant = rng.range_usize(0, 3);
+
+    let mut b = FunctionBuilder::new(m, &fname, vec![Ty::Ptr, Ty::Ptr], None);
+    b.set_src_file("gen_aos.c");
+    let (x, y) = (b.arg(0), b.arg(1));
+    let (xg, yg) = b.strided_hazard_loop(x, y, K, 16, 0, 8, salt);
+    b.ret(None);
+    let f = b.finish();
+
+    // x is always arena+8 so the punned wiring (arena+0) stays in
+    // bounds; xg = arena + 8 + 16i.
+    let y_off = match variant {
+        0 => 8,   // yg = arena + 16 + 16i: interleaved, disjoint fields
+        1 => 136, // yg = arena + 144 + 16i: separate stream
+        _ => 0,   // yg = arena + 8 + 16i = xg: overlap every iteration
+    };
+    truth.insert(
+        case,
+        &fname,
+        xg,
+        yg,
+        if variant == 2 { Label::Must } else { Label::No },
+    );
+    if variant == 1 {
+        // Bases live in fully disjoint regions; safe to label even if a
+        // pass ever queries the raw arguments.
+        truth.insert(case, &fname, Value::Arg(0), Value::Arg(1), Label::No);
+    }
+
+    let mut inits = Vec::new();
+    for i in 0..K {
+        inits.push((g, 8 + 16 * i, Init::I(cell(rng))));
+    }
+    Wiring {
+        callee: f,
+        threads: None,
+        args: vec![(g, 8), (g, y_off)],
+        inits,
+    }
+}
+
+/// CSR neighbor gather with a punned value buffer: `w(col, vals, out,
+/// vi)` first runs a type-punned hazard (`load i64` through `vi`,
+/// `store f64` through `vals`), then gathers `out[i] = vals[col[i]]`
+/// and prints the last output cell. Wiring chooses whether `vi` is the
+/// `vals` buffer itself (punned views, Must) and whether the gather
+/// writes in place over `vals` (May) or into a separate row (No).
+fn csr(m: &mut Module, rng: &mut Gen, j: u32, case: &str, truth: &mut GroundTruth) -> Wiring {
+    const K: i64 = 4;
+    // col @ [0, 32), vals @ [64, 96), out @ [128, 160), scratch @ [192, 200).
+    let g = m.add_global(&format!("m{j}_csr_arena"), 200, vec![], false);
+    let fname = format!("m{j}_csr");
+    let pun = rng.bool();
+    let inplace = rng.bool();
+    let init_f = 1.5 + f64::from(j);
+    let pun_f = 2.75 + rng.range_i64(1, 32) as f64;
+
+    let mut b = FunctionBuilder::new(m, &fname, vec![Ty::Ptr, Ty::Ptr, Ty::Ptr, Ty::Ptr], None);
+    b.set_src_file("gen_csr.c");
+    let (col, vals, out, vi) = (b.arg(0), b.arg(1), b.arg(2), b.arg(3));
+    let s = b.hazard_probe_typed(Ty::I64, vi, Ty::F64, Value::const_f64(pun_f), vals);
+    b.print("{}", vec![s]);
+    let (ig, vg, og) = b.gather_loop8(vals, col, out, K);
+    let last = b.gep(out, 8 * (K - 1));
+    let l = b.load(Ty::I64, last);
+    b.print("{}", vec![l]);
+    b.ret(None);
+    let f = b.finish();
+
+    truth.insert(
+        case,
+        &fname,
+        Value::Arg(3),
+        Value::Arg(1),
+        if pun { Label::Must } else { Label::No },
+    );
+    // The column row is never written and never indexed into: both the
+    // gathered value pointer (in-range column entries) and the output
+    // pointer live in other rows.
+    truth.insert(case, &fname, ig, vg, Label::No);
+    truth.insert(case, &fname, ig, og, Label::No);
+    // vals[col[i]] vs out[i]: data-dependent when gathering in place.
+    truth.insert(
+        case,
+        &fname,
+        vg,
+        og,
+        if inplace { Label::May } else { Label::No },
+    );
+
+    let mut inits = Vec::new();
+    // In-range neighbor indices: a shuffled permutation of 0..K.
+    let mut perm: Vec<i64> = (0..K).collect();
+    rng.shuffle(&mut perm);
+    for (i, &c) in perm.iter().enumerate() {
+        inits.push((g, 8 * i as i64, Init::I(c)));
+    }
+    inits.push((g, 64, Init::F(init_f)));
+    for i in 1..K {
+        inits.push((g, 64 + 8 * i, Init::I(cell(rng))));
+    }
+    inits.push((g, 192, Init::I(cell(rng))));
+    Wiring {
+        callee: f,
+        threads: None,
+        args: vec![
+            (g, 0),
+            (g, 64),
+            (g, if inplace { 64 } else { 128 }),
+            (g, if pun { 64 } else { 192 }),
+        ],
+        inits,
+    }
+}
+
+/// Halo exchange: `w(grid, send)` runs a hazard on the grid's edge cell
+/// against the send buffer, packs the interior into the buffer, then
+/// prints the first packed cell. Wiring makes `send` either a separate
+/// rank buffer (all-disjoint) or a zero-copy view of the grid edge
+/// (the hazard pair aliases; the pack loop still reads a disjoint
+/// interior window).
+fn halo(m: &mut Module, rng: &mut Gen, j: u32, case: &str, truth: &mut GroundTruth) -> Wiring {
+    const N: i64 = 8; // grid cells
+    const H: i64 = 2; // halo width
+    const EDGE: i64 = 8 * (N - H); // byte offset of the edge window
+                                   // grid @ [0, 64), separate buffer @ [96, 112).
+    let g = m.add_global(&format!("m{j}_halo_arena"), 112, vec![], false);
+    let fname = format!("m{j}_halo");
+    let salt = salt(rng);
+    let zero_copy = rng.bool();
+
+    let mut b = FunctionBuilder::new(m, &fname, vec![Ty::Ptr, Ty::Ptr], None);
+    b.set_src_file("gen_halo.c");
+    let (grid, send) = (b.arg(0), b.arg(1));
+    let ge = b.gep(grid, EDGE);
+    let s = b.hazard_probe(ge, send, salt);
+    b.print("{}", vec![s]);
+    let gi = b.gep(grid, 8);
+    let (sg, dg) = b.copy_loop8(send, gi, H);
+    let first = b.load(Ty::I64, send);
+    b.print("{}", vec![first]);
+    b.ret(None);
+    let f = b.finish();
+
+    truth.insert(
+        case,
+        &fname,
+        ge,
+        Value::Arg(1),
+        if zero_copy { Label::Must } else { Label::No },
+    );
+    // Pack source window [8, 24) never meets the destination (edge
+    // window or separate buffer).
+    truth.insert(case, &fname, sg, dg, Label::No);
+    truth.insert(case, &fname, ge, sg, Label::No);
+    // Destination cells meet the edge cell / the raw send pointer only
+    // for iteration 0.
+    truth.insert(
+        case,
+        &fname,
+        ge,
+        dg,
+        if zero_copy { Label::May } else { Label::No },
+    );
+    truth.insert(case, &fname, Value::Arg(1), dg, Label::May);
+
+    let mut inits = Vec::new();
+    for i in 0..N {
+        inits.push((g, 8 * i, Init::I(cell(rng))));
+    }
+    inits.push((g, 96, Init::I(cell(rng))));
+    inits.push((g, 104, Init::I(cell(rng))));
+    Wiring {
+        callee: f,
+        threads: None,
+        args: vec![(g, 0), (g, if zero_copy { EDGE } else { 96 })],
+        inits,
+    }
+}

@@ -1,0 +1,254 @@
+//! Generation plans: the `seed=…,cases=…,motifs=…,per=…` mini-language.
+//!
+//! A [`GenPlan`] is the *complete* description of a corpus: the same plan
+//! always regenerates byte-identical cases, so the plan string doubles as
+//! the durable name of every generated case (`gen:<plan>#<index>`). The
+//! syntax deliberately mirrors `FaultPlan` (`oraql-faults`): comma-
+//! separated `key=value` items, order-insensitive, `parse`/`render`
+//! round-trips exactly.
+
+use std::fmt;
+
+/// One aliasing motif family (see [`crate::motifs`] for the shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Motif {
+    /// Minimal "red square": one opaque pointer pair with an observable
+    /// load/store/load hazard; wired aliased or disjoint.
+    Red,
+    /// Outlined OpenMP-style capture: `worker(tid, p, q)` run over a
+    /// parallel region, per-thread slice stores plus a shared hazard.
+    Outlined,
+    /// AoS/SoA strided field streams: two pointers walking the same
+    /// stride whose relation is fixed by base wiring (fields of one
+    /// element, separate arrays, or a punned overlap).
+    Aos,
+    /// CSR neighbor gather with a type-punned value buffer (AMG /
+    /// miniVite shape): indirect `vals[col[i]]` reads, optional
+    /// in-place output, optional i64/f64 punned view of `vals`.
+    Csr,
+    /// SW4lite-style halo exchange: pack loop from grid interior into a
+    /// send buffer that is either separate or a zero-copy edge view.
+    Halo,
+}
+
+impl Motif {
+    /// All motifs, in canonical render order.
+    pub const ALL: [Motif; 5] = [
+        Motif::Red,
+        Motif::Outlined,
+        Motif::Aos,
+        Motif::Csr,
+        Motif::Halo,
+    ];
+
+    /// Plan-syntax name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Motif::Red => "red",
+            Motif::Outlined => "outlined",
+            Motif::Aos => "aos",
+            Motif::Csr => "csr",
+            Motif::Halo => "halo",
+        }
+    }
+
+    /// Parses a plan-syntax name.
+    pub fn parse(s: &str) -> Result<Motif, String> {
+        match s {
+            "red" => Ok(Motif::Red),
+            "outlined" => Ok(Motif::Outlined),
+            "aos" => Ok(Motif::Aos),
+            "csr" => Ok(Motif::Csr),
+            "halo" => Ok(Motif::Halo),
+            other => Err(format!(
+                "unknown motif '{other}' (expected one of red, outlined, aos, csr, halo)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Motif {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Upper bound on `cases` — keeps a typo'd plan from trying to write a
+/// few hundred million config files.
+pub const MAX_CASES: u32 = 100_000;
+/// Upper bound on motifs per case.
+pub const MAX_PER_CASE: u32 = 16;
+
+/// A parsed, immutable corpus description.
+///
+/// `motifs` is always non-empty, deduplicated and held in canonical
+/// [`Motif::ALL`] order, so two plans that mean the same corpus compare
+/// and render identically regardless of how the user spelled them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenPlan {
+    /// Root seed; every case derives an independent sub-seed from it.
+    pub seed: u64,
+    /// Number of cases in the corpus (1..=[`MAX_CASES`]).
+    pub cases: u32,
+    /// Motif families the composer samples from (canonical order).
+    pub motifs: Vec<Motif>,
+    /// Motif instances per case (1..=[`MAX_PER_CASE`]).
+    pub per_case: u32,
+}
+
+impl Default for GenPlan {
+    fn default() -> Self {
+        GenPlan {
+            seed: 0,
+            cases: 16,
+            motifs: Motif::ALL.to_vec(),
+            per_case: 3,
+        }
+    }
+}
+
+impl GenPlan {
+    /// Parses `"seed=7,cases=100,motifs=red+csr,per=2"`. Every key is
+    /// optional (defaults: seed 0, cases 16, all motifs, per 3); unknown
+    /// keys and out-of-range values are one-line errors.
+    pub fn parse(s: &str) -> Result<GenPlan, String> {
+        let mut plan = GenPlan::default();
+        for item in s.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("bad plan item '{item}' (expected key=value)"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad seed '{value}': {e}"))?;
+                }
+                "cases" => {
+                    plan.cases = value
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad cases '{value}': {e}"))?;
+                }
+                "per" => {
+                    plan.per_case = value
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad per '{value}': {e}"))?;
+                }
+                "motifs" => {
+                    let mut motifs = Vec::new();
+                    for name in value.split('+') {
+                        let m = Motif::parse(name.trim())?;
+                        if !motifs.contains(&m) {
+                            motifs.push(m);
+                        }
+                    }
+                    plan.motifs = motifs;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown plan key '{other}' (expected seed, cases, motifs, per)"
+                    ))
+                }
+            }
+        }
+        plan.normalize()?;
+        Ok(plan)
+    }
+
+    /// Canonicalizes `motifs` and validates ranges.
+    fn normalize(&mut self) -> Result<(), String> {
+        if self.motifs.is_empty() {
+            return Err("plan selects no motifs".to_owned());
+        }
+        let mut canon: Vec<Motif> = Motif::ALL
+            .iter()
+            .copied()
+            .filter(|m| self.motifs.contains(m))
+            .collect();
+        std::mem::swap(&mut self.motifs, &mut canon);
+        if self.cases == 0 || self.cases > MAX_CASES {
+            return Err(format!(
+                "cases must be in 1..={MAX_CASES}, got {}",
+                self.cases
+            ));
+        }
+        if self.per_case == 0 || self.per_case > MAX_PER_CASE {
+            return Err(format!(
+                "per must be in 1..={MAX_PER_CASE}, got {}",
+                self.per_case
+            ));
+        }
+        Ok(())
+    }
+
+    /// Canonical plan string; `GenPlan::parse(p.render()) == p`.
+    pub fn render(&self) -> String {
+        let motifs: Vec<&str> = self.motifs.iter().map(|m| m.as_str()).collect();
+        format!(
+            "seed={},cases={},motifs={},per={}",
+            self.seed,
+            self.cases,
+            motifs.join("+"),
+            self.per_case
+        )
+    }
+}
+
+impl fmt::Display for GenPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trips() {
+        for s in [
+            "seed=7,cases=100,motifs=red+csr,per=2",
+            "seed=0,cases=1,motifs=halo,per=1",
+            "seed=18446744073709551615,cases=100000,motifs=red+outlined+aos+csr+halo,per=16",
+        ] {
+            let p = GenPlan::parse(s).unwrap();
+            assert_eq!(p.render(), s);
+            assert_eq!(GenPlan::parse(&p.render()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn defaults_and_empty_items() {
+        let p = GenPlan::parse("").unwrap();
+        assert_eq!(p, GenPlan::default());
+        let q = GenPlan::parse("seed=3,,").unwrap();
+        assert_eq!(q.seed, 3);
+        assert_eq!(q.motifs, Motif::ALL.to_vec());
+    }
+
+    #[test]
+    fn motifs_are_canonicalized() {
+        let p = GenPlan::parse("motifs=halo+red+halo+aos").unwrap();
+        assert_eq!(p.motifs, vec![Motif::Red, Motif::Aos, Motif::Halo]);
+        assert_eq!(
+            GenPlan::parse("motifs=aos+halo+red").unwrap().render(),
+            p.render()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_plans() {
+        assert!(GenPlan::parse("seed=x").is_err());
+        assert!(GenPlan::parse("bogus=1").is_err());
+        assert!(GenPlan::parse("motifs=blue").is_err());
+        assert!(GenPlan::parse("cases=0").is_err());
+        assert!(GenPlan::parse("cases=100001").is_err());
+        assert!(GenPlan::parse("per=0").is_err());
+        assert!(GenPlan::parse("per=17").is_err());
+        assert!(GenPlan::parse("seed").is_err());
+    }
+}

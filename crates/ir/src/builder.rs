@@ -403,6 +403,113 @@ impl<'m> FunctionBuilder<'m> {
         iv
     }
 
+    // ---- aliasing-motif emission (used by `oraql-gen` and tests) ----------
+
+    /// The observable "red square" hazard: `l1 = load i64 p; store
+    /// `stored` to q; l2 = load i64 p`, returning `l1 + l2` (callers
+    /// print it). If `(p, q)` alias and an optimizer believes a wrong
+    /// no-alias answer, it forwards `l1` into `l2` across the store and
+    /// the printed sum changes — which is exactly what makes the pair's
+    /// ground-truth label *checkable*: a wrong optimistic answer cannot
+    /// survive output verification. Keep `stored` different from the
+    /// value at `p` or the divergence is invisible.
+    pub fn hazard_probe(&mut self, p: Value, q: Value, stored: i64) -> Value {
+        self.hazard_probe_typed(Ty::I64, p, Ty::I64, Value::ConstInt(stored), q)
+    }
+
+    /// [`Self::hazard_probe`] with independent load/store types — the
+    /// type-punned variant (`load_ty` reads through `p`, `store_ty`
+    /// writes `stored` through `q`), for motifs where one buffer is
+    /// accessed through two typed views. Returns the reloaded sum
+    /// (`fadd` for `F64` loads, `add` otherwise).
+    pub fn hazard_probe_typed(
+        &mut self,
+        load_ty: Ty,
+        p: Value,
+        store_ty: Ty,
+        stored: Value,
+        q: Value,
+    ) -> Value {
+        let l1 = self.load(load_ty, p);
+        self.store(store_ty, stored, q);
+        let l2 = self.load(load_ty, p);
+        match load_ty {
+            Ty::F64 => self.fadd(l1, l2),
+            _ => self.add(l1, l2),
+        }
+    }
+
+    /// A strided two-pointer loop with a per-iteration printed hazard:
+    /// for `i in 0..n`, `xg = x + i*stride + off_x` and
+    /// `yg = y + i*stride + off_y`, then
+    /// `print(hazard_probe(xg, yg, stored))`. This is the AoS/SoA
+    /// shape: two field streams walking the same stride whose alias
+    /// relation is a pure function of how the caller wired
+    /// `x`/`y`/offsets. Returns the `(xg, yg)` gep values — the loop
+    /// body is emitted once, so these are exactly the SSA values later
+    /// alias queries are keyed on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn strided_hazard_loop(
+        &mut self,
+        x: Value,
+        y: Value,
+        n: i64,
+        stride: i64,
+        off_x: i64,
+        off_y: i64,
+        stored: i64,
+    ) -> (Value, Value) {
+        let mut pair = (Value::Undef, Value::Undef);
+        self.counted_loop(Value::ConstInt(0), Value::ConstInt(n), |b, i| {
+            let xg = b.gep_scaled(x, i, stride, off_x);
+            let yg = b.gep_scaled(y, i, stride, off_y);
+            let s = b.hazard_probe(xg, yg, stored);
+            b.print("{}", vec![s]);
+            pair = (xg, yg);
+        });
+        pair
+    }
+
+    /// An 8-byte-element copy loop `dst[i] = src[i]` for `i in 0..n`
+    /// (halo-exchange pack/unpack shape). Returns the `(src_gep,
+    /// dst_gep)` values for ground-truth labelling.
+    pub fn copy_loop8(&mut self, dst: Value, src: Value, n: i64) -> (Value, Value) {
+        let mut pair = (Value::Undef, Value::Undef);
+        self.counted_loop(Value::ConstInt(0), Value::ConstInt(n), |b, i| {
+            let sg = b.gep_scaled(src, i, 8, 0);
+            let dg = b.gep_scaled(dst, i, 8, 0);
+            let v = b.load(Ty::I64, sg);
+            b.store(Ty::I64, v, dg);
+            pair = (sg, dg);
+        });
+        pair
+    }
+
+    /// An indirect gather `out[i] = vals[idx[i]]` for `i in 0..n` over
+    /// 8-byte elements — the CSR-neighbor-array shape, where the
+    /// `vals`-side pointer depends on loaded data and its alias
+    /// relation to `out` is genuinely runtime-dependent. Returns the
+    /// `(idx_gep, val_gep, out_gep)` values for labelling.
+    pub fn gather_loop8(
+        &mut self,
+        vals: Value,
+        idx: Value,
+        out: Value,
+        n: i64,
+    ) -> (Value, Value, Value) {
+        let mut ptrs = (Value::Undef, Value::Undef, Value::Undef);
+        self.counted_loop(Value::ConstInt(0), Value::ConstInt(n), |b, i| {
+            let ig = b.gep_scaled(idx, i, 8, 0);
+            let c = b.load(Ty::I64, ig);
+            let vg = b.gep_scaled(vals, c, 8, 0);
+            let v = b.load(Ty::I64, vg);
+            let og = b.gep_scaled(out, i, 8, 0);
+            b.store(Ty::I64, v, og);
+            ptrs = (ig, vg, og);
+        });
+        ptrs
+    }
+
     /// Finalizes the function and installs it in the module.
     pub fn finish(self) -> FunctionId {
         let id = FunctionId(self.module.funcs.len() as u32);
@@ -533,6 +640,30 @@ mod tests {
             Inst::Phi { incoming, .. } => assert_eq!(incoming.len(), 2),
             _ => unreachable!(),
         }
+        assert!(crate::verify::verify_function(&m, id).is_ok());
+    }
+
+    #[test]
+    fn motif_helpers_emit_verifiable_ir() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "w", vec![Ty::Ptr, Ty::Ptr, Ty::Ptr], None);
+        let (p, q, r) = (b.arg(0), b.arg(1), b.arg(2));
+        let s = b.hazard_probe(p, q, 100);
+        b.print("{}", vec![s]);
+        let (xg, yg) = b.strided_hazard_loop(p, q, 4, 16, 0, 8, 7);
+        let (sg, dg) = b.copy_loop8(q, p, 3);
+        let (ig, vg, og) = b.gather_loop8(p, q, r, 3);
+        b.ret(None);
+        let id = b.finish();
+        // Every returned value is a distinct gep instruction from the
+        // (single-emission) loop bodies — the keys labels attach to.
+        for v in [xg, yg, sg, dg, ig, vg, og] {
+            assert!(matches!(v, Value::Inst(_)), "{v:?}");
+        }
+        let mut uniq = [xg, yg, sg, dg, ig, vg, og].to_vec();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 7);
         assert!(crate::verify::verify_function(&m, id).is_ok());
     }
 

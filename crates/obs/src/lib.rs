@@ -15,6 +15,9 @@
 //!    |store|server`) that reconstructs where wall clock went.
 //! 3. The [`jsonl`] helpers shared with `oraql-core`'s probe trace so
 //!    both sinks escape and format identically.
+//! 4. The [`rng`] module — the repo's single splitmix64 definition,
+//!    shared by the fault injector, the property tests, and the
+//!    workload generator so seeds can't drift between harnesses.
 //!
 //! Everything is written for hot paths: counters are padded per-shard
 //! atomics indexed by a thread-local, histograms bucket by leading
@@ -22,6 +25,7 @@
 
 pub mod jsonl;
 mod registry;
+pub mod rng;
 mod span;
 
 pub use registry::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};

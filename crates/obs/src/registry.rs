@@ -538,13 +538,10 @@ mod tests {
         let mut b = HistogramSnapshot::default();
         let mut c = HistogramSnapshot::default();
         let mut all = HistogramSnapshot::default();
-        // Deterministic pseudo-random values via splitmix64.
-        let mut x = 0x9e3779b97f4a7c15u64;
+        // Deterministic pseudo-random values via the shared splitmix64.
+        let mut g = crate::rng::Gen::new(0x9e3779b97f4a7c15);
         for i in 0..300 {
-            x ^= x >> 30;
-            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
-            x ^= x >> 27;
-            let v = x % 100_000;
+            let v = g.next_u64() % 100_000;
             [&mut a, &mut b, &mut c][i % 3].observe(v);
             all.observe(v);
         }

@@ -14,6 +14,7 @@
 //! oraql --config <file>
 //! oraql --all [--jobs N]
 //! oraql trace --probes <trace.jsonl> [--spans <spans.jsonl>] ...
+//! oraql gen --plan <spec> [--out DIR] [--run] ...
 //! ```
 //!
 //! Runs the probing workflow on one (or all) of the registered proxy
@@ -75,6 +76,14 @@
 //! Fig. 4 / Fig. 6 tables, the cache-tier funnel, per-case latency
 //! quantiles, and a span self-time profile from those JSONL artifacts
 //! (see `oraql trace --help`).
+//!
+//! `oraql gen` materializes and runs seeded aliasing corpora with
+//! ground truth by construction (`oraql-gen`; see `oraql gen --help`).
+//! Generated case names (`gen:<plan>#<index>`) are first-class
+//! benchmark names everywhere a registered name is accepted —
+//! `--benchmark`, configs, `--replay` — and carry their label map: the
+//! driver cross-checks every final verdict against it (the soundness
+//! gate) unless `--no-gate` or `soundness_gate = false` disables it.
 
 use oraql::config::Config;
 use oraql::report::{render_report, render_trace_summary, DumpFlags};
@@ -94,15 +103,41 @@ fn usage() -> ! {
          [--metrics-out <file.prom>] [--spans-out <file.jsonl>]\n       \
          oraql --config <file>\n       \
          oraql --all [--jobs N]\n       \
-         oraql trace --probes <trace.jsonl> [--spans <spans.jsonl>] [--help]"
+         oraql trace --probes <trace.jsonl> [--spans <spans.jsonl>] [--help]\n       \
+         oraql gen --plan <spec> [--out <dir>] [--run] [--no-gate] [--help]"
     );
     std::process::exit(2)
+}
+
+/// Fetches the value of `flag` or exits with a one-line error.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// Fetches and parses the value of `flag` or exits with a one-line
+/// error naming the flag and the expected shape.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str, want: &str) -> T {
+    let v = flag_value(args, i, flag);
+    match v.parse() {
+        Ok(x) => x,
+        Err(_) => {
+            eprintln!("bad {flag} {v:?}: expected {want}");
+            std::process::exit(2)
+        }
+    }
 }
 
 /// Compiles and runs one benchmark with a fixed decision sequence (the
 /// paper's "program compiled with (almost) perfect alias information").
 fn replay(name: &str, seq_arg: &str, interp: oraql_vm::InterpMode) -> i32 {
-    let Some(case) = workloads::find_case(name) else {
+    let Some((case, _)) = prepare_case(name, None) else {
         eprintln!("unknown benchmark {name:?}; try --list");
         return 2;
     };
@@ -117,14 +152,21 @@ fn replay(name: &str, seq_arg: &str, interp: oraql_vm::InterpMode) -> i32 {
         &*case.build,
         &oraql::compile::CompileOptions::with_oraql(decisions, case.scope.clone()),
     );
-    let main = compiled.module.find_func("main").expect("main");
+    let Some(main) = compiled.module.find_func("main") else {
+        eprintln!("{name}: module has no main function");
+        return 1;
+    };
     let mut interp = oraql_vm::Interpreter::new(&compiled.module)
         .with_fuel(case.fuel)
         .with_mode(interp);
     match interp.run(main, vec![]) {
         Ok(_) => {
             print!("{}", interp.stdout());
-            let st = compiled.oraql.as_ref().unwrap().lock();
+            let Some(oraql_state) = compiled.oraql.as_ref() else {
+                eprintln!("{name}: compile attached no ORAQL pass state");
+                return 1;
+            };
+            let st = oraql_state.lock();
             eprintln!(
                 "[oraql] replay: {} optimistic / {} pessimistic unique queries, {} insts",
                 st.stats.unique_optimistic,
@@ -140,9 +182,20 @@ fn replay(name: &str, seq_arg: &str, interp: oraql_vm::InterpMode) -> i32 {
     }
 }
 
-/// Looks up a registered case and applies config-file overrides.
-fn prepare_case(name: &str, cfg: Option<&Config>) -> Option<TestCase> {
-    let mut case = workloads::find_case(name)?;
+/// Looks up a registered case — or reconstructs a generated one from
+/// its `gen:<plan>#<index>` name, together with its ground-truth label
+/// map — and applies config-file overrides.
+fn prepare_case(
+    name: &str,
+    cfg: Option<&Config>,
+) -> Option<(TestCase, Option<std::sync::Arc<oraql::GroundTruth>>)> {
+    let (mut case, truth) = match workloads::find_case(name) {
+        Some(c) => (c, None),
+        None => {
+            let g = oraql_gen::resolve(name)?;
+            (g.case, Some(std::sync::Arc::new(g.truth)))
+        }
+    };
     if let Some(cfg) = cfg {
         // Config overrides the registry defaults.
         if cfg.scope != oraql::compile::Scope::everything() {
@@ -155,7 +208,7 @@ fn prepare_case(name: &str, cfg: Option<&Config>) -> Option<TestCase> {
         case.fuel = cfg.fuel;
         case.use_cfl = cfg.use_cfl;
     }
-    Some(case)
+    Some((case, truth))
 }
 
 /// Prints one driver result in the report format; returns the exit code.
@@ -237,6 +290,11 @@ fn print_result(
         r.baseline_run.stats.device_cycles,
         r.final_run.stats.device_cycles,
     );
+    if let Some(t) = &r.truth {
+        // Only generated cases carry a label map; the line is absent on
+        // registry benchmarks so their reports stay byte-identical.
+        println!("ground truth: {t}");
+    }
     if let Some(path) = emit_sequence {
         match std::fs::write(path, r.decisions.render()) {
             Ok(()) => println!("final sequence written to {path} (replay with --replay @{path})"),
@@ -262,15 +320,19 @@ fn print_result(
 
 fn run_one(
     name: &str,
-    opts: DriverOptions,
+    mut opts: DriverOptions,
     dump: bool,
     cfg: Option<&Config>,
     emit_sequence: Option<&str>,
+    gate: bool,
 ) -> i32 {
-    let Some(case) = prepare_case(name, cfg) else {
+    let Some((case, truth)) = prepare_case(name, cfg) else {
         eprintln!("unknown benchmark {name:?}; try --list");
         return 2;
     };
+    if gate {
+        opts.ground_truth = truth;
+    }
     let jobs = opts.jobs;
     match Driver::run(&case, opts) {
         Ok(r) => print_result(name, &r, jobs, dump, emit_sequence),
@@ -287,7 +349,7 @@ fn run_one(
 fn run_all(opts: &DriverOptions, dump: bool, cfg: Option<&Config>) -> i32 {
     let cases: Vec<TestCase> = workloads::CASE_INFOS
         .iter()
-        .filter_map(|info| prepare_case(info.name, cfg))
+        .filter_map(|info| prepare_case(info.name, cfg).map(|(c, _)| c))
         .collect();
     let results = oraql::run_suite(&cases, opts);
     let mut worst = 0;
@@ -321,6 +383,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("trace") {
         std::process::exit(workloads::analyze::run_cli(&args[1..]));
     }
+    // `oraql gen ...`: the corpus generator / soundness-gate harness.
+    if args.first().map(String::as_str) == Some("gen") {
+        std::process::exit(workloads::gencli::run_cli(&args[1..]));
+    }
     let mut benchmark: Option<String> = None;
     let mut config: Option<Config> = None;
     let mut opts = DriverOptions::default();
@@ -337,105 +403,68 @@ fn main() {
     let mut probe_deadline_ms: Option<u64> = None;
     let mut metrics_out: Option<String> = None;
     let mut spans_out: Option<String> = None;
+    let mut no_gate = false;
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
+        let flag = args[i].clone();
+        let flag = flag.as_str();
+        match flag {
             "--list" => {
-                for info in workloads::CASE_INFOS {
+                for info in workloads::CASE_INFOS
+                    .iter()
+                    .chain(workloads::EXTRA_CASE_INFOS.iter())
+                {
                     println!("{:20} {} ({})", info.name, info.benchmark, info.model);
                 }
                 return;
             }
             "--all" => all = true,
             "--dump" => dump = true,
-            "--benchmark" | "-b" => {
-                i += 1;
-                benchmark = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
+            "--no-gate" => no_gate = true,
+            "--benchmark" | "-b" => benchmark = Some(flag_value(&args, &mut i, flag)),
             "--strategy" | "-s" => {
-                i += 1;
-                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                let v = flag_value(&args, &mut i, flag);
                 opts.strategy = Strategy::parse(&v).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2)
                 });
             }
-            "--emit-sequence" => {
-                i += 1;
-                emit_sequence = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--replay" => {
-                i += 1;
-                replay_seq = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
+            "--emit-sequence" => emit_sequence = Some(flag_value(&args, &mut i, flag)),
+            "--replay" => replay_seq = Some(flag_value(&args, &mut i, flag)),
             "--max-tests" => {
-                i += 1;
-                opts.max_tests = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                opts.max_tests = parsed_flag(&args, &mut i, flag, "an integer probe budget");
             }
             "--jobs" | "-j" => {
-                i += 1;
-                opts.jobs = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage());
+                opts.jobs = parsed_flag(&args, &mut i, flag, "an integer >= 1");
+                if opts.jobs < 1 {
+                    eprintln!("bad {flag}: expected an integer >= 1");
+                    std::process::exit(2)
+                }
             }
             "--speculate-depth" => {
-                i += 1;
-                opts.speculate_depth = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                opts.speculate_depth = parsed_flag(&args, &mut i, flag, "an integer depth");
             }
             "--no-cross-case-dedup" => opts.cross_case_dedup = false,
-            "--trace" => {
-                i += 1;
-                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--store" => {
-                i += 1;
-                store_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
+            "--trace" => trace_path = Some(flag_value(&args, &mut i, flag)),
+            "--store" => store_path = Some(flag_value(&args, &mut i, flag)),
             "--no-store" => no_store = true,
-            "--server" => {
-                i += 1;
-                server_addr = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
+            "--server" => server_addr = Some(flag_value(&args, &mut i, flag)),
             "--no-server" => no_server = true,
-            "--fault-plan" => {
-                i += 1;
-                fault_plan = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--metrics-out" => {
-                i += 1;
-                metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--spans-out" => {
-                i += 1;
-                spans_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
+            "--fault-plan" => fault_plan = Some(flag_value(&args, &mut i, flag)),
+            "--metrics-out" => metrics_out = Some(flag_value(&args, &mut i, flag)),
+            "--spans-out" => spans_out = Some(flag_value(&args, &mut i, flag)),
             "--probe-deadline-ms" => {
-                i += 1;
-                probe_deadline_ms = Some(
-                    args.get(i)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
+                probe_deadline_ms = Some(parsed_flag(&args, &mut i, flag, "a millisecond count"));
             }
             "--interp" => {
-                i += 1;
-                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                let v = flag_value(&args, &mut i, flag);
                 opts.interp = oraql_vm::InterpMode::parse(&v).unwrap_or_else(|| {
                     eprintln!("bad --interp {v:?}: expected decoded|tree");
                     std::process::exit(2)
                 });
             }
             "--config" | "-c" => {
-                i += 1;
-                let path = args.get(i).cloned().unwrap_or_else(|| usage());
+                let path = flag_value(&args, &mut i, flag);
                 let cfg = Config::load(&path).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2)
@@ -449,7 +478,10 @@ fn main() {
                 dump |= cfg.dump;
                 config = Some(cfg);
             }
-            _ => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
         }
         i += 1;
     }
@@ -525,6 +557,10 @@ fn main() {
         .filter(|&ms| ms > 0)
         .map(std::time::Duration::from_millis);
 
+    // `--no-gate` wins over the config's `soundness_gate` key (default
+    // on). The gate only ever has labels to check on generated cases.
+    let gate = !no_gate && config.as_ref().is_none_or(|c| c.soundness_gate);
+
     let code = if let (Some(name), Some(seq)) = (&benchmark, &replay_seq) {
         replay(name, seq, opts.interp)
     } else if all {
@@ -536,6 +572,7 @@ fn main() {
             dump,
             config.as_ref(),
             emit_sequence.as_deref(),
+            gate,
         )
     } else {
         usage()

@@ -1,0 +1,139 @@
+//! SW4lite — seismic-wave proxy: halo exchange between a grid and its
+//! rank communication buffers, followed by an outlined stencil sweep.
+//!
+//! The aliasing story: MPI codes pack boundary windows of the grid into
+//! send buffers each step. The optimized single-rank path skips the
+//! copy by pointing the "send buffer" straight at the grid edge
+//! (zero-copy), so the pack kernel's source and destination — both
+//! opaque pointers loaded from the rank context — genuinely overlap,
+//! while the stencil's read grid and write grid stay disjoint. The
+//! conservative chain can resolve neither; ORAQL must keep the packed
+//! edge pessimistic and may keep the stencil optimistic.
+
+use crate::toolkit::*;
+use oraql::compile::Scope;
+use oraql::TestCase;
+use oraql_ir::builder::FunctionBuilder;
+use oraql_ir::module::Module;
+use oraql_ir::value::Value;
+use oraql_ir::Ty;
+
+/// Grid cells per rank.
+const N: i64 = 16;
+/// Halo width in cells.
+const H: i64 = 2;
+/// Byte offset of the edge window (the last `H` cells).
+const EDGE: i64 = 8 * (N - H);
+
+fn build() -> Module {
+    let mut m = Module::new("sw4lite");
+    let bytes = 8 * N as u64;
+    let ctx = make_ctx(
+        &mut m,
+        "sw4",
+        &[("grid", bytes), ("unew", bytes), ("recv", 8 * H as u64)],
+        // Zero-copy send buffer: a planted view of the grid edge.
+        &[("send", "grid", EDGE)],
+    );
+
+    // Halo pack: read the interior window, write the send buffer, with
+    // an edge-cell probe bracketing the first copy — on the zero-copy
+    // path the probe's read pointer and the send pointer alias, so a
+    // wrong no-alias forwards the stale edge value into the printed sum.
+    let pack = {
+        let mut b = FunctionBuilder::new(&mut m, "packHalo", vec![Ty::Ptr], None);
+        b.set_src_file("sw4lite");
+        b.set_loc("sw4lite", 118, 5);
+        let cp = b.arg(0);
+        let tag = ctx.tag_data;
+        let grid = dptr(&mut b, &ctx, cp, "grid");
+        let send = dptr(&mut b, &ctx, cp, "send");
+        let edge = b.gep(grid, EDGE);
+        let e1 = b.load_tbaa(Ty::F64, edge, tag);
+        b.store_tbaa(Ty::F64, Value::const_f64(9.25), send, tag);
+        let e2 = b.load_tbaa(Ty::F64, edge, tag); // must observe zero-copy store
+        let s = b.fadd(e1, e2);
+        b.print("edge probe {}", vec![s]);
+        b.counted_loop(Value::ConstInt(0), Value::ConstInt(H), |b, i| {
+            let sg = b.gep_scaled(grid, i, 8, 8); // interior window [1, 1+H)
+            let dg = b.gep_scaled(send, i, 8, 0);
+            let v = b.load_tbaa(Ty::F64, sg, tag);
+            b.store_tbaa(Ty::F64, v, dg, tag);
+        });
+        b.ret(None);
+        b.finish()
+    };
+
+    // Outlined 3-point stencil over the interior: unew[i] from grid's
+    // neighbors. Read and write grids are disjoint allocations — the
+    // profitable optimism.
+    let stencil = {
+        let mut b = outlined_worker(&mut m, "rhs4th3fort", "sw4lite");
+        b.set_loc("sw4lite", 233, 5);
+        let tid = b.arg(0);
+        let cp = b.arg(1);
+        let tag = ctx.tag_data;
+        let grid = dptr(&mut b, &ctx, cp, "grid");
+        let unew = dptr(&mut b, &ctx, cp, "unew");
+        let (lo, hi) = chunk_bounds(&mut b, tid, N - 2, 2);
+        let lo1 = b.add(lo, Value::ConstInt(1));
+        let hi1 = b.add(hi, Value::ConstInt(1));
+        b.counted_loop(lo1, hi1, |b, i| {
+            let gl = b.gep_scaled(grid, i, 8, -8);
+            let gc = b.gep_scaled(grid, i, 8, 0);
+            let gr = b.gep_scaled(grid, i, 8, 8);
+            let a = b.load_tbaa(Ty::F64, gl, tag);
+            let c = b.load_tbaa(Ty::F64, gc, tag);
+            let r = b.load_tbaa(Ty::F64, gr, tag);
+            let ac = b.fadd(a, c);
+            let acr = b.fadd(ac, r);
+            let scaled = b.fmul(acr, Value::const_f64(0.25));
+            let ug = b.gep_scaled(unew, i, 8, 0);
+            b.store_tbaa(Ty::F64, scaled, ug, tag);
+        });
+        b.ret(None);
+        b.finish()
+    };
+
+    let mut b = main_builder(&mut m, "sw4_main");
+    init_ctx(&mut b, &ctx);
+    fill_array(&mut b, &ctx, "grid", N, 2.0, 0.5);
+    fill_array(&mut b, &ctx, "unew", N, 0.0, 0.0);
+    fill_array(&mut b, &ctx, "recv", H, 0.0, 0.0);
+    b.counted_loop(Value::ConstInt(0), Value::ConstInt(3), |b, _| {
+        b.call(pack, vec![Value::Global(ctx.global)], None);
+        b.parallel_region(stencil, vec![Value::Global(ctx.global)], 2);
+    });
+    checksum(&mut b, &ctx, "unew", N, "wavefield");
+    timing_epilogue(&mut b, "pts/s");
+    b.ret(None);
+    b.finish();
+    m
+}
+
+/// The SW4lite halo-exchange test case.
+pub fn cases() -> Vec<TestCase> {
+    let mut c = TestCase::new("sw4lite_halo", build);
+    c.scope = Scope::files(vec!["sw4lite".into()]);
+    c.ignore_patterns = standard_ignore_patterns();
+    vec![c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oraql_vm::Interpreter;
+
+    #[test]
+    fn builds_and_runs() {
+        let m = build();
+        oraql_ir::verify::assert_valid(&m);
+        let out = Interpreter::run_main(&m).unwrap();
+        assert!(
+            out.stdout.contains("checksum(wavefield)="),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("edge probe"), "{}", out.stdout);
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Workload-generator benchmark (see docs/ARCHITECTURE.md §10).
+#
+# Composes the acceptance corpus (1000 seeded cases across all five
+# motif families) and measures raw generation throughput plus the gated
+# end-to-end suite wall clock at jobs 1 and jobs 4, asserting zero
+# soundness violations along the way. Output path defaults to
+# BENCH_gen.json in the repo root; override with ORAQL_BENCH_OUT.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Cargo runs benches with the package directory as cwd, so anchor the
+# default output at the repo root via an absolute path.
+ORAQL_BENCH_OUT="${ORAQL_BENCH_OUT:-$(pwd)/BENCH_gen.json}" \
+    cargo bench --offline -p oraql-bench --bench gen_corpus

@@ -33,6 +33,11 @@ cargo test -q --offline --test obs_analyzer
 # speculation, and pool queue-depth gauge accounting, likewise by name.
 cargo test -q --offline --test sched_determinism
 cargo test -q --offline --test pool_shutdown
+# The workload generator's gates: plan/motif/corpus unit suites and the
+# end-to-end soundness gate (byte-identical regeneration, label/verdict
+# agreement over jobs x depth, mislabel detection, chaos), by name.
+cargo test -q --offline -p oraql-gen
+cargo test -q --offline --test gen_soundness
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -76,6 +81,18 @@ grep -E '^oraql_driver_probes_total [1-9][0-9]*$' "$OBS_TMP/metrics.prom"
 target/release/oraql trace --probes "$OBS_TMP/trace.jsonl" \
     --spans "$OBS_TMP/spans.jsonl" --check-metrics "$OBS_TMP/metrics.prom" \
     > /dev/null
+
+# Generator smoke: a 64-case corpus materialized twice must be
+# byte-identical, and the same plan must run green through the gated
+# suite at jobs 4 (any kept optimism on an aliasing pair exits non-zero).
+GEN_TMP="$(mktemp -d)"
+trap 'rm -rf "$STORE_TMP" "$SERVED_TMP" "$OBS_TMP" "$GEN_TMP"; [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true' EXIT
+GEN_PLAN='seed=2024,cases=64,per=3'
+target/release/oraql gen --plan "$GEN_PLAN" --out "$GEN_TMP/a" > /dev/null
+target/release/oraql gen --plan "$GEN_PLAN" --out "$GEN_TMP/b" > /dev/null
+diff -r "$GEN_TMP/a" "$GEN_TMP/b"
+target/release/oraql gen --plan "$GEN_PLAN" --run --jobs 4 \
+    | grep -E 'suite: 64 ok, 0 failed'
 
 # Chaos smoke: the whole suite under a fixed fault-plan seed matrix,
 # byte-identical across two runs, plus a parallel poisoning pass.

@@ -1,7 +1,9 @@
 //! Umbrella crate: re-exports every ORAQL workspace crate.
 pub use oraql;
 pub use oraql_analysis as analysis;
+pub use oraql_gen as gen;
 pub use oraql_ir as ir;
+pub use oraql_obs as obs;
 pub use oraql_passes as passes;
 pub use oraql_vm as vm;
 pub use oraql_workloads as workloads;

@@ -26,6 +26,12 @@ fn shipped_configs_parse() {
             "lulesh_mpi",
             Strategy::FrequencySpace,
         ),
+        ("configs/amg_csr.conf", "amg_csr", Strategy::Chunked),
+        (
+            "configs/sw4lite_halo.conf",
+            "sw4lite_halo",
+            Strategy::Chunked,
+        ),
     ] {
         let cfg = Config::load(&repo_path(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
         assert_eq!(cfg.benchmark, benchmark);
@@ -89,4 +95,29 @@ fn frequency_config_still_pins_lulesh_hazards() {
     // Frequency space is locally maximal but coarser: it may pin more
     // than the chunked strategy; it must still leave most optimistic.
     assert!(r.oraql.unique_optimistic > r.oraql.unique_pessimistic);
+}
+
+/// The two motif-model proxies behind `oraql-gen`: each plants exactly
+/// one genuinely-aliasing pair (punned workspace view; zero-copy halo
+/// buffer), which the driver must pin while keeping the rest optimistic.
+#[test]
+fn motif_proxy_configs_pin_exactly_the_planted_hazard() {
+    for file in ["configs/amg_csr.conf", "configs/sw4lite_halo.conf"] {
+        let cfg = Config::load(&repo_path(file)).unwrap();
+        let mut case = oraql_workloads::find_case(&cfg.benchmark).unwrap();
+        case.scope = cfg.scope.clone();
+        case.ignore_patterns = cfg.ignore.clone();
+        let r = Driver::run(
+            &case,
+            DriverOptions {
+                strategy: cfg.strategy,
+                max_tests: cfg.max_tests,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.fully_optimistic, "{file}");
+        assert_eq!(r.oraql.unique_pessimistic, 1, "{file}");
+        assert!(r.oraql.unique_optimistic >= 4, "{file}");
+    }
 }

@@ -1,63 +1,18 @@
 //! Deterministic pseudo-random generation for the property-style tests.
 //!
 //! The hermetic build has no `proptest`/`rand`, so the randomized tests
-//! drive themselves from this splitmix64-based generator: fixed seeds,
+//! drive themselves from a splitmix64-based generator: fixed seeds,
 //! fixed case counts, fully reproducible failures (the failing seed is
 //! part of the assertion message at the call site).
+//!
+//! The generator itself now lives in `oraql_obs::rng` — one shared
+//! definition for the fault injector, the workload generator and these
+//! tests, byte-compatible with the original in-tree copy so existing
+//! seeds keep producing the exact cases they were tuned on.
 //!
 //! Shared by several integration-test binaries; not every binary uses
 //! every helper.
 #![allow(dead_code)]
+#![allow(unused_imports)]
 
-/// Splitmix64: tiny, statistically fine for test-case generation, and
-/// endian/platform independent.
-pub struct Gen {
-    state: u64,
-}
-
-impl Gen {
-    pub fn new(seed: u64) -> Self {
-        Gen {
-            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
-        }
-    }
-
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[lo, hi)`; `hi > lo` required.
-    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next_u64() % (hi - lo)
-    }
-
-    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
-        self.range_u64(lo as u64, hi as u64) as usize
-    }
-
-    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + (self.next_u64() % (hi - lo) as u64) as i64
-    }
-
-    pub fn bool(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-
-    pub fn bools(&mut self, len_lo: usize, len_hi: usize) -> Vec<bool> {
-        let n = self.range_usize(len_lo, len_hi);
-        (0..n).map(|_| self.bool()).collect()
-    }
-
-    /// A string of `len` chars drawn from `alphabet`.
-    pub fn string(&mut self, alphabet: &str, len_lo: usize, len_hi: usize) -> String {
-        let chars: Vec<char> = alphabet.chars().collect();
-        let n = self.range_usize(len_lo, len_hi);
-        (0..n)
-            .map(|_| chars[self.range_usize(0, chars.len())])
-            .collect()
-    }
-}
+pub use oraql_obs::rng::Gen;

@@ -49,17 +49,8 @@ fn traced_run(jobs: usize, spans: Option<&SpanSink>) -> Vec<ProbeEvent> {
 
 /// A deterministic in-place shuffle (splitmix64-driven Fisher-Yates):
 /// reorders a parallel trace the way a different scheduling could have.
-fn shuffle<T>(items: &mut [T], mut seed: u64) {
-    let mut next = || {
-        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = seed;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
-    for i in (1..items.len()).rev() {
-        items.swap(i, (next() % (i as u64 + 1)) as usize);
-    }
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    oraql_obs::rng::Gen::new(seed).shuffle(items);
 }
 
 fn kind_total(events: &[ProbeEvent]) -> u64 {
