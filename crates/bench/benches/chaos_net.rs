@@ -1,0 +1,188 @@
+//! Wire-chaos benchmark: what the hardened wire costs when nothing is
+//! going wrong, and what degraded mode costs when everything is.
+//!
+//! Three measurements:
+//!
+//! 1. **Fault-free wire overhead.** The warm 16-config suite replayed
+//!    through a daemon with no fault plan (checksummed v2 frames,
+//!    request ids, admission bookkeeping — the hardening itself), best
+//!    of two passes, compared against the PR 5 recording in
+//!    `BENCH_served.json`. Gate: ≤ 1.05×.
+//! 2. **Armed-but-quiet overhead.** The same warm suite against a
+//!    daemon whose fault injector is armed with all-zero rates — the
+//!    cost of *consulting* the chaos sites on every request. Gate:
+//!    ≤ 1.05× of the unarmed pass.
+//! 3. **Degraded mode.** The full suite against a dead address with a
+//!    local store attached: every case must complete through the
+//!    local-tier fallback with the breaker engaged.
+//!
+//! Results land as JSON in `$ORAQL_BENCH_OUT` (default
+//! `BENCH_chaosnet.json` in the working directory). Not a criterion
+//! bench: the JSON artifact is the point.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oraql::faults::{FaultInjector, FaultPlan};
+use oraql::{Driver, DriverOptions, Store};
+use oraql_served::{Client, Server, ServerOptions};
+
+/// One warm pass of every registered configuration through `addr`;
+/// asserts it really was warm (zero compiles, all answers remote).
+fn warm_pass_ms(addr: &str) -> f64 {
+    let client = Arc::new(Client::new(addr));
+    let t = Instant::now();
+    for info in &oraql_workloads::CASE_INFOS {
+        let case = oraql_workloads::find_case(info.name).expect("registered");
+        let r = Driver::run(
+            &case,
+            DriverOptions {
+                server: Some(Arc::clone(&client)),
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+        assert_eq!(
+            r.effort.compiles, 0,
+            "{}: not warm: {:?}",
+            info.name, r.effort
+        );
+        assert_eq!(r.failures.server_down, 0, "{}: {:?}", info.name, r.failures);
+    }
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// The PR 5 baseline: `warm_total_ms` out of `BENCH_served.json`, if
+/// the recording is present next to the output path.
+fn served_baseline_ms(out: &std::path::Path) -> Option<f64> {
+    let path = out.with_file_name("BENCH_served.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let rest = text.split("\"warm_total_ms\":").nth(1)?;
+    rest.split(',').next()?.trim().parse().ok()
+}
+
+fn main() {
+    let out = std::path::PathBuf::from(
+        std::env::var("ORAQL_BENCH_OUT").unwrap_or_else(|_| "BENCH_chaosnet.json".into()),
+    );
+    let dir = std::env::temp_dir().join(format!("oraql_bench_chaosnet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Populate once through an unarmed daemon (cold pass), then measure
+    // warm replays: best of two so one scheduler hiccup cannot fail the
+    // gate.
+    let server = Server::start(&ServerOptions::new(&dir), "127.0.0.1:0").expect("start");
+    let addr = server.addr();
+    {
+        let client = Arc::new(Client::new(&addr));
+        for info in &oraql_workloads::CASE_INFOS {
+            let case = oraql_workloads::find_case(info.name).expect("registered");
+            Driver::run(
+                &case,
+                DriverOptions {
+                    server: Some(Arc::clone(&client)),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+        }
+        client.sync().expect("sync");
+    }
+    let plain_ms = warm_pass_ms(&addr).min(warm_pass_ms(&addr));
+    println!("warm suite, hardened wire, no fault plan: {plain_ms:>8.1} ms");
+    server.shutdown().expect("shutdown");
+
+    // Same journals, fault injector armed with all-zero rates: the
+    // per-request cost of consulting the chaos sites.
+    let mut config = ServerOptions::new(&dir);
+    config.faults = Some(Arc::new(FaultInjector::new(FaultPlan::quiet(42))));
+    let server = Server::start(&config, "127.0.0.1:0").expect("restart");
+    let addr = server.addr();
+    let armed_ms = warm_pass_ms(&addr).min(warm_pass_ms(&addr));
+    println!("warm suite, quiet fault plan armed:       {armed_ms:>8.1} ms");
+    server.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let armed_ratio = armed_ms / plain_ms;
+    assert!(
+        armed_ratio <= 1.05,
+        "armed-but-quiet overhead {armed_ratio:.3}x exceeds the 1.05x gate"
+    );
+
+    let baseline = served_baseline_ms(&out);
+    let vs_pr5 = baseline.map(|b| plain_ms / b);
+    match (baseline, vs_pr5) {
+        (Some(b), Some(r)) => {
+            println!("vs BENCH_served.json warm recording ({b:.1} ms): {r:.3}x");
+            assert!(
+                r <= 1.05,
+                "fault-free wire overhead {r:.3}x vs the BENCH_served recording \
+                 exceeds the 1.05x gate"
+            );
+        }
+        _ => println!("BENCH_served.json not found; recording absolute times only"),
+    }
+
+    // Degraded mode: a dead address, a local store, the full suite.
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let store_dir =
+        std::env::temp_dir().join(format!("oraql_bench_chaosnet_st_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).expect("mkdir");
+    let store = Arc::new(Store::open(store_dir.join("verdicts.journal")).expect("store"));
+    let dead_client = Arc::new(Client::new(&dead_addr));
+    let t = Instant::now();
+    let mut outages = 0u64;
+    for info in &oraql_workloads::CASE_INFOS {
+        let case = oraql_workloads::find_case(info.name).expect("registered");
+        let r = Driver::run(
+            &case,
+            DriverOptions {
+                server: Some(Arc::clone(&dead_client)),
+                store: Some(Arc::clone(&store)),
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: degraded run failed: {e}", info.name));
+        assert!(
+            r.failures.server_down > 0,
+            "{}: never saw the outage",
+            info.name
+        );
+        assert_eq!(
+            r.failures.quarantined, 0,
+            "{}: outage quarantined a probe",
+            info.name
+        );
+        outages += r.failures.server_down;
+    }
+    let degraded_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cs = dead_client.stats();
+    assert!(cs.fast_fails > 0, "breaker never engaged: {cs}");
+    println!(
+        "degraded suite vs dead server:            {degraded_ms:>8.1} ms \
+         ({outages} outages absorbed, {} fast-fails)",
+        cs.fast_fails
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let cases = oraql_workloads::CASE_INFOS.len();
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_net\",\n  \"cases_total\": {cases},\n  \
+         \"warm_plain_total_ms\": {plain_ms:.2},\n  \
+         \"warm_armed_quiet_total_ms\": {armed_ms:.2},\n  \
+         \"armed_overhead_ratio\": {armed_ratio:.4},\n  \
+         \"served_baseline_warm_ms\": {},\n  \
+         \"vs_served_baseline_ratio\": {},\n  \
+         \"degraded_total_ms\": {degraded_ms:.2},\n  \
+         \"degraded_outages\": {outages},\n  \
+         \"degraded_completed\": true\n}}\n",
+        baseline.map_or("null".into(), |b| format!("{b:.2}")),
+        vs_pr5.map_or("null".into(), |r| format!("{r:.4}")),
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {}", out.display());
+}

@@ -406,6 +406,11 @@ pub enum ProbeFailure {
     /// answered garbage). Never consumes a retry: the attempt falls
     /// back to the local tiers, exactly like [`ProbeFailure::StoreCorrupt`].
     ServerDown,
+    /// The verdict server shed the request with `BUSY` (overload
+    /// admission control). Never consumes a retry and never trips the
+    /// client's breaker: the attempt falls straight back to the local
+    /// tiers while the server digs itself out.
+    ServerBusy,
 }
 
 impl std::fmt::Display for ProbeFailure {
@@ -417,6 +422,7 @@ impl std::fmt::Display for ProbeFailure {
             ProbeFailure::OutputMismatch => write!(f, "probe output garbled"),
             ProbeFailure::StoreCorrupt => write!(f, "store record corrupt"),
             ProbeFailure::ServerDown => write!(f, "verdict server unreachable"),
+            ProbeFailure::ServerBusy => write!(f, "verdict server shed the request"),
         }
     }
 }
@@ -438,6 +444,9 @@ pub struct FailureStats {
     /// Verdict-server lookups that failed and fell back to the local
     /// tiers (the circuit breaker keeps these cheap).
     pub server_down: u64,
+    /// Verdict-server requests shed with `BUSY` (overload, not
+    /// failure); the attempt fell back to the local tiers.
+    pub server_busy: u64,
     /// Failed attempts that were retried.
     pub retries: u64,
     /// Probes that exhausted every retry and degraded to may-alias.
@@ -453,6 +462,7 @@ impl FailureStats {
             + self.output_mismatches
             + self.store_corrupt
             + self.server_down
+            + self.server_busy
     }
 
     /// Did this run complete without a single sandbox event?
@@ -922,6 +932,7 @@ impl ProbeEngine {
             ProbeFailure::OutputMismatch => fs.output_mismatches += 1,
             ProbeFailure::StoreCorrupt => fs.store_corrupt += 1,
             ProbeFailure::ServerDown => fs.server_down += 1,
+            ProbeFailure::ServerBusy => fs.server_busy += 1,
         }
     }
 
@@ -1449,6 +1460,10 @@ impl ProbeEngine {
         };
         match res {
             Ok(found) => found,
+            Err(oraql_served::ClientError::Busy) => {
+                self.note_failure(&ProbeFailure::ServerBusy);
+                None
+            }
             Err(_) => {
                 self.note_failure(&ProbeFailure::ServerDown);
                 None

@@ -7,7 +7,11 @@
 //! deterministic fault plan** that the driver threads through its probe
 //! path (see `oraql::driver`), injecting panics, VM traps, fuel lies,
 //! latency, hangs, corrupted probe output, and store-journal rot at
-//! named sites.
+//! named sites. The served tier (`oraql-served`) threads the same plan
+//! through its wire and daemon paths: connection resets, torn and
+//! garbled response frames, response latency and hangs, failing group
+//! fsyncs, and crash points that kill the daemon between its journal
+//! append, index update, ack, and fsync steps.
 //!
 //! # Determinism contract
 //!
@@ -77,11 +81,34 @@ pub enum FaultSite {
     /// A worker-pool job panics before running its probe (poisoned
     /// worker).
     WorkerPoison,
+    /// The server drops the connection instead of answering a request
+    /// (mid-exchange RST as seen by the client).
+    ConnReset,
+    /// The server writes only a prefix of the response frame and then
+    /// drops the connection (torn frame on the wire).
+    FrameTorn,
+    /// The server flips one byte of the response frame payload after
+    /// the checksum was computed (wire corruption; the client's frame
+    /// checksum must catch it wherever the flip lands).
+    FrameGarble,
+    /// The server delays a response briefly (bounded, below any sane
+    /// client timeout — latency, not loss).
+    ResponseDelay,
+    /// The server sits on a response past the client's read timeout,
+    /// so only the client-side deadline can reclaim the request.
+    ResponseHang,
+    /// A group-fsync pass fails for a dirty shard; the shard is
+    /// re-marked dirty and retried on the next pass.
+    FsyncFail,
+    /// The daemon dies at a named crash point (between journal append,
+    /// index update, ack, and fsync) — `std::process::abort` in the
+    /// real daemon, a simulated hard stop for in-process servers.
+    CrashPoint,
 }
 
 /// All sites, in wire order. Index into this array is the site's
 /// stable id (used for counters and sub-seed derivation).
-pub const SITES: [FaultSite; 10] = [
+pub const SITES: [FaultSite; 17] = [
     FaultSite::CompilePanic,
     FaultSite::VmTrap,
     FaultSite::VmFuelLie,
@@ -92,6 +119,13 @@ pub const SITES: [FaultSite; 10] = [
     FaultSite::StoreWriteTorn,
     FaultSite::StoreWriteBitFlip,
     FaultSite::WorkerPoison,
+    FaultSite::ConnReset,
+    FaultSite::FrameTorn,
+    FaultSite::FrameGarble,
+    FaultSite::ResponseDelay,
+    FaultSite::ResponseHang,
+    FaultSite::FsyncFail,
+    FaultSite::CrashPoint,
 ];
 
 impl FaultSite {
@@ -108,6 +142,13 @@ impl FaultSite {
             FaultSite::StoreWriteTorn => "store-write-torn",
             FaultSite::StoreWriteBitFlip => "store-write-bitflip",
             FaultSite::WorkerPoison => "worker-poison",
+            FaultSite::ConnReset => "conn-reset",
+            FaultSite::FrameTorn => "frame-torn",
+            FaultSite::FrameGarble => "frame-garble",
+            FaultSite::ResponseDelay => "response-delay",
+            FaultSite::ResponseHang => "response-hang",
+            FaultSite::FsyncFail => "fsync-fail",
+            FaultSite::CrashPoint => "crash-point",
         }
     }
 

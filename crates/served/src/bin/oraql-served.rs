@@ -3,20 +3,30 @@
 //! ```text
 //! oraql-served serve --dir DIR [--listen ADDR] [--shards N]
 //!                    [--acceptors N] [--fsync-ms N]
+//!                    [--write-timeout-ms N] [--idle-poll-ms N]
+//!                    [--max-inflight N] [--max-conns N]
+//!                    [--request-deadline-ms N] [--fault-plan SPEC]
 //! oraql-served ping|stats|metrics|sync|compact ADDR
 //! ```
 //!
 //! `serve` runs until killed; the journals are crash-safe, so SIGKILL
 //! at any point loses at most one fsync interval of acked writes and
-//! never corrupts recovery (see `docs/OPERATIONS.md`). The other
-//! subcommands are thin client wrappers for operators and scripts.
+//! never corrupts recovery (see `docs/OPERATIONS.md`). `--fault-plan`
+//! arms the wire/daemon chaos sites (`FaultPlan::parse` syntax) with
+//! `CrashMode::Abort` — an injected `crash-point` genuinely kills the
+//! process, which is exactly what the crash-torture harness wants from
+//! a child daemon. The other subcommands are thin client wrappers for
+//! operators and scripts.
 
-use oraql_served::{Client, Server, ServerConfig};
+use oraql_served::{Client, CrashMode, Server, ServerOptions};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage:
   oraql-served serve --dir DIR [--listen ADDR] [--shards N] [--acceptors N] [--fsync-ms N]
+                     [--write-timeout-ms N] [--idle-poll-ms N] [--max-inflight N]
+                     [--max-conns N] [--request-deadline-ms N] [--fault-plan SPEC]
   oraql-served ping ADDR
   oraql-served stats ADDR
   oraql-served metrics ADDR
@@ -24,7 +34,11 @@ const USAGE: &str = "usage:
   oraql-served compact ADDR
 
 ADDR is host:port for TCP or unix:<path> (or any string containing '/')
-for a Unix-domain socket. Default listen address: 127.0.0.1:7437.";
+for a Unix-domain socket. Default listen address: 127.0.0.1:7437.
+Defaults: 4 shards, 2 acceptors, 5 ms fsync, 10000 ms write timeout,
+100 ms idle poll, 100 ms request deadline, unbounded inflight/conns.
+--fault-plan injects wire/daemon chaos (testing only); crash points
+abort the process.";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("oraql-served: {msg}");
@@ -56,9 +70,8 @@ fn main() -> ExitCode {
 fn serve(args: &[String]) -> ExitCode {
     let mut dir = None;
     let mut listen = "127.0.0.1:7437".to_string();
-    let mut shards = 4usize;
-    let mut acceptors = 2usize;
-    let mut fsync_ms = 5u64;
+    let mut config = ServerOptions::new("");
+    let mut fault_plan = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -66,24 +79,38 @@ fn serve(args: &[String]) -> ExitCode {
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value"))
         };
+        fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+            v.parse::<T>().map_err(|_| format!("bad {flag} `{v}`"))
+        }
         let parsed = match a.as_str() {
             "--dir" => val("--dir").map(|v| dir = Some(v)),
             "--listen" => val("--listen").map(|v| listen = v),
-            "--shards" => val("--shards").and_then(|v| {
-                v.parse::<usize>()
-                    .map_err(|_| format!("bad --shards `{v}`"))
-                    .map(|n| shards = n)
-            }),
-            "--acceptors" => val("--acceptors").and_then(|v| {
-                v.parse::<usize>()
-                    .map_err(|_| format!("bad --acceptors `{v}`"))
-                    .map(|n| acceptors = n)
-            }),
-            "--fsync-ms" => val("--fsync-ms").and_then(|v| {
-                v.parse::<u64>()
-                    .map_err(|_| format!("bad --fsync-ms `{v}`"))
-                    .map(|n| fsync_ms = n)
-            }),
+            "--shards" => val("--shards")
+                .and_then(|v| num("--shards", v))
+                .map(|n| config.shards = n),
+            "--acceptors" => val("--acceptors")
+                .and_then(|v| num("--acceptors", v))
+                .map(|n| config.acceptors = n),
+            "--fsync-ms" => val("--fsync-ms")
+                .and_then(|v| num("--fsync-ms", v))
+                .map(|n| config.fsync_interval = Duration::from_millis(n)),
+            "--write-timeout-ms" => val("--write-timeout-ms")
+                .and_then(|v| num("--write-timeout-ms", v))
+                .map(|n| config.write_timeout = Duration::from_millis(n)),
+            "--idle-poll-ms" => val("--idle-poll-ms")
+                .and_then(|v| num("--idle-poll-ms", v))
+                .map(|n: u64| config.idle_poll = Duration::from_millis(n.max(1))),
+            "--max-inflight" => val("--max-inflight")
+                .and_then(|v| num("--max-inflight", v))
+                .map(|n| config.max_inflight = n),
+            "--max-conns" => val("--max-conns")
+                .and_then(|v| num("--max-conns", v))
+                .map(|n| config.max_conns = n),
+            "--request-deadline-ms" => val("--request-deadline-ms")
+                .and_then(|v| num("--request-deadline-ms", v))
+                .map(|n| config.request_deadline = Duration::from_millis(n)),
+            "--fault-plan" => val("--fault-plan")
+                .and_then(|v| oraql_faults::FaultPlan::parse(&v).map(|p| fault_plan = Some(p))),
             other => Err(format!("unknown flag `{other}` (see --help)")),
         };
         if let Err(msg) = parsed {
@@ -93,12 +120,11 @@ fn serve(args: &[String]) -> ExitCode {
     let Some(dir) = dir else {
         return fail("serve requires --dir DIR");
     };
-    let config = ServerConfig {
-        dir: dir.into(),
-        shards,
-        acceptors,
-        fsync_interval: Duration::from_millis(fsync_ms),
-    };
+    config.dir = dir.into();
+    if let Some(plan) = fault_plan {
+        config.faults = Some(Arc::new(oraql_faults::FaultInjector::new(plan)));
+        config.crash_mode = CrashMode::Abort;
+    }
     let server = match Server::start(&config, &listen) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot start: {e}")),

@@ -37,6 +37,6 @@ pub mod net;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientStats};
+pub use client::{backoff_delay, Client, ClientError, ClientOptions, ClientStats};
 pub use net::Addr;
-pub use server::{Server, ServerConfig};
+pub use server::{CrashMode, Server, ServerConfig, ServerOptions};

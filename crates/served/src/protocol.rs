@@ -1,17 +1,30 @@
 //! The verdict-server wire protocol: framing, operations, status codes.
 //!
 //! Everything on the wire is a **frame** — a little-endian `u32` length
-//! prefix followed by that many payload bytes:
+//! prefix, a little-endian `u64` FNV-1a checksum of the payload, and
+//! then that many payload bytes:
 //!
 //! ```text
-//! frame:    len u32 LE | payload (len bytes)
-//! request:  version u8 | op u8     | body
-//! response: version u8 | status u8 | body
+//! frame:    len u32 LE | sum u64 LE | payload (len bytes)
+//! request:  version u8 | op u8     | req_id u64 LE | body
+//! response: version u8 | status u8 | req_id u64 LE | body
 //! ```
+//!
+//! Version 2 hardened the v1 protocol for a misbehaving wire:
+//!
+//! * the **checksum** makes any corrupted frame — a flipped bit
+//!   anywhere in the payload — a detectable [`io::ErrorKind::InvalidData`]
+//!   error instead of a silently wrong verdict;
+//! * the **request id** is chosen by the client and echoed verbatim by
+//!   the server, so a retried idempotent request can never be paired
+//!   with a stale or foreign response.
 //!
 //! The version byte is [`VERSION`]; a server that does not speak the
 //! client's version answers [`Status::BadVersion`] instead of guessing.
-//! The authoritative human-readable description (including a worked hex
+//! [`Status::Busy`] is the explicit load-shedding answer: the server is
+//! alive but refused admission, and the client should fall back to its
+//! local tiers without retrying or tripping its breaker. The
+//! authoritative human-readable description (including a worked hex
 //! example that `tests/served_roundtrip.rs` pins against this module)
 //! lives in `docs/PROTOCOL.md`.
 //!
@@ -26,12 +39,26 @@
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build (request and response byte 0).
-pub const VERSION: u8 = 1;
+/// Version 2 added the frame checksum, the echoed request id, and the
+/// `busy` status; there is no v1 compatibility mode.
+pub const VERSION: u8 = 2;
 
 /// Upper bound on one frame's payload. Mirrors the store journal's
 /// `MAX_PAYLOAD` defense: a corrupted or hostile length prefix must not
 /// force a multi-gigabyte allocation.
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// FNV-1a 64 over `bytes` — the frame checksum. The same function the
+/// store journal uses for its record checksums; cheap, and a single
+/// flipped bit anywhere in the payload changes it.
+pub fn frame_sum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Request operations (request byte 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +128,11 @@ pub enum Status {
     /// The server hit an I/O error executing the request; body is a
     /// UTF-8 error message.
     Io = 0x05,
+    /// The server is overloaded and refused the request admission
+    /// (load shedding); empty body. The request was **not** executed.
+    /// Clients must fall back to their local tiers without retrying —
+    /// the server is alive, retries only feed the overload.
+    Busy = 0x06,
 }
 
 impl Status {
@@ -113,6 +145,7 @@ impl Status {
             0x03 => Status::BadOp,
             0x04 => Status::BadVersion,
             0x05 => Status::Io,
+            0x06 => Status::Busy,
             _ => return None,
         })
     }
@@ -126,6 +159,7 @@ impl Status {
             Status::BadOp => "bad-op",
             Status::BadVersion => "bad-version",
             Status::Io => "io-error",
+            Status::Busy => "busy",
         }
     }
 }
@@ -229,43 +263,49 @@ impl Request {
         }
     }
 
-    /// Encodes the request as one complete frame (length prefix
-    /// included).
-    pub fn encode(&self) -> Vec<u8> {
-        frame(&[VERSION, self.op() as u8], &self.body())
+    /// Encodes the request as one complete frame (length prefix and
+    /// checksum included), tagged with the caller-chosen `req_id` the
+    /// server must echo.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        frame(&[VERSION, self.op() as u8], req_id, &self.body())
     }
 
     /// Decodes a request from a frame *payload* (the bytes after the
-    /// length prefix). A decode failure maps onto the status the server
-    /// must answer with.
-    pub fn decode(payload: &[u8]) -> Result<Request, Status> {
-        let [version, op, body @ ..] = payload else {
-            return Err(Status::BadFrame);
-        };
-        if *version != VERSION {
-            return Err(Status::BadVersion);
+    /// length prefix and checksum), returning the request id and the
+    /// request. A decode failure maps onto the status the server must
+    /// answer with, paired with the request id to echo (0 when the
+    /// header itself was too short to carry one).
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request), (Status, u64)> {
+        if payload.len() < 10 {
+            return Err((Status::BadFrame, 0));
         }
-        let op = Op::from_byte(*op).ok_or(Status::BadOp)?;
-        let key_of = |b: &[u8]| -> Result<u64, Status> {
-            let raw: [u8; 8] = b.try_into().map_err(|_| Status::BadFrame)?;
+        let (version, op_byte) = (payload[0], payload[1]);
+        let req_id = u64::from_le_bytes(payload[2..10].try_into().expect("len checked"));
+        let body = &payload[10..];
+        if version != VERSION {
+            return Err((Status::BadVersion, req_id));
+        }
+        let op = Op::from_byte(op_byte).ok_or((Status::BadOp, req_id))?;
+        let key_of = |b: &[u8]| -> Result<u64, (Status, u64)> {
+            let raw: [u8; 8] = b.try_into().map_err(|_| (Status::BadFrame, req_id))?;
             Ok(u64::from_le_bytes(raw))
         };
-        let verdict_of = |b: &[u8]| -> Result<(u64, bool, u64), Status> {
+        let verdict_of = |b: &[u8]| -> Result<(u64, bool, u64), (Status, u64)> {
             if b.len() != 17 {
-                return Err(Status::BadFrame);
+                return Err((Status::BadFrame, req_id));
             }
             let key = key_of(&b[0..8])?;
             let pass = match b[8] {
                 0 => false,
                 1 => true,
-                _ => return Err(Status::BadFrame),
+                _ => return Err((Status::BadFrame, req_id)),
             };
             Ok((key, pass, key_of(&b[9..17])?))
         };
-        Ok(match op {
+        let req = match op {
             Op::Ping | Op::Stats | Op::Sync | Op::Compact | Op::Metrics => {
                 if !body.is_empty() {
-                    return Err(Status::BadFrame);
+                    return Err((Status::BadFrame, req_id));
                 }
                 match op {
                     Op::Ping => Request::Ping,
@@ -290,14 +330,16 @@ impl Request {
             }
             Op::PutRefs => {
                 if body.len() < 8 {
-                    return Err(Status::BadFrame);
+                    return Err((Status::BadFrame, req_id));
                 }
                 Request::PutRefs {
                     salt: key_of(&body[0..8])?,
-                    refs: String::from_utf8(body[8..].to_vec()).map_err(|_| Status::BadFrame)?,
+                    refs: String::from_utf8(body[8..].to_vec())
+                        .map_err(|_| (Status::BadFrame, req_id))?,
                 }
             }
-        })
+        };
+        Ok((req_id, req))
     }
 }
 
@@ -318,40 +360,47 @@ pub enum Response {
     Text(String),
     /// [`Status::NotFound`] — the lookup key has no record.
     NotFound,
+    /// [`Status::Busy`] — the request was shed, not executed.
+    Busy,
     /// Any error status; the string is the (possibly empty) body.
     Err(Status, String),
 }
 
 impl Response {
-    /// Encodes the response as one complete frame.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the response as one complete frame, echoing `req_id`.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
         match self {
-            Response::Ok => frame(&[VERSION, Status::Ok as u8], &[]),
+            Response::Ok => frame(&[VERSION, Status::Ok as u8], req_id, &[]),
             Response::Verdict { pass, unique } => {
                 let mut body = Vec::with_capacity(9);
                 body.push(u8::from(*pass));
                 body.extend_from_slice(&unique.to_le_bytes());
-                frame(&[VERSION, Status::Ok as u8], &body)
+                frame(&[VERSION, Status::Ok as u8], req_id, &body)
             }
-            Response::Text(t) => frame(&[VERSION, Status::Ok as u8], t.as_bytes()),
-            Response::NotFound => frame(&[VERSION, Status::NotFound as u8], &[]),
-            Response::Err(status, msg) => frame(&[VERSION, *status as u8], msg.as_bytes()),
+            Response::Text(t) => frame(&[VERSION, Status::Ok as u8], req_id, t.as_bytes()),
+            Response::NotFound => frame(&[VERSION, Status::NotFound as u8], req_id, &[]),
+            Response::Busy => frame(&[VERSION, Status::Busy as u8], req_id, &[]),
+            Response::Err(status, msg) => frame(&[VERSION, *status as u8], req_id, msg.as_bytes()),
         }
     }
 
-    /// Decodes a response from a frame payload. `op` is the request
-    /// this response answers — `Ok` bodies are op-specific.
-    pub fn decode(op: Op, payload: &[u8]) -> Result<Response, String> {
-        let [version, status, body @ ..] = payload else {
+    /// Decodes a response from a frame payload, returning the echoed
+    /// request id and the response. `op` is the request this response
+    /// answers — `Ok` bodies are op-specific.
+    pub fn decode(op: Op, payload: &[u8]) -> Result<(u64, Response), String> {
+        if payload.len() < 10 {
             return Err("short response payload".into());
-        };
-        if *version != VERSION {
+        }
+        let (version, status) = (payload[0], payload[1]);
+        let req_id = u64::from_le_bytes(payload[2..10].try_into().expect("len checked"));
+        let body = &payload[10..];
+        if version != VERSION {
             return Err(format!("server speaks protocol version {version}"));
         }
-        let status = Status::from_byte(*status)
+        let status = Status::from_byte(status)
             .ok_or_else(|| format!("unknown response status {status:#04x}"))?;
-        match status {
-            Status::Ok => Ok(match op {
+        let resp = match status {
+            Status::Ok => match op {
                 Op::GetDec | Op::GetExe => {
                     if body.len() != 9 || body[0] > 1 {
                         return Err("malformed verdict body".into());
@@ -366,38 +415,42 @@ impl Response {
                     String::from_utf8(body.to_vec()).map_err(|_| "non-UTF-8 text body")?,
                 ),
                 Op::Ping | Op::PutDec | Op::PutExe | Op::PutRefs | Op::Sync => Response::Ok,
-            }),
-            Status::NotFound => Ok(Response::NotFound),
-            err => Ok(Response::Err(
-                err,
-                String::from_utf8_lossy(body).into_owned(),
-            )),
-        }
+            },
+            Status::NotFound => Response::NotFound,
+            Status::Busy => Response::Busy,
+            err => Response::Err(err, String::from_utf8_lossy(body).into_owned()),
+        };
+        Ok((req_id, resp))
     }
 }
 
-fn frame(head: &[u8], body: &[u8]) -> Vec<u8> {
-    let len = head.len() + body.len();
-    let mut f = Vec::with_capacity(4 + len);
+fn frame(head: &[u8], req_id: u64, body: &[u8]) -> Vec<u8> {
+    let len = head.len() + 8 + body.len();
+    let mut f = Vec::with_capacity(12 + len);
     f.extend_from_slice(&(len as u32).to_le_bytes());
+    f.extend_from_slice(&[0u8; 8]); // checksum placeholder
     f.extend_from_slice(head);
+    f.extend_from_slice(&req_id.to_le_bytes());
     f.extend_from_slice(body);
+    let sum = frame_sum(&f[12..]);
+    f[4..12].copy_from_slice(&sum.to_le_bytes());
     f
 }
 
-/// Reads one frame and returns its payload. `Ok(None)` is a clean EOF
-/// *between* frames (the peer hung up); EOF mid-frame, or a length
-/// prefix past [`MAX_FRAME`], is an error.
+/// Reads one frame, verifies its checksum, and returns its payload.
+/// `Ok(None)` is a clean EOF *between* frames (the peer hung up); EOF
+/// mid-frame, a length prefix past [`MAX_FRAME`], or a checksum
+/// mismatch is an error.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
+    let mut head = [0u8; 12];
     let mut got = 0;
-    while got < 4 {
-        match r.read(&mut len[got..]) {
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
             Ok(0) if got == 0 => return Ok(None),
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
-                    "EOF inside frame length",
+                    "EOF inside frame header",
                 ))
             }
             Ok(n) => got += n,
@@ -405,7 +458,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_le_bytes(len) as usize;
+    let len = u32::from_le_bytes(head[0..4].try_into().expect("sized")) as usize;
+    let sum = u64::from_le_bytes(head[4..12].try_into().expect("sized"));
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -414,6 +468,12 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    if frame_sum(&payload) != sum {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
     Ok(Some(payload))
 }
 
@@ -457,11 +517,14 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        for req in all_requests() {
-            let f = req.encode();
+        for (i, req) in all_requests().into_iter().enumerate() {
+            let req_id = 0x1000 + i as u64;
+            let f = req.encode(req_id);
             let len = u32::from_le_bytes(f[0..4].try_into().unwrap()) as usize;
-            assert_eq!(len, f.len() - 4, "{req:?}");
-            assert_eq!(Request::decode(&f[4..]), Ok(req));
+            assert_eq!(len, f.len() - 12, "{req:?}");
+            let sum = u64::from_le_bytes(f[4..12].try_into().unwrap());
+            assert_eq!(sum, frame_sum(&f[12..]), "{req:?}");
+            assert_eq!(Request::decode(&f[12..]), Ok((req_id, req)));
         }
     }
 
@@ -487,6 +550,8 @@ mod tests {
             (Op::GetRefs, Response::Text("a\x1eb".into())),
             (Op::Stats, Response::Text("total: 0 lookups".into())),
             (Op::PutDec, Response::Ok),
+            (Op::PutDec, Response::Busy),
+            (Op::GetDec, Response::Busy),
             (Op::Sync, Response::Ok),
             (Op::Compact, Response::Text("compacted 3 shards".into())),
             (
@@ -499,30 +564,53 @@ mod tests {
             (Op::Ping, Response::Err(Status::BadOp, String::new())),
             (Op::GetDec, Response::Err(Status::Io, "disk died".into())),
         ];
-        for (op, resp) in cases {
-            let f = resp.encode();
-            assert_eq!(Response::decode(op, &f[4..]), Ok(resp.clone()), "{resp:?}");
+        for (i, (op, resp)) in cases.into_iter().enumerate() {
+            let req_id = 0x2000 + i as u64;
+            let f = resp.encode(req_id);
+            assert_eq!(
+                Response::decode(op, &f[12..]),
+                Ok((req_id, resp.clone())),
+                "{resp:?}"
+            );
         }
+    }
+
+    /// Builds a raw request payload (no frame prefix): `version | op |
+    /// req_id | body`.
+    fn raw(version: u8, op: u8, req_id: u64, body: &[u8]) -> Vec<u8> {
+        let mut p = vec![version, op];
+        p.extend_from_slice(&req_id.to_le_bytes());
+        p.extend_from_slice(body);
+        p
     }
 
     #[test]
     fn malformed_requests_classify() {
-        assert_eq!(Request::decode(&[]), Err(Status::BadFrame));
-        assert_eq!(Request::decode(&[VERSION]), Err(Status::BadFrame));
+        assert_eq!(Request::decode(&[]), Err((Status::BadFrame, 0)));
+        assert_eq!(Request::decode(&[VERSION]), Err((Status::BadFrame, 0)));
+        // Header too short to carry a request id: echo id 0.
         assert_eq!(
-            Request::decode(&[9, Op::Ping as u8]),
-            Err(Status::BadVersion)
+            Request::decode(&[VERSION, Op::Ping as u8, 1, 2]),
+            Err((Status::BadFrame, 0))
         );
-        assert_eq!(Request::decode(&[VERSION, 0xee]), Err(Status::BadOp));
+        // Bad version / bad op echo the parsed request id.
+        assert_eq!(
+            Request::decode(&raw(9, Op::Ping as u8, 77, &[])),
+            Err((Status::BadVersion, 77))
+        );
+        assert_eq!(
+            Request::decode(&raw(VERSION, 0xee, 78, &[])),
+            Err((Status::BadOp, 78))
+        );
         // Ping carries no body.
         assert_eq!(
-            Request::decode(&[VERSION, Op::Ping as u8, 1]),
-            Err(Status::BadFrame)
+            Request::decode(&raw(VERSION, Op::Ping as u8, 79, &[1])),
+            Err((Status::BadFrame, 79))
         );
         // Truncated key.
         assert_eq!(
-            Request::decode(&[VERSION, Op::GetDec as u8, 1, 2, 3]),
-            Err(Status::BadFrame)
+            Request::decode(&raw(VERSION, Op::GetDec as u8, 80, &[1, 2, 3])),
+            Err((Status::BadFrame, 80))
         );
         // Non-boolean pass byte.
         let mut put = Request::PutDec {
@@ -530,32 +618,55 @@ mod tests {
             pass: true,
             unique: 2,
         }
-        .encode();
-        put[4 + 2 + 8] = 7;
-        assert_eq!(Request::decode(&put[4..]), Err(Status::BadFrame));
+        .encode(81);
+        put[12 + 2 + 8 + 8] = 7;
+        assert_eq!(Request::decode(&put[12..]), Err((Status::BadFrame, 81)));
     }
 
     #[test]
     fn frame_io_roundtrip_and_eof() {
         let mut buf = Vec::new();
         let req = Request::GetDec { key: 5 };
-        write_frame(&mut buf, &req.encode()).unwrap();
-        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        write_frame(&mut buf, &req.encode(1)).unwrap();
+        write_frame(&mut buf, &Request::Ping.encode(2)).unwrap();
         let mut r = std::io::Cursor::new(buf);
         assert_eq!(
             Request::decode(&read_frame(&mut r).unwrap().unwrap()),
-            Ok(req)
+            Ok((1, req))
         );
         assert_eq!(
             Request::decode(&read_frame(&mut r).unwrap().unwrap()),
-            Ok(Request::Ping)
+            Ok((2, Request::Ping))
         );
         assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
         // EOF inside a frame is an error, not a silent None.
-        let mut torn = std::io::Cursor::new(vec![8, 0, 0, 0, VERSION]);
+        let mut torn = std::io::Cursor::new(Request::Ping.encode(3)[..13].to_vec());
         assert!(read_frame(&mut torn).is_err());
         // An absurd length prefix is rejected before allocating.
         let mut hostile = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
         assert!(read_frame(&mut hostile).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_any_single_byte_garble() {
+        let clean = Request::PutDec {
+            key: 0xdead_beef,
+            pass: true,
+            unique: 9,
+        }
+        .encode(0x51);
+        // Flip each payload byte in turn: every corruption must be
+        // detected (this is what makes the `frame-garble` fault site
+        // recoverable rather than silently unsound).
+        for i in 12..clean.len() {
+            let mut garbled = clean.clone();
+            garbled[i] ^= 0x40;
+            let mut r = std::io::Cursor::new(garbled);
+            let err = read_frame(&mut r).expect_err("garble must not pass");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {i}");
+        }
+        // And the clean frame still reads.
+        let mut r = std::io::Cursor::new(clean);
+        assert!(read_frame(&mut r).unwrap().is_some());
     }
 }

@@ -1,5 +1,5 @@
 //! The verdict server: sharded journals, a read-mostly index, group
-//! fsync, and a thread-per-connection acceptor pool.
+//! fsync, admission control, and a thread-per-connection acceptor pool.
 //!
 //! # Architecture
 //!
@@ -16,11 +16,43 @@
 //! Writes go journal-first (a `write(2)` append under the store's
 //! shared advisory lock), then update the index, then ack — so a
 //! client that got its `PUT` acked sees the record in its own later
-//! `GET`s. Durability is batched: a background thread group-fsyncs
+//! `GET`s, and a crash at *any* point loses at most unacked work (the
+//! crash-point torture in `crates/served/tests/crash_torture.rs` pins
+//! this). Durability is batched: a background thread group-fsyncs
 //! every dirty shard each `fsync_interval` (and at shutdown), bounding
 //! the power-loss window to one interval without paying an fsync per
 //! append. The `SYNC` op forces a pass for clients that need a hard
 //! checkpoint.
+//!
+//! # Overload: admission control and load shedding
+//!
+//! Two bounds, both off by default (0 = unbounded) and promoted to CLI
+//! flags on the daemon:
+//!
+//! * `max_inflight` caps concurrently *executing* requests. A request
+//!   that cannot get a slot waits up to its op's admission deadline
+//!   (`request_deadline` for data ops; 10× that for maintenance ops,
+//!   which are rare and humans are watching), then is shed with
+//!   [`Response::Busy`] — the request was **not** executed.
+//! * `max_conns` caps serving connections. A connection over the cap
+//!   gets its first request answered `BUSY` and is closed.
+//!
+//! Every shed increments `oraql_served_shed_total`; see
+//! `docs/OPERATIONS.md` § "Overload & partition playbook".
+//!
+//! # Chaos hooks
+//!
+//! When built with a [`oraql_faults::FaultInjector`] (`faults` option /
+//! daemon `--fault-plan`), the server injects the wire and daemon
+//! fault sites at their natural choke points: the response-write site
+//! (`conn-reset`, `frame-torn`, `frame-garble`, `response-delay`,
+//! `response-hang`), the group-fsync pass (`fsync-fail`), and the
+//! named crash points threaded through the write path (`crash-point`).
+//! [`CrashMode`] picks between a real `std::process::abort` (daemon
+//! under torture) and a simulated hard stop (in-process servers:
+//! connections drop unacked, fsync stops, shutdown skips the final
+//! sync — exactly what a kill would leave behind, minus losing the
+//! page cache).
 //!
 //! # Concurrency contract
 //!
@@ -34,10 +66,11 @@
 //! * [`Server::shutdown`] (also run by `Drop`) stops accepting, wakes
 //!   every blocked acceptor, joins every connection thread, and runs a
 //!   final group fsync — after it returns, all acked writes are on
-//!   disk.
+//!   disk (unless a simulated crash is in effect, which is the point).
 
 use crate::net::{Addr, Conn, Listener};
 use crate::protocol::{read_frame, write_frame, Op, Request, Response, Status};
+use oraql_faults::{FaultInjector, FaultSite};
 use oraql_store::{Record, Store, StoreError, REF_SEP};
 use std::collections::HashMap;
 use std::io::{self, Write as _};
@@ -45,16 +78,33 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-/// How a [`Server`] is laid out on disk and sized. Plain data; build
-/// one, hand it to [`Server::start`].
+/// What the server does when an injected `crash-point` fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// `std::process::abort()` — the real thing. Used by the daemon
+    /// under the crash-torture harness, which runs it as a child
+    /// process and restarts it.
+    #[default]
+    Abort,
+    /// A simulated hard stop for in-process servers (aborting would
+    /// take the test down too): every connection drops without acking,
+    /// fsync passes stop, and shutdown skips the final sync. The
+    /// journal holds exactly what a kill would have left.
+    Simulate,
+}
+
+/// How a [`Server`] is laid out on disk, sized, and hardened. Plain
+/// data; build one, hand it to [`Server::start`]. Every duration and
+/// bound here is a daemon CLI flag — see `oraql-served serve --help`
+/// and the defaults table in `docs/OPERATIONS.md`.
 #[derive(Debug, Clone)]
-pub struct ServerConfig {
+pub struct ServerOptions {
     /// Directory holding the shard journals (created if missing).
     pub dir: PathBuf,
     /// Number of shard journals (≥ 1). Must stay constant across
@@ -65,18 +115,62 @@ pub struct ServerConfig {
     /// bounds how many accepts can be in flight at once.
     pub acceptors: usize,
     /// Group-fsync cadence: the upper bound on how long an acked write
-    /// may sit only in the page cache.
+    /// may sit only in the page cache. Default 5 ms.
     pub fsync_interval: Duration,
+    /// Per-connection socket write timeout: how long one response write
+    /// may block on a stalled peer before the connection is dropped.
+    /// Default 10 s.
+    pub write_timeout: Duration,
+    /// How long a connection thread blocks in `read` before re-checking
+    /// the shutdown flag. Bounds shutdown latency, not request latency.
+    /// Default 100 ms.
+    pub idle_poll: Duration,
+    /// Admission cap on concurrently executing requests; `0` means
+    /// unbounded (the default). See the module docs on overload.
+    pub max_inflight: usize,
+    /// Cap on concurrently served connections; `0` means unbounded
+    /// (the default). A connection over the cap is answered `BUSY`
+    /// once and closed.
+    pub max_conns: usize,
+    /// Admission deadline for data ops (`GET`/`PUT`) when
+    /// `max_inflight` is hit; maintenance ops wait 10× this. Default
+    /// 100 ms.
+    pub request_deadline: Duration,
+    /// How long the `response-hang` fault site sits on a response —
+    /// meaningful only under a fault plan; pick it longer than the
+    /// client read timeout. Default 3 s.
+    pub fault_hang: Duration,
+    /// Wire/daemon chaos: a seeded injector consulted at the fault
+    /// sites listed in the module docs. `None` (the default) injects
+    /// nothing and costs nothing.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// What an injected `crash-point` does. Irrelevant without
+    /// `faults`.
+    pub crash_mode: CrashMode,
 }
 
-impl ServerConfig {
-    /// A config with the defaults: 4 shards, 2 acceptors, 5 ms fsync.
-    pub fn new(dir: impl Into<PathBuf>) -> ServerConfig {
-        ServerConfig {
+/// The pre-hardening name of [`ServerOptions`], kept so existing call
+/// sites and docs keep working.
+pub type ServerConfig = ServerOptions;
+
+impl ServerOptions {
+    /// A config with the defaults: 4 shards, 2 acceptors, 5 ms fsync,
+    /// 10 s write timeout, 100 ms idle poll, unbounded admission, no
+    /// faults.
+    pub fn new(dir: impl Into<PathBuf>) -> ServerOptions {
+        ServerOptions {
             dir: dir.into(),
             shards: 4,
             acceptors: 2,
             fsync_interval: Duration::from_millis(5),
+            write_timeout: Duration::from_secs(10),
+            idle_poll: Duration::from_millis(100),
+            max_inflight: 0,
+            max_conns: 0,
+            request_deadline: Duration::from_millis(100),
+            fault_hang: Duration::from_secs(3),
+            faults: None,
+            crash_mode: CrashMode::default(),
         }
     }
 }
@@ -143,6 +237,7 @@ struct ServerCounters {
     active: AtomicU64,
     requests: AtomicU64,
     bad_frames: AtomicU64,
+    shed: AtomicU64,
     fsync_batches: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
@@ -153,8 +248,13 @@ struct Core {
     shards: Vec<Shard>,
     counters: ServerCounters,
     shutdown: AtomicBool,
+    /// Set by a simulated crash-point: the daemon behaves as killed
+    /// (see [`CrashMode::Simulate`]).
+    crashed: AtomicBool,
+    /// Requests currently executing (admitted, not yet answered).
+    inflight: AtomicU64,
     dir: PathBuf,
-    acceptors: usize,
+    opts: ServerOptions,
 }
 
 impl Core {
@@ -163,14 +263,88 @@ impl Core {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
+    fn note_shed(&self) {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+        static SHED: std::sync::OnceLock<&'static oraql_obs::Counter> = std::sync::OnceLock::new();
+        SHED.get_or_init(|| oraql_obs::global().counter("oraql_served_shed_total"))
+            .inc();
+    }
+
+    /// Consults the fault plan for an injected crash at the named
+    /// point. Under [`CrashMode::Abort`] this call does not return.
+    fn crash_point(&self, _point: &'static str) {
+        let Some(f) = &self.opts.faults else { return };
+        if f.fire(FaultSite::CrashPoint) {
+            match self.opts.crash_mode {
+                CrashMode::Abort => std::process::abort(),
+                CrashMode::Simulate => self.crashed.store(true, Ordering::Release),
+            }
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) || self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Admission control: claims an execution slot, waiting up to the
+    /// op's admission deadline when `max_inflight` is saturated.
+    /// Returns `false` — shed, answer `BUSY`, execute nothing — on
+    /// deadline. The caller owns one `inflight` decrement iff this
+    /// returns `true`.
+    fn admit(&self, op: Op) -> bool {
+        let max = self.opts.max_inflight as u64;
+        if max == 0 {
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            return true;
+        }
+        // Maintenance ops are rare, human-driven, and worth waiting
+        // for; data ops shed fast so the driver falls back to its
+        // local tiers instead of queueing behind an overload.
+        let deadline = match op {
+            Op::Stats | Op::Sync | Op::Compact | Op::Metrics => self.opts.request_deadline * 10,
+            _ => self.opts.request_deadline,
+        };
+        let start = Instant::now();
+        loop {
+            let cur = self.inflight.load(Ordering::Acquire);
+            if cur < max {
+                if self
+                    .inflight
+                    .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return true;
+                }
+                continue; // lost the race, re-read
+            }
+            if start.elapsed() >= deadline || self.is_dead() {
+                self.note_shed();
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
     /// One group-fsync pass: persist every shard dirtied since the last
-    /// pass. A shard whose fsync fails is re-marked dirty so the next
-    /// pass retries instead of silently dropping durability.
+    /// pass. A shard whose fsync fails (for real or via the
+    /// `fsync-fail` site) is re-marked dirty so the next pass retries
+    /// instead of silently dropping durability.
     fn sync_dirty(&self) -> io::Result<()> {
+        if self.crashed.load(Ordering::Acquire) {
+            return Ok(()); // a dead daemon syncs nothing
+        }
+        self.crash_point("fsync-pass");
         let mut synced = 0u64;
         let mut first_err = None;
         for shard in &self.shards {
             if shard.dirty.swap(false, Ordering::AcqRel) {
+                if let Some(f) = &self.opts.faults {
+                    if f.fire(FaultSite::FsyncFail) {
+                        shard.dirty.store(true, Ordering::Release);
+                        first_err.get_or_insert(io::Error::other("injected fsync failure"));
+                        continue;
+                    }
+                }
                 match shard.store.sync() {
                     Ok(()) => {
                         shard.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -227,6 +401,9 @@ impl Core {
         if let Err(e) = res {
             return Response::Err(Status::Io, e.to_string());
         }
+        // The record is journaled but neither indexed nor acked: a
+        // crash here must lose nothing acked (nothing was).
+        self.crash_point("put-journaled");
         let mut index = shard.index.write().unwrap_or_else(|p| p.into_inner());
         if exe {
             index.exe.insert(key, (pass, unique));
@@ -258,6 +435,7 @@ impl Core {
         if let Err(e) = shard.store.record_references(salt, &outputs) {
             return Response::Err(Status::Io, e.to_string());
         }
+        self.crash_point("put-journaled");
         let mut index = shard.index.write().unwrap_or_else(|p| p.into_inner());
         index.refs.insert(salt, refs.to_string());
         drop(index);
@@ -309,7 +487,7 @@ impl Core {
             "oraql-served: {} shards in {}, {} acceptors\n",
             self.shards.len(),
             self.dir.display(),
-            self.acceptors
+            self.opts.acceptors.max(1)
         );
         out.push_str(&format!(
             "conn: {} requests, {} lookups, {} hits, {} appends, {} B in, {} B out\n",
@@ -338,7 +516,7 @@ impl Core {
             appends += shard.counters.appends.load(Ordering::Relaxed);
         }
         out.push_str(&format!(
-            "total: {} lookups, {} hits, {} appends, {} fsync batches, {} connections ({} active), {} bad frames, {} B in, {} B out",
+            "total: {} lookups, {} hits, {} appends, {} fsync batches, {} connections ({} active), {} bad frames, {} shed, {} B in, {} B out",
             lookups,
             hits,
             appends,
@@ -346,6 +524,7 @@ impl Core {
             g.connections.load(Ordering::Relaxed),
             g.active.load(Ordering::Relaxed),
             g.bad_frames.load(Ordering::Relaxed),
+            g.shed.load(Ordering::Relaxed),
             g.bytes_in.load(Ordering::Relaxed),
             g.bytes_out.load(Ordering::Relaxed),
         ));
@@ -491,18 +670,88 @@ struct ConnCounters {
     bytes_out: u64,
 }
 
-/// How long a connection thread blocks in `read` before re-checking
-/// the shutdown flag. Bounds shutdown latency, not request latency.
-const IDLE_POLL: Duration = Duration::from_millis(100);
+/// The request id to echo for a raw request payload, whether or not it
+/// decodes (a shed or malformed request still gets its id back).
+fn req_id_of(payload: &[u8]) -> u64 {
+    match Request::decode(payload) {
+        Ok((id, _)) => id,
+        Err((_, id)) => id,
+    }
+}
+
+/// Answers the first request on an over-cap connection with `BUSY` and
+/// returns (the caller closes). Waiting bounded by `idle_poll` ticks so
+/// shutdown is never blocked on a silent peer.
+fn shed_conn(core: &Core, conn: &mut Conn) {
+    let _ = conn.set_read_timeout(Some(core.opts.idle_poll));
+    let deadline = Instant::now() + Duration::from_secs(1);
+    while Instant::now() < deadline && !core.is_dead() {
+        match read_frame(conn) {
+            Ok(Some(payload)) => {
+                core.note_shed();
+                let frame = Response::Busy.encode(req_id_of(&payload));
+                let _ = write_frame(conn, &frame);
+                return;
+            }
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Mutates an about-to-be-written response frame (or suppresses it)
+/// according to the wire fault plan. Returns `false` when the
+/// connection must be dropped instead of (fully) answering.
+fn inject_wire_faults(core: &Core, conn: &mut Conn, frame: &mut [u8]) -> bool {
+    let Some(f) = &core.opts.faults else {
+        return true;
+    };
+    if f.fire(FaultSite::ConnReset) {
+        return false; // drop without answering: client sees EOF/RST
+    }
+    if f.fire(FaultSite::ResponseHang) {
+        // Sit on the response past the client's read deadline; the
+        // client must reclaim the request, not us.
+        std::thread::sleep(core.opts.fault_hang);
+    } else if f.fire(FaultSite::ResponseDelay) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if f.fire(FaultSite::FrameTorn) {
+        // Write a strict prefix, then drop the connection.
+        let cut = (frame.len() / 2).max(1);
+        let _ = conn.write_all(&frame[..cut]);
+        let _ = conn.flush();
+        return false;
+    }
+    if f.fire(FaultSite::FrameGarble) {
+        // Flip one payload byte after the checksum was computed; the
+        // client's frame checksum must catch it wherever it lands.
+        let i = 12 + (f.fired(FaultSite::FrameGarble) as usize) % (frame.len() - 12).max(1);
+        let i = i.min(frame.len() - 1);
+        frame[i] ^= 0x40;
+    }
+    true
+}
 
 fn serve_conn(core: &Core, mut conn: Conn) {
     core.counters.connections.fetch_add(1, Ordering::Relaxed);
-    core.counters.active.fetch_add(1, Ordering::Relaxed);
-    let _ = conn.set_read_timeout(Some(IDLE_POLL));
-    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+    let active = core.counters.active.fetch_add(1, Ordering::Relaxed) + 1;
+    if core.opts.max_conns > 0 && active > core.opts.max_conns as u64 {
+        shed_conn(core, &mut conn);
+        let _ = conn.flush();
+        core.counters.active.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    let _ = conn.set_read_timeout(Some(core.opts.idle_poll));
+    let _ = conn.set_write_timeout(Some(core.opts.write_timeout));
     let mut counters = ConnCounters::default();
     loop {
-        if core.shutdown.load(Ordering::Acquire) {
+        if core.is_dead() {
             break;
         }
         let payload = match read_frame(&mut conn) {
@@ -519,28 +768,56 @@ fn serve_conn(core: &Core, mut conn: Conn) {
                 break;
             }
         };
-        let frame_in = (4 + payload.len()) as u64;
+        let frame_in = (12 + payload.len()) as u64;
         counters.bytes_in += frame_in;
         core.counters
             .bytes_in
             .fetch_add(frame_in, Ordering::Relaxed);
         core.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let resp = match Request::decode(&payload) {
-            Ok(req) => core.dispatch(req, &mut counters),
-            Err(Status::BadVersion) => {
+        // The admission slot is held until the response leaves (or the
+        // connection breaks): an in-flight request includes its write,
+        // so a stalled peer counts against `max_inflight`.
+        struct Slot<'a>(Option<&'a Core>);
+        impl Drop for Slot<'_> {
+            fn drop(&mut self) {
+                if let Some(core) = self.0 {
+                    core.inflight.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+        let mut slot = Slot(None);
+        let (req_id, resp) = match Request::decode(&payload) {
+            Ok((req_id, req)) => {
+                if core.admit(req.op()) {
+                    slot.0 = Some(core);
+                    (req_id, core.dispatch(req, &mut counters))
+                } else {
+                    (req_id, Response::Busy)
+                }
+            }
+            Err((Status::BadVersion, req_id)) => {
                 core.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
                 // Body carries the server's version byte (see PROTOCOL.md).
-                Response::Err(
-                    Status::BadVersion,
-                    (crate::protocol::VERSION as char).to_string(),
+                (
+                    req_id,
+                    Response::Err(
+                        Status::BadVersion,
+                        (crate::protocol::VERSION as char).to_string(),
+                    ),
                 )
             }
-            Err(status) => {
+            Err((status, req_id)) => {
                 core.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-                Response::Err(status, String::new())
+                (req_id, Response::Err(status, String::new()))
             }
         };
-        let frame = resp.encode();
+        if core.crashed.load(Ordering::Acquire) {
+            break; // a dead daemon acks nothing
+        }
+        let mut frame = resp.encode(req_id);
+        if !inject_wire_faults(core, &mut conn, &mut frame) {
+            break;
+        }
         counters.bytes_out += frame.len() as u64;
         core.counters
             .bytes_out
@@ -548,6 +825,9 @@ fn serve_conn(core: &Core, mut conn: Conn) {
         if write_frame(&mut conn, &frame).is_err() {
             break; // peer vanished mid-response
         }
+        // The response is acked on the wire: a crash beyond this point
+        // must keep every record the frame acknowledged.
+        core.crash_point("post-ack");
     }
     let _ = conn.flush();
     core.counters.active.fetch_sub(1, Ordering::Relaxed);
@@ -581,7 +861,7 @@ impl Server {
     /// replays them into the in-memory index, binds `addr` (use port 0
     /// for an ephemeral TCP port), and spawns the acceptor pool and
     /// fsync thread. On return the server is accepting connections.
-    pub fn start(config: &ServerConfig, addr: &str) -> io::Result<Server> {
+    pub fn start(config: &ServerOptions, addr: &str) -> io::Result<Server> {
         std::fs::create_dir_all(&config.dir)?;
         let shards = config.shards.max(1);
         let mut opened = Vec::with_capacity(shards);
@@ -595,11 +875,13 @@ impl Server {
             shards: opened,
             counters: ServerCounters::default(),
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
             dir: config.dir.clone(),
-            acceptors: config.acceptors.max(1),
+            opts: config.clone(),
         });
         let handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        for i in 0..core.acceptors {
+        for i in 0..core.opts.acceptors.max(1) {
             let l = listener.try_clone()?;
             let c = Arc::clone(&core);
             let hs = Arc::clone(&handles);
@@ -614,9 +896,17 @@ impl Server {
             let h = std::thread::Builder::new()
                 .name("oraql-served-fsync".to_string())
                 .spawn(move || {
+                    // Sleep the interval in short ticks so shutdown is
+                    // never blocked behind a long fsync cadence.
+                    let tick = interval.min(Duration::from_millis(50));
+                    let mut slept = Duration::ZERO;
                     while !c.shutdown.load(Ordering::Acquire) {
-                        std::thread::sleep(interval);
-                        let _ = c.sync_dirty();
+                        std::thread::sleep(tick);
+                        slept += tick;
+                        if slept >= interval {
+                            slept = Duration::ZERO;
+                            let _ = c.sync_dirty();
+                        }
                     }
                 })?;
             lock_ignore_poison(&handles).push(h);
@@ -649,6 +939,28 @@ impl Server {
             .sum()
     }
 
+    /// Has a simulated crash-point fired? (Always `false` under
+    /// [`CrashMode::Abort`] — an aborted daemon answers nothing.)
+    pub fn is_crashed(&self) -> bool {
+        self.core.crashed.load(Ordering::Acquire)
+    }
+
+    /// Requests shed by admission control or the connection cap.
+    pub fn shed_count(&self) -> u64 {
+        self.core.counters.shed.load(Ordering::Relaxed)
+    }
+
+    /// `(site, occurrences, fired)` rows from the server's fault
+    /// injector; empty without a fault plan.
+    pub fn fault_summary(&self) -> Vec<(FaultSite, u64, u64)> {
+        self.core
+            .opts
+            .faults
+            .as_ref()
+            .map(|f| f.summary())
+            .unwrap_or_default()
+    }
+
     /// Stops accepting, drains every connection thread, and runs a
     /// final group fsync. Idempotent; also invoked by `Drop`.
     pub fn shutdown(mut self) -> io::Result<()> {
@@ -663,7 +975,7 @@ impl Server {
         self.core.shutdown.store(true, Ordering::Release);
         // Wake every acceptor blocked in accept(2): one throwaway
         // connection per acceptor thread.
-        for _ in 0..self.core.acceptors {
+        for _ in 0..self.core.opts.acceptors.max(1) {
             let _ = Conn::connect(&self.addr, Duration::from_millis(200));
         }
         loop {
@@ -678,6 +990,9 @@ impl Server {
         if let Addr::Unix(p) = &self.addr {
             let _ = std::fs::remove_file(p);
         }
+        // A simulated crash skips the final sync — sync_dirty() is a
+        // no-op once `crashed` is set, which is the point: the journal
+        // holds exactly what the kill left.
         self.core.sync_dirty()
     }
 }
@@ -737,7 +1052,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip_and_restart_replay() {
         let dir = scratch("roundtrip");
-        let cfg = ServerConfig::new(&dir);
+        let cfg = ServerOptions::new(&dir);
         let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
         let client = Client::new(&server.addr());
         client.ping().unwrap();
@@ -768,7 +1083,7 @@ mod tests {
     #[test]
     fn stats_compact_and_sharding() {
         let dir = scratch("stats");
-        let mut cfg = ServerConfig::new(&dir);
+        let mut cfg = ServerOptions::new(&dir);
         cfg.shards = 3;
         let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
         let client = Client::new(&server.addr());
@@ -804,7 +1119,7 @@ mod tests {
     fn unix_socket_transport() {
         let dir = scratch("unix");
         let sock = dir.join("served.sock");
-        let cfg = ServerConfig::new(dir.join("data"));
+        let cfg = ServerOptions::new(dir.join("data"));
         let server = Server::start(&cfg, &format!("unix:{}", sock.display())).unwrap();
         let client = Client::new(&server.addr());
         client.put_dec(1, true, 1).unwrap();
@@ -816,32 +1131,136 @@ mod tests {
 
     #[test]
     fn malformed_frames_get_error_statuses() {
-        use crate::protocol::{read_frame, write_frame, VERSION};
+        use crate::protocol::{frame_sum, read_frame, write_frame, VERSION};
+        fn raw_frame(payload: &[u8]) -> Vec<u8> {
+            let mut f = Vec::new();
+            f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            f.extend_from_slice(&frame_sum(payload).to_le_bytes());
+            f.extend_from_slice(payload);
+            f
+        }
+        fn raw_payload(version: u8, op: u8, req_id: u64, body: &[u8]) -> Vec<u8> {
+            let mut p = vec![version, op];
+            p.extend_from_slice(&req_id.to_le_bytes());
+            p.extend_from_slice(body);
+            p
+        }
         let dir = scratch("malformed");
-        let server = Server::start(&ServerConfig::new(&dir), "127.0.0.1:0").unwrap();
+        let server = Server::start(&ServerOptions::new(&dir), "127.0.0.1:0").unwrap();
         let mut conn = Conn::connect(&Addr::parse(&server.addr()), Duration::from_secs(2)).unwrap();
         conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        // Unknown op.
-        let mut f = Vec::new();
-        f.extend_from_slice(&2u32.to_le_bytes());
-        f.extend_from_slice(&[VERSION, 0xee]);
-        write_frame(&mut conn, &f).unwrap();
+        // Unknown op: the request id still comes back.
+        write_frame(&mut conn, &raw_frame(&raw_payload(VERSION, 0xee, 31, &[]))).unwrap();
         let p = read_frame(&mut conn).unwrap().unwrap();
         assert_eq!(p[1], Status::BadOp as u8);
-        // Wrong version.
-        let mut f = Vec::new();
-        f.extend_from_slice(&2u32.to_le_bytes());
-        f.extend_from_slice(&[9, 0x01]);
-        write_frame(&mut conn, &f).unwrap();
+        assert_eq!(u64::from_le_bytes(p[2..10].try_into().unwrap()), 31);
+        // Wrong version: body carries the server's version byte.
+        write_frame(&mut conn, &raw_frame(&raw_payload(9, 0x01, 32, &[]))).unwrap();
         let p = read_frame(&mut conn).unwrap().unwrap();
         assert_eq!(p[1], Status::BadVersion as u8);
+        assert_eq!(u64::from_le_bytes(p[2..10].try_into().unwrap()), 32);
         // Truncated body.
-        let mut f = Vec::new();
-        f.extend_from_slice(&3u32.to_le_bytes());
-        f.extend_from_slice(&[VERSION, 0x02, 1]);
-        write_frame(&mut conn, &f).unwrap();
+        write_frame(&mut conn, &raw_frame(&raw_payload(VERSION, 0x02, 33, &[1]))).unwrap();
         let p = read_frame(&mut conn).unwrap().unwrap();
         assert_eq!(p[1], Status::BadFrame as u8);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_control_sheds_busy_under_saturation() {
+        use oraql_faults::{FaultPlan, Rate};
+        let dir = scratch("admission");
+        let mut cfg = ServerOptions::new(&dir);
+        // One execution slot, a tiny admission deadline, and a fault
+        // plan that hangs every response long enough to hold the slot.
+        cfg.max_inflight = 1;
+        cfg.request_deadline = Duration::from_millis(30);
+        cfg.fault_hang = Duration::from_millis(600);
+        cfg.faults = Some(Arc::new(FaultInjector::new(
+            FaultPlan::quiet(1).with_rate(FaultSite::ResponseHang, Rate::new(1, 2)),
+        )));
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let mut saw_busy = false;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let addr = addr.clone();
+                handles.push(s.spawn(move || {
+                    let client = Client::with_timeouts(
+                        &addr,
+                        Duration::from_secs(2),
+                        Duration::from_millis(10),
+                    );
+                    let mut busy = 0u32;
+                    for k in 0..6u64 {
+                        if let Err(crate::client::ClientError::Busy) = client.get_dec(k) {
+                            busy += 1;
+                        }
+                    }
+                    busy
+                }));
+            }
+            for h in handles {
+                if h.join().unwrap() > 0 {
+                    saw_busy = true;
+                }
+            }
+        });
+        assert!(saw_busy, "saturated single-slot server never shed");
+        assert!(server.shed_count() > 0);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn connection_cap_sheds_excess_connections() {
+        let dir = scratch("conncap");
+        let mut cfg = ServerOptions::new(&dir);
+        cfg.max_conns = 1;
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        // First connection occupies the only slot...
+        let c1 = Client::new(&server.addr());
+        c1.ping().unwrap();
+        // ...so a second connection's first request is answered BUSY.
+        let c2 = Client::new(&server.addr());
+        assert!(matches!(c2.ping(), Err(crate::client::ClientError::Busy)));
+        assert!(server.shed_count() >= 1);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_crash_drops_conns_and_skips_final_sync() {
+        use oraql_faults::{FaultPlan, Rate};
+        let dir = scratch("simcrash");
+        let mut cfg = ServerOptions::new(&dir);
+        // Crash deterministically on the first crash-point passage.
+        cfg.crash_mode = CrashMode::Simulate;
+        cfg.fsync_interval = Duration::from_secs(3600); // keep the timer out of it
+        cfg.faults = Some(Arc::new(FaultInjector::new(
+            FaultPlan::quiet(7).with_rate(FaultSite::CrashPoint, Rate::always()),
+        )));
+        let server = Server::start(&cfg, "127.0.0.1:0").unwrap();
+        let client = Client::with_timeouts(
+            &server.addr(),
+            Duration::from_millis(500),
+            Duration::from_millis(50),
+        );
+        // The put journals, then hits `put-journaled`, which "kills"
+        // the daemon: no ack ever arrives.
+        assert!(client.put_dec(1, true, 1).is_err());
+        assert!(server.is_crashed());
+        server.shutdown().unwrap();
+        // Restart over the same dir: the journaled-but-unacked record
+        // is allowed to be present (it was written before the crash
+        // point) — what matters is the journal replays cleanly.
+        let server = Server::start(&ServerOptions::new(&dir), "127.0.0.1:0").unwrap();
+        let client = Client::new(&server.addr());
+        client.ping().unwrap();
+        client.put_dec(2, false, 9).unwrap();
+        assert_eq!(client.get_dec(2).unwrap(), Some((false, 9)));
         server.shutdown().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

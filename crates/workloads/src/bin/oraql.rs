@@ -270,13 +270,15 @@ fn print_result(
         let f = &r.failures;
         println!(
             "sandbox: {} panics, {} deadlines, {} vm errors, {} mismatches, \
-             {} store-corrupt, {} server-down | {} retries, {} quarantined to may-alias",
+             {} store-corrupt, {} server-down, {} server-busy | {} retries, \
+             {} quarantined to may-alias",
             f.panics,
             f.deadlines,
             f.vm_errors,
             f.output_mismatches,
             f.store_corrupt,
             f.server_down,
+            f.server_busy,
             f.retries,
             f.quarantined
         );

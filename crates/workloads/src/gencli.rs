@@ -4,6 +4,7 @@
 //! oraql gen --plan "seed=42,cases=1000,motifs=red+csr,per=3" [--out DIR]
 //!           [--run] [--jobs N] [--speculate-depth N] [--no-gate]
 //!           [--fault-plan SPEC] [--probe-deadline-ms N] [--max-tests N]
+//!           [--server ADDR]
 //! ```
 //!
 //! With `--out` the corpus is materialized as driver-ready `.conf`
@@ -13,6 +14,10 @@
 //! gate attached (disable with `--no-gate`): any case whose final
 //! verdicts keep optimism on a genuinely-aliasing labelled pair fails
 //! the run. With neither, the plan is summarized without side effects.
+//! `--server` attaches a verdict-server client as the run's third
+//! cache tier (same semantics as the main CLI's `--server`), which is
+//! how CI drives a generated ground-truth corpus through a live
+//! daemon under wire chaos.
 
 use std::sync::Arc;
 
@@ -24,7 +29,7 @@ fn gen_usage() -> i32 {
     eprintln!(
         "usage: oraql gen --plan \"seed=S,cases=N,motifs=red+outlined+aos+csr+halo,per=K\"\n                \
          [--out <dir>] [--run] [--jobs N] [--speculate-depth N] [--no-gate]\n                \
-         [--fault-plan <spec>] [--probe-deadline-ms N] [--max-tests N]"
+         [--fault-plan <spec>] [--probe-deadline-ms N] [--max-tests N] [--server <addr>]"
     );
     2
 }
@@ -45,6 +50,7 @@ pub fn run_cli(args: &[String]) -> i32 {
     let mut opts = DriverOptions::default();
     let mut fault_plan: Option<String> = None;
     let mut probe_deadline_ms: u64 = 0;
+    let mut server_addr: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -85,6 +91,10 @@ pub fn run_cli(args: &[String]) -> i32 {
                 Some(n) => probe_deadline_ms = n,
                 None => bail!("bad --probe-deadline-ms: expected an integer"),
             },
+            "--server" => match value(&mut i) {
+                Some(v) => server_addr = Some(v),
+                None => bail!("missing value for --server"),
+            },
             other => bail!("unknown flag {other:?} for oraql gen (try --help)"),
         }
         i += 1;
@@ -107,6 +117,9 @@ pub fn run_cli(args: &[String]) -> i32 {
     }
     if probe_deadline_ms > 0 {
         opts.probe_deadline = Some(std::time::Duration::from_millis(probe_deadline_ms));
+    }
+    if let Some(addr) = &server_addr {
+        opts.server = Some(Arc::new(oraql::served::Client::new(addr)));
     }
 
     println!("plan: {}", plan.render());
@@ -162,6 +175,9 @@ pub fn run_cli(args: &[String]) -> i32 {
     );
     if gate {
         println!("ground truth: {total}");
+    }
+    if let Some(client) = &opts.server {
+        println!("server {}: {}", client.addr(), client.stats());
     }
     if failed > 0 {
         1

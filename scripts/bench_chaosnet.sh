@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Wire-chaos benchmark: the hardened wire's fault-free overhead (warm
+# suite through a daemon, gated at 1.05x against the BENCH_served.json
+# recording and against an armed-but-quiet fault plan) plus the
+# degraded-mode suite against a dead address (must complete through the
+# local-store fallback). Writes JSON to BENCH_chaosnet.json in the repo
+# root; override with ORAQL_BENCH_OUT.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Cargo runs benches with the package directory as cwd, so anchor the
+# default output at the repo root via an absolute path.
+ORAQL_BENCH_OUT="${ORAQL_BENCH_OUT:-$(pwd)/BENCH_chaosnet.json}" \
+    cargo bench --offline -p oraql-bench --bench chaos_net

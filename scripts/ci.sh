@@ -38,6 +38,15 @@ cargo test -q --offline --test pool_shutdown
 # agreement over jobs x depth, mislabel detection, chaos), by name.
 cargo test -q --offline -p oraql-gen
 cargo test -q --offline --test gen_soundness
+# The wire-chaos gates: network fault injection against a live daemon,
+# crash-point recovery torture (real child processes, killed and
+# restarted), reconnect storms, and the ground-truth capstone — a
+# generated corpus through a server under the full fault matrix with
+# byte-identical verdicts — likewise by name.
+cargo test -q --offline -p oraql-served --test wire_chaos
+cargo test -q --offline -p oraql-served --test crash_torture
+cargo test -q --offline -p oraql-served --test reconnect_storm
+cargo test -q --offline --test chaos_net
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -246,7 +246,7 @@ fn protocol_docs_match_the_wire() {
     };
     assert_eq!(
         hex_line("request:"),
-        req.encode(),
+        req.encode(0x42),
         "documented request frame drifted"
     );
     let resp = Response::Verdict {
@@ -255,7 +255,7 @@ fn protocol_docs_match_the_wire() {
     };
     assert_eq!(
         hex_line("response:"),
-        resp.encode(),
+        resp.encode(0x42),
         "documented response frame drifted"
     );
 
@@ -291,6 +291,7 @@ fn protocol_docs_match_the_wire() {
         Status::BadOp,
         Status::BadVersion,
         Status::Io,
+        Status::Busy,
     ] {
         let byte = format!("`0x{:02x}`", status as u8);
         assert!(
